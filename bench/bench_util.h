@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses: run a
+ * workload under a configuration, cache nothing, print aligned
+ * tables, and compute the paper's summary statistics.
+ */
+
+#ifndef SPT_BENCH_BENCH_UTIL_H
+#define SPT_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace bench {
+
+/** Runs one workload under one configuration, returning a live
+ *  Simulator (caller reads stats) result bundle. */
+struct RunOutcome {
+    SimResult result;
+    std::map<std::string, uint64_t> engine_counters;
+};
+
+inline RunOutcome
+runOne(const Program &program, const EngineConfig &engine,
+       AttackModel model)
+{
+    SimConfig cfg;
+    cfg.engine = engine;
+    cfg.core.attack_model = model;
+    Simulator sim(program, cfg);
+    RunOutcome out;
+    out.result = sim.run();
+    out.engine_counters = sim.core().engine().stats().counters();
+    return out;
+}
+
+inline const char *
+modelName(AttackModel m)
+{
+    return m == AttackModel::kSpectre ? "Spectre" : "Futuristic";
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace bench
+} // namespace spt
+
+#endif // SPT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Regenerates Figure 7 and the Section 9.2 headline numbers:
+ * execution time of every Table-2 design variant, normalized to
+ * UnsafeBaseline, per workload, under both the Futuristic and the
+ * Spectre attack models — plus the paper's summary statistics
+ * (average SPT overhead, SPT-vs-SecureBaseline reduction factor,
+ * the constant-time-kernel subset, and SPT-vs-STT deltas).
+ *
+ * Set SPT_BENCH_QUICK=1 to run a 5-workload subset (CI smoke).
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    const bool quick = std::getenv("SPT_BENCH_QUICK") != nullptr;
+
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    if (quick)
+        names = {"pchase", "hashtab", "stream", "interp",
+                 "ct-chacha20"};
+
+    const auto configs = table2Configs();
+
+    printf("=== Figure 7: execution time normalized to "
+           "UnsafeBaseline ===\n");
+    for (AttackModel model :
+         {AttackModel::kFuturistic, AttackModel::kSpectre}) {
+        printf("\n--- %s attack model ---\n", modelName(model));
+        printf("%-16s", "workload");
+        for (const auto &nc : configs)
+            printf(" %21s", nc.name.c_str());
+        printf("\n");
+
+        // Per-config normalized execution times across workloads.
+        std::vector<std::vector<double>> norm(configs.size());
+        std::vector<std::vector<double>> norm_ct(configs.size());
+
+        for (const std::string &name : names) {
+            const Workload &w = workloadByName(name);
+            printf("%-16s", name.c_str());
+            fflush(stdout);
+            double base = 0.0;
+            for (size_t c = 0; c < configs.size(); ++c) {
+                const RunOutcome out =
+                    runOne(w.program, configs[c].engine, model);
+                const auto cycles =
+                    static_cast<double>(out.result.cycles);
+                if (c == 0)
+                    base = cycles;
+                const double rel = cycles / base;
+                norm[c].push_back(rel);
+                if (w.category == "constant-time")
+                    norm_ct[c].push_back(rel);
+                printf(" %21.3f", rel);
+                fflush(stdout);
+            }
+            printf("\n");
+        }
+
+        printf("%-16s", "geomean");
+        for (size_t c = 0; c < configs.size(); ++c)
+            printf(" %21.3f", geomean(norm[c]));
+        printf("\n%-16s", "mean");
+        for (size_t c = 0; c < configs.size(); ++c)
+            printf(" %21.3f", mean(norm[c]));
+        printf("\n");
+
+        // Section 9.2 summary statistics.
+        auto config_index = [&](const char *n) {
+            for (size_t c = 0; c < configs.size(); ++c)
+                if (configs[c].name == n)
+                    return c;
+            return size_t{0};
+        };
+        const size_t i_secure = config_index("SecureBaseline");
+        const size_t i_spt = config_index("SPT{Bwd,ShadowL1}");
+        const size_t i_stt = config_index("STT");
+        const double spt_over = mean(norm[i_spt]) - 1.0;
+        const double secure_over = mean(norm[i_secure]) - 1.0;
+        const double stt_over = mean(norm[i_stt]) - 1.0;
+        printf("\n[%s] SPT overhead vs UnsafeBaseline: %.1f%%\n",
+               modelName(model), 100.0 * spt_over);
+        printf("[%s] SecureBaseline overhead: %.1f%%  "
+               "(SPT reduces overhead by %.2fx)\n",
+               modelName(model), 100.0 * secure_over,
+               spt_over > 0 ? secure_over / spt_over : 0.0);
+        printf("[%s] SPT overhead above STT: %.1f percentage "
+               "points\n",
+               modelName(model),
+               100.0 * (spt_over - stt_over));
+        if (!norm_ct[i_spt].empty()) {
+            const double ct_secure = mean(norm_ct[i_secure]);
+            const double ct_spt = mean(norm_ct[i_spt]);
+            printf("[%s] constant-time kernels: SecureBaseline "
+                   "%.2fx, SPT %.2fx (%.1fx overhead reduction)\n",
+                   modelName(model), ct_secure, ct_spt,
+                   (ct_spt > 1.0)
+                       ? (ct_secure - 1.0) / (ct_spt - 1.0)
+                       : 0.0);
+        }
+    }
+    return 0;
+}

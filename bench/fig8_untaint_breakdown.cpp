@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates Figure 8: a per-benchmark breakdown of untaint events
+ * by type (VP declassification, forward, backward, shadow-L1 data,
+ * store-to-load forwarding) for the full SPT design
+ * (SPT {Bwd, ShadowL1}), under both attack models.
+ *
+ * Set SPT_BENCH_QUICK=1 to run a 5-workload subset.
+ */
+
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    const bool quick = std::getenv("SPT_BENCH_QUICK") != nullptr;
+
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    if (quick)
+        names = {"pchase", "hashtab", "stream", "interp",
+                 "ct-chacha20"};
+
+    EngineConfig engine;
+    engine.scheme = ProtectionScheme::kSpt;
+    engine.spt.method = UntaintMethod::kBackward;
+    engine.spt.shadow = ShadowKind::kShadowL1;
+
+    const char *columns[] = {
+        "untaint.vp_declassify", "untaint.forward",
+        "untaint.backward",      "untaint.shadow_data",
+        "untaint.stl_forward",
+    };
+    const char *headers[] = {"vp_declass", "forward", "backward",
+                             "shadow_l1", "stl_fwd"};
+
+    printf("=== Figure 8: untaint-event breakdown, "
+           "SPT{Bwd,ShadowL1} ===\n");
+    printf("(percent of all untaint events; F = Futuristic, "
+           "S = Spectre)\n\n");
+    printf("%-18s %-3s", "workload", "M");
+    for (const char *h : headers)
+        printf(" %11s", h);
+    printf(" %12s\n", "total_events");
+
+    for (const std::string &name : names) {
+        const Workload &w = workloadByName(name);
+        for (AttackModel model :
+             {AttackModel::kFuturistic, AttackModel::kSpectre}) {
+            const RunOutcome out =
+                runOne(w.program, engine, model);
+            uint64_t total = 0;
+            for (const char *c : columns) {
+                auto it = out.engine_counters.find(c);
+                if (it != out.engine_counters.end())
+                    total += it->second;
+            }
+            printf("%-18s %-3s", name.c_str(),
+                   model == AttackModel::kFuturistic ? "F" : "S");
+            for (const char *c : columns) {
+                auto it = out.engine_counters.find(c);
+                const uint64_t v =
+                    it == out.engine_counters.end() ? 0
+                                                    : it->second;
+                printf(" %10.1f%%",
+                       total ? 100.0 * static_cast<double>(v) /
+                                   static_cast<double>(total)
+                             : 0.0);
+            }
+            printf(" %12llu\n",
+                   static_cast<unsigned long long>(total));
+            fflush(stdout);
+        }
+    }
+    return 0;
+}

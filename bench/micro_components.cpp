@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's components:
+ * the cost of the untaint algebra, taint-mask operations, branch
+ * predictors, cache accesses, the functional CPU, and full
+ * cycle-level simulation throughput per protection scheme. These
+ * quantify the engineering cost of the SPT machinery inside the
+ * simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bp/ltage.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/untaint_algebra.h"
+#include "core/untaint_rules.h"
+#include "isa/functional_cpu.h"
+#include "mem/memory_system.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+void
+BM_TaintMaskPropagate(benchmark::State &state)
+{
+    Rng rng(1);
+    TaintMask a = TaintMask::fromByteMask(0x0f);
+    TaintMask b = TaintMask::fromByteMask(0xf0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            propagateForward(Opcode::kXor, a, b));
+        benchmark::DoNotOptimize(
+            propagateBackward(Opcode::kAdd, a, b,
+                              TaintMask::none()));
+    }
+}
+BENCHMARK(BM_TaintMaskPropagate);
+
+void
+BM_GateGraphPropagate(benchmark::State &state)
+{
+    const auto gates = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        GateGraph g;
+        Rng rng(7);
+        std::vector<int> wires;
+        for (int i = 0; i < 8; ++i)
+            wires.push_back(
+                g.addInput(rng.nextBool(), true));
+        for (int i = 0; i < gates; ++i) {
+            const auto op = static_cast<GateOp>(rng.nextBelow(3));
+            const int a = wires[rng.nextBelow(wires.size())];
+            const int b = wires[rng.nextBelow(wires.size())];
+            wires.push_back(g.addGate(op, a, b));
+        }
+        g.declassify(wires.back());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(g.propagate());
+    }
+}
+BENCHMARK(BM_GateGraphPropagate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_LtagePredict(benchmark::State &state)
+{
+    LtagePredictor ltage;
+    Rng rng(3);
+    uint64_t pc = 0;
+    for (auto _ : state) {
+        pc = (pc + 7) & 0xffff;
+        const bool taken = (pc & 3) != 0;
+        benchmark::DoNotOptimize(ltage.predict(pc));
+        ltage.update(pc, taken);
+    }
+}
+BENCHMARK(BM_LtagePredict);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemorySystem mem;
+    Rng rng(4);
+    uint64_t now = 0;
+    for (auto _ : state) {
+        const uint64_t addr = rng.nextBelow(1 << 22);
+        benchmark::DoNotOptimize(
+            mem.access(addr, AccessKind::kLoad, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FunctionalCpu(benchmark::State &state)
+{
+    const Workload &w = workloadByName("stream");
+    for (auto _ : state) {
+        FunctionalCpu cpu(w.program);
+        const auto r = cpu.run(50'000);
+        benchmark::DoNotOptimize(r.instructions);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_FunctionalCpu)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    setVerbose(false);
+    const auto configs = table2Configs();
+    const auto &nc = configs[static_cast<size_t>(state.range(0))];
+    const Workload &w = workloadByName("interp");
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        SimConfig cfg;
+        cfg.engine = nc.engine;
+        cfg.max_cycles = 30'000;
+        Simulator sim(w.program, cfg);
+        const SimResult r = sim.run();
+        cycles += r.cycles;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+    state.SetLabel(nc.name);
+}
+BENCHMARK(BM_CoreSimulation)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace spt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's headline use case: protecting existing constant-time
+ * cryptographic code against speculative leakage *without* paying
+ * the delay-everything cost.
+ *
+ * Runs the three data-oblivious kernels (ChaCha20, bitslice-AES
+ * style, djbsort) under the Futuristic attack model — the
+ * conservative model appropriate for security-critical code — and
+ * compares SecureBaseline (delay every load/store to the visibility
+ * point) against full SPT. The paper reports 2.8x average slowdown
+ * for SecureBaseline vs 1.10x for SPT on these kernels (an 18x
+ * overhead reduction); this harness reproduces the shape of that
+ * result on the substituted kernels.
+ *
+ * Build & run:  ./build/examples/constant_time_crypto
+ */
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+using namespace spt;
+
+int
+main()
+{
+    setVerbose(false);
+    printf("Constant-time kernels, Futuristic attack model\n");
+    printf("(execution time normalized to UnsafeBaseline)\n\n");
+    printf("%-18s %14s %14s %8s\n", "kernel", "SecureBaseline",
+           "SPT{Bwd,L1}", "STT");
+
+    double sum_secure = 0, sum_spt = 0;
+    int n = 0;
+    for (const std::string &name : ctWorkloadNames()) {
+        const Workload &w = workloadByName(name);
+        double cycles[4] = {0, 0, 0, 0};
+        int idx = 0;
+        for (const char *scheme :
+             {"UnsafeBaseline", "SecureBaseline",
+              "SPT{Bwd,ShadowL1}", "STT"}) {
+            EngineConfig engine;
+            for (const NamedConfig &nc : table2Configs())
+                if (nc.name == scheme)
+                    engine = nc.engine;
+            const SimResult r = runProgram(
+                w.program, engine, AttackModel::kFuturistic);
+            cycles[idx++] = static_cast<double>(r.cycles);
+        }
+        const double secure = cycles[1] / cycles[0];
+        const double spt = cycles[2] / cycles[0];
+        const double stt = cycles[3] / cycles[0];
+        printf("%-18s %13.2fx %13.2fx %7.2fx\n", name.c_str(),
+               secure, spt, stt);
+        sum_secure += secure;
+        sum_spt += spt;
+        ++n;
+    }
+    const double avg_secure = sum_secure / n;
+    const double avg_spt = sum_spt / n;
+    printf("\naverage: SecureBaseline %.2fx, SPT %.2fx", avg_secure,
+           avg_spt);
+    if (avg_spt > 1.0)
+        printf("  -> SPT reduces the overhead by %.1fx",
+               (avg_secure - 1.0) / (avg_spt - 1.0));
+    printf("\n\nSPT gives these kernels back their constant-time "
+           "guarantee under\nspeculation: the secrets never reach "
+           "a transmitter non-speculatively,\nso they stay tainted "
+           "and every transient transmitter that could leak\nthem "
+           "is delayed — while the kernels' public address streams "
+           "run at\nnearly full speed.\n");
+    return 0;
+}

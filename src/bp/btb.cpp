@@ -1,0 +1,65 @@
+#include "bp/btb.h"
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace spt {
+
+Btb::Btb(unsigned sets, unsigned ways)
+    : sets_(sets), ways_(ways), entries_(size_t{sets} * ways)
+{
+    SPT_ASSERT(isPowerOfTwo(sets), "BTB sets must be a power of two");
+}
+
+size_t
+Btb::setBase(uint64_t pc) const
+{
+    return static_cast<size_t>(pc & (sets_ - 1)) * ways_;
+}
+
+uint64_t
+Btb::tagOf(uint64_t pc) const
+{
+    return pc >> log2Floor(sets_);
+}
+
+std::optional<uint64_t>
+Btb::lookup(uint64_t pc) const
+{
+    const size_t base = setBase(pc);
+    const uint64_t tag = tagOf(pc);
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag)
+            return e.target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    const size_t base = setBase(pc);
+    const uint64_t tag = tagOf(pc);
+    ++tick_;
+    size_t victim = base;
+    uint64_t oldest = ~uint64_t{0};
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = base + w;
+            oldest = 0;
+        } else if (e.lru < oldest) {
+            victim = base + w;
+            oldest = e.lru;
+        }
+    }
+    entries_[victim] = {true, tag, target, tick_};
+}
+
+} // namespace spt

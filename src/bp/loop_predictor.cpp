@@ -1,0 +1,93 @@
+#include "bp/loop_predictor.h"
+
+namespace spt {
+
+LoopPredictor::LoopPredictor(unsigned index_bits,
+                             unsigned confidence_threshold)
+    : index_bits_(index_bits),
+      confidence_threshold_(confidence_threshold),
+      table_(size_t{1} << index_bits)
+{
+}
+
+size_t
+LoopPredictor::index(uint64_t pc) const
+{
+    return pc & ((size_t{1} << index_bits_) - 1);
+}
+
+uint32_t
+LoopPredictor::tagOf(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc >> index_bits_) & 0x3fff);
+}
+
+std::optional<bool>
+LoopPredictor::predict(uint64_t pc)
+{
+    Entry &e = table_[index(pc)];
+    if (!e.valid || e.tag != tagOf(pc) ||
+        e.confidence < confidence_threshold_)
+        return std::nullopt;
+    // Predict taken for the first trip_count iterations, then a
+    // single not-taken.
+    const bool taken = e.spec_count < e.trip_count;
+    if (taken)
+        ++e.spec_count;
+    else
+        e.spec_count = 0;
+    return taken;
+}
+
+void
+LoopPredictor::update(uint64_t pc, bool taken)
+{
+    Entry &e = table_[index(pc)];
+    if (!e.valid || e.tag != tagOf(pc)) {
+        // (Re)allocate.
+        e.valid = true;
+        e.tag = tagOf(pc);
+        e.trip_count = 0;
+        e.arch_count = taken ? 1 : 0;
+        e.spec_count = e.arch_count;
+        e.confidence = 0;
+        return;
+    }
+    if (taken) {
+        ++e.arch_count;
+        return;
+    }
+    // Loop exit: compare the observed trip count to the learned one.
+    if (e.arch_count == e.trip_count && e.trip_count > 0) {
+        if (e.confidence < 0xff)
+            ++e.confidence;
+    } else {
+        e.trip_count = e.arch_count;
+        e.confidence = 0;
+    }
+    e.arch_count = 0;
+}
+
+void
+LoopPredictor::resyncSpeculative()
+{
+    for (Entry &e : table_)
+        e.spec_count = e.arch_count;
+}
+
+bool
+LoopPredictor::confident(uint64_t pc) const
+{
+    const Entry &e = table_[index(pc)];
+    return e.valid && e.tag == tagOf(pc) &&
+           e.confidence >= confidence_threshold_;
+}
+
+uint32_t
+LoopPredictor::tripCount(uint64_t pc) const
+{
+    const Entry &e = table_[index(pc)];
+    return e.valid && e.tag == tagOf(pc) ? e.trip_count : 0;
+}
+
+} // namespace spt

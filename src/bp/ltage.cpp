@@ -1,0 +1,56 @@
+#include "bp/ltage.h"
+
+namespace spt {
+
+LtagePredictor::LtagePredictor(const TageConfig &config)
+    : tage_(config)
+{
+}
+
+bool
+LtagePredictor::predict(uint64_t pc)
+{
+    // TAGE must always observe the branch so its speculative history
+    // stays aligned with the fetch stream.
+    const std::optional<bool> loop_pred = loop_.predict(pc);
+    const bool tage_pred = tage_.predict(pc);
+    if (loop_pred && use_loop_.taken())
+        return *loop_pred;
+    return tage_pred;
+}
+
+void
+LtagePredictor::update(uint64_t pc, bool taken)
+{
+    // Train the use-loop arbiter on branches where the two disagree.
+    const bool loop_confident = loop_.confident(pc);
+    if (loop_confident) {
+        // Reconstruct the loop prediction from architectural state:
+        // the entry predicts "taken" while arch_count < trip_count.
+        // We approximate by asking whether this outcome matched the
+        // learned trip pattern after update() below; simpler: train
+        // toward the loop predictor whenever it is confident and the
+        // outcome continues the learned pattern.
+    }
+    loop_.update(pc, taken);
+    tage_.update(pc, taken);
+    // Arbiter training: a confident loop entry that survives update
+    // with its confidence intact agreed with the outcome.
+    if (loop_confident)
+        use_loop_.train(loop_.confident(pc));
+}
+
+BpCheckpoint
+LtagePredictor::checkpoint() const
+{
+    return tage_.checkpoint();
+}
+
+void
+LtagePredictor::restore(const BpCheckpoint &cp)
+{
+    tage_.restore(cp);
+    loop_.resyncSpeculative();
+}
+
+} // namespace spt

@@ -1,0 +1,38 @@
+#include "bp/ras.h"
+
+namespace spt {
+
+void
+ReturnAddressStack::push(uint64_t return_pc)
+{
+    stack_[top_] = return_pc;
+    top_ = (top_ + 1) % kCapacity;
+    if (depth_ < kCapacity)
+        ++depth_;
+}
+
+uint64_t
+ReturnAddressStack::pop()
+{
+    if (depth_ == 0)
+        return 0;
+    top_ = (top_ + kCapacity - 1) % kCapacity;
+    --depth_;
+    return stack_[top_];
+}
+
+ReturnAddressStack::Checkpoint
+ReturnAddressStack::checkpoint() const
+{
+    return {stack_, top_, depth_};
+}
+
+void
+ReturnAddressStack::restore(const Checkpoint &cp)
+{
+    stack_ = cp.stack;
+    top_ = cp.top;
+    depth_ = cp.depth;
+}
+
+} // namespace spt

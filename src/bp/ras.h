@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Return address stack with full-copy checkpointing (the stack is
+ * small, so copying it per in-flight control instruction is the
+ * simple, exact recovery scheme).
+ */
+
+#ifndef SPT_BP_RAS_H
+#define SPT_BP_RAS_H
+
+#include <array>
+#include <cstdint>
+
+namespace spt {
+
+class ReturnAddressStack
+{
+  public:
+    static constexpr unsigned kCapacity = 32;
+
+    struct Checkpoint {
+        std::array<uint64_t, kCapacity> stack;
+        unsigned top;
+        unsigned depth;
+    };
+
+    void push(uint64_t return_pc);
+
+    /** Pops the predicted return target; returns 0 if empty. */
+    uint64_t pop();
+
+    bool empty() const { return depth_ == 0; }
+    unsigned depth() const { return depth_; }
+
+    Checkpoint checkpoint() const;
+    void restore(const Checkpoint &cp);
+
+  private:
+    std::array<uint64_t, kCapacity> stack_{};
+    unsigned top_ = 0;   ///< index of next push slot
+    unsigned depth_ = 0; ///< valid entries (<= kCapacity)
+};
+
+} // namespace spt
+
+#endif // SPT_BP_RAS_H

@@ -1,0 +1,3 @@
+#include "common/bit_util.h"
+
+// All helpers are constexpr in the header; this TU anchors the library.

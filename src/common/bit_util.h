@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef SPT_COMMON_BIT_UTIL_H
+#define SPT_COMMON_BIT_UTIL_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace spt {
+
+/** Returns true iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Extracts bits [hi:lo] (inclusive) of @p v, right-justified. */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const uint64_t mask = width >= 64 ? ~uint64_t{0}
+                                      : ((uint64_t{1} << width) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Sign-extends the low @p width bits of @p v to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t v, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(v);
+    const uint64_t sign_bit = uint64_t{1} << (width - 1);
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    v &= mask;
+    return static_cast<int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/** Rounds @p v down to a multiple of @p align (align must be pow2). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Rounds @p v up to a multiple of @p align (align must be pow2). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Population count for small masks. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+/** Rotate-left on 32-bit values (used by ChaCha20 workload). */
+constexpr uint32_t
+rotl32(uint32_t v, unsigned n)
+{
+    n &= 31;
+    if (n == 0)
+        return v;
+    return (v << n) | (v >> (32 - n));
+}
+
+} // namespace spt
+
+#endif // SPT_COMMON_BIT_UTIL_H

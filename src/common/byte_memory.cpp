@@ -1,0 +1,75 @@
+#include "common/byte_memory.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+ByteMemory::Page &
+ByteMemory::pageFor(uint64_t addr)
+{
+    const uint64_t page_id = addr / kPageBytes;
+    auto it = pages_.find(page_id);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(page_id, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const ByteMemory::Page *
+ByteMemory::pageForConst(uint64_t addr) const
+{
+    const uint64_t page_id = addr / kPageBytes;
+    auto it = pages_.find(page_id);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint8_t
+ByteMemory::readByte(uint64_t addr) const
+{
+    const Page *page = pageForConst(addr);
+    return page ? (*page)[addr % kPageBytes] : 0;
+}
+
+void
+ByteMemory::writeByte(uint64_t addr, uint8_t value)
+{
+    pageFor(addr)[addr % kPageBytes] = value;
+}
+
+uint64_t
+ByteMemory::read(uint64_t addr, unsigned bytes) const
+{
+    SPT_ASSERT(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+               "unsupported access size " << bytes);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+ByteMemory::write(uint64_t addr, uint64_t value, unsigned bytes)
+{
+    SPT_ASSERT(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8,
+               "unsupported access size " << bytes);
+    for (unsigned i = 0; i < bytes; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+ByteMemory::writeBlock(uint64_t addr, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        writeByte(addr + i, data[i]);
+}
+
+void
+ByteMemory::readBlock(uint64_t addr, uint8_t *out, size_t len) const
+{
+    for (size_t i = 0; i < len; ++i)
+        out[i] = readByte(addr + i);
+}
+
+} // namespace spt

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace spt {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+namespace detail {
+
+std::string
+formatLocation(const char *file, int line)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": ";
+    return os.str();
+}
+
+} // namespace detail
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_verbose)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+} // namespace spt

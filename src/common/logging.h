@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulation status and error reporting, in the spirit of gem5's
+ * logging.hh: fatal() for user errors, panic() for simulator bugs,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef SPT_COMMON_LOGGING_H
+#define SPT_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spt {
+
+/** Thrown when the simulation cannot continue due to a user error
+ *  (bad configuration, malformed assembly, invalid arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Thrown on conditions that indicate a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+std::string formatLocation(const char *file, int line);
+
+} // namespace detail
+
+/** Emits a warning to stderr (does not stop the simulation). */
+void warn(const std::string &msg);
+
+/** Emits an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally enables/disables inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace spt
+
+/** User-error abort: throws spt::FatalError with location info. */
+#define SPT_FATAL(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream os_;                                             \
+        os_ << ::spt::detail::formatLocation(__FILE__, __LINE__)            \
+            << "fatal: " << msg;                                            \
+        throw ::spt::FatalError(os_.str());                                 \
+    } while (0)
+
+/** Simulator-bug abort: throws spt::PanicError with location info. */
+#define SPT_PANIC(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream os_;                                             \
+        os_ << ::spt::detail::formatLocation(__FILE__, __LINE__)            \
+            << "panic: " << msg;                                            \
+        throw ::spt::PanicError(os_.str());                                 \
+    } while (0)
+
+/** Invariant check that survives in release builds. */
+#define SPT_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            SPT_PANIC("assertion failed: " #cond ": " << msg);              \
+    } while (0)
+
+#endif // SPT_COMMON_LOGGING_H

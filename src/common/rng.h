@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs.
+ *
+ * Workload data must be bit-identical across runs and platforms so
+ * that experiment results are reproducible; we therefore use our own
+ * xoshiro256** implementation rather than std::mt19937 (whose
+ * distributions are implementation-defined).
+ */
+
+#ifndef SPT_COMMON_RNG_H
+#define SPT_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace spt {
+
+/** xoshiro256** deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) — bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t s_[4];
+
+    static uint64_t splitMix64(uint64_t &x);
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_RNG_H

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+Histogram::Histogram(size_t num_buckets)
+    : buckets_(num_buckets, 0)
+{
+    SPT_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::record(uint64_t value, uint64_t count)
+{
+    const size_t idx =
+        value >= buckets_.size() ? buckets_.size() - 1
+                                 : static_cast<size_t>(value);
+    buckets_[idx] += count;
+    samples_ += count;
+    sum_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(sum_) /
+                               static_cast<double>(samples_);
+}
+
+double
+Histogram::cdfAt(uint64_t v) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    uint64_t below = 0;
+    const size_t limit =
+        v >= buckets_.size() ? buckets_.size()
+                             : static_cast<size_t>(v) + 1;
+    for (size_t i = 0; i < limit; ++i)
+        below += buckets_[i];
+    return static_cast<double>(below) / static_cast<double>(samples_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0;
+}
+
+void
+StatSet::inc(const std::string &name, uint64_t by)
+{
+    counters_[name] += by;
+}
+
+void
+StatSet::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, size_t num_buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(num_buckets)).first;
+    return it->second;
+}
+
+void
+StatSet::reset()
+{
+    counters_.clear();
+    histograms_.clear();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters_)
+        os << name << " " << value << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ".samples " << h.samples() << "\n";
+        os << name << ".mean " << h.mean() << "\n";
+    }
+}
+
+} // namespace spt

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight statistics registry: named scalar counters and
+ * histograms, registered per simulated component and dumped at the
+ * end of simulation (the software analogue of gem5's stats.txt).
+ */
+
+#ifndef SPT_COMMON_STATS_H
+#define SPT_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/** A simple bucketed histogram of non-negative integer samples. */
+class Histogram
+{
+  public:
+    /** @param num_buckets values >= num_buckets-1 land in the last
+     *  ("overflow") bucket. */
+    explicit Histogram(size_t num_buckets = 16);
+
+    void record(uint64_t value, uint64_t count = 1);
+
+    uint64_t samples() const { return samples_; }
+    uint64_t bucket(size_t i) const { return buckets_.at(i); }
+    size_t numBuckets() const { return buckets_.size(); }
+    double mean() const;
+
+    /** Fraction of samples with value <= v (cumulative). */
+    double cdfAt(uint64_t v) const;
+
+    void reset();
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t samples_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/** Flat registry of named counters and histograms. */
+class StatSet
+{
+  public:
+    /** Increment a named counter, creating it on first use. */
+    void inc(const std::string &name, uint64_t by = 1);
+
+    /** Set a named counter to an absolute value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Reads a counter (0 if never touched). */
+    uint64_t get(const std::string &name) const;
+
+    /** Access (and lazily create) a named histogram. */
+    Histogram &histogram(const std::string &name,
+                         size_t num_buckets = 16);
+
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    void reset();
+
+    /** Dumps all counters in "name value" lines sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_STATS_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Constructs a SecurityEngine from a Table-2 configuration.
+ */
+
+#ifndef SPT_CORE_ENGINE_FACTORY_H
+#define SPT_CORE_ENGINE_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "core/spt_engine.h"
+#include "uarch/security_engine.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+struct EngineConfig {
+    ProtectionScheme scheme = ProtectionScheme::kSpt;
+    /** SPT only. */
+    SptConfig spt;
+};
+
+std::unique_ptr<SecurityEngine> makeEngine(const EngineConfig &cfg);
+
+/** Human-readable configuration name, Table-2 style (e.g.
+ *  "SPT{Bwd,ShadowL1}"). */
+std::string engineConfigName(const EngineConfig &cfg);
+
+} // namespace spt
+
+#endif // SPT_CORE_ENGINE_FACTORY_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Empirical validation of the paper's security analysis (Section 8,
+ * Lemma 2: "untainted data is public"): an attacker simulator that
+ * runs alongside an SPT-protected core and tries to *reconstruct the
+ * concrete values* of everything SPT untaints, using only what a
+ * real attacker has:
+ *
+ *  - the program text and ROB contents (public by Property 1),
+ *  - the operands of transmitters/branches that reached the
+ *    visibility point (non-speculative leakage),
+ *  - instruction semantics (forward computation and inversion of
+ *    MOV/ADD/SUB/XOR-class operations),
+ *  - memory contents at addresses it has observed being accessed
+ *    non-speculatively with known data.
+ *
+ * Every cycle the auditor checks that each register SPT has fully
+ * untainted (once its value is architecturally ready) carries a
+ * value the attacker knowledge base derives exactly. A mismatch or
+ * an unexplained untaint is a soundness violation of the untaint
+ * algebra. (Untaints through store-to-load forwarding are skipped:
+ * the auditor does not model the LSQ's STLPublic reasoning.)
+ */
+
+#ifndef SPT_CORE_INFERABILITY_AUDITOR_H
+#define SPT_CORE_INFERABILITY_AUDITOR_H
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/spt_engine.h"
+#include "uarch/core.h"
+
+namespace spt {
+
+class InferabilityAuditor
+{
+  public:
+    InferabilityAuditor(Core &core, SptEngine &engine);
+
+    /** Runs one audit pass; call after every core.tick(). */
+    void tick();
+
+    /** Flushes unresolved audits (call once the core halted). */
+    void finalize();
+
+    uint64_t violations() const { return violations_; }
+    /** Derived values that did not match the architectural value —
+     *  these would indicate an unsound inference rule. */
+    uint64_t mismatches() const { return mismatches_; }
+    uint64_t windowClosed() const { return window_closed_; }
+    uint64_t auditedUntaints() const { return audited_; }
+    const std::vector<std::string> &violationLog() const
+    {
+        return log_;
+    }
+
+  private:
+    Core &core_;
+    SptEngine &engine_;
+
+    /** Attacker-known register values (physical registers). */
+    std::unordered_map<PhysReg, uint64_t> known_regs_;
+    /** Attacker-known memory bytes. */
+    std::unordered_map<uint64_t, uint8_t> known_bytes_;
+    /** Loads whose untainted output came via forwarding (skipped). */
+    std::unordered_set<SeqNum> skip_seq_;
+    /** Loads that already took their one shot at deriving from
+     *  memory knowledge (byte values are only fresh at access
+     *  time; younger stores may overwrite them later). */
+    std::unordered_set<SeqNum> load_mem_checked_;
+    /** Stores whose effect on memory knowledge was applied. */
+    std::unordered_set<SeqNum> stores_processed_;
+    /** (seq, slot) pairs already audited. */
+    std::unordered_set<uint64_t> audited_slots_;
+
+    /**
+     * An untaint awaiting derivation. The attacker's inputs (e.g.,
+     * the value of a declassified operand that has not been
+     * computed yet) can lag the untaint event by a few cycles, so
+     * verdicts are deferred up to a deadline.
+     */
+    struct Pending {
+        SeqNum seq;
+        uint64_t pc;
+        Instruction si;
+        PhysReg reg;
+        uint64_t expected; ///< architectural value at untaint time
+        uint64_t deadline;
+    };
+    std::vector<Pending> pending_;
+
+    uint64_t violations_ = 0;
+    uint64_t mismatches_ = 0;
+    /** Audits whose window closed (the physical register was
+     *  re-allocated) before the attacker's inputs arrived — the
+     *  same precision loss as a freed RS slot's pending broadcast;
+     *  reported separately, not as violations. */
+    uint64_t window_closed_ = 0;
+    uint64_t audited_ = 0;
+    std::vector<std::string> log_;
+
+    void seedKnowledge();
+    bool propagateOnce();
+    void learnReg(PhysReg reg, uint64_t value);
+    bool knows(PhysReg reg) const;
+    uint64_t knownValue(PhysReg reg) const;
+    bool knowsBytes(uint64_t addr, unsigned n) const;
+    uint64_t knownBytes(uint64_t addr, unsigned n) const;
+    void learnBytes(uint64_t addr, unsigned n, uint64_t value);
+    void eraseBytes(uint64_t addr, unsigned n);
+    void processStores();
+    void auditUntaints();
+    void resolvePending();
+    void flag(uint64_t pc, SeqNum seq, const Instruction &si,
+              const std::string &what);
+    void dropStaleKnowledge();
+};
+
+} // namespace spt
+
+#endif // SPT_CORE_INFERABILITY_AUDITOR_H

@@ -1,0 +1,591 @@
+#include "core/spt_engine.h"
+
+#include "common/logging.h"
+#include "core/untaint_rules.h"
+#include "uarch/core.h"
+
+namespace spt {
+
+namespace {
+
+const char *
+reasonName(SptEngine::UntaintReason r)
+{
+    switch (r) {
+      case SptEngine::UntaintReason::kVpDeclassify:
+        return "untaint.vp_declassify";
+      case SptEngine::UntaintReason::kForward:
+        return "untaint.forward";
+      case SptEngine::UntaintReason::kBackward:
+        return "untaint.backward";
+      case SptEngine::UntaintReason::kShadowData:
+        return "untaint.shadow_data";
+      case SptEngine::UntaintReason::kStlForward:
+        return "untaint.stl_forward";
+    }
+    return "untaint.unknown";
+}
+
+} // namespace
+
+SptEngine::SptEngine(const SptConfig &config)
+    : cfg_(config)
+{
+}
+
+void
+SptEngine::attach(Core &core)
+{
+    SecurityEngine::attach(core);
+    master_.assign(core.physRegs().numRegs(), TaintMask::all());
+    // The zero register is public; every other architectural
+    // register (and all memory) starts tainted (Section 6.3).
+    master_[PhysRegFile::kZeroReg] = TaintMask::none();
+    switch (cfg_.shadow) {
+      case ShadowKind::kNone:
+        taint_store_ = std::make_unique<NullTaintStore>();
+        break;
+      case ShadowKind::kShadowL1:
+        taint_store_ =
+            std::make_unique<ShadowL1>(core.memorySystem().l1d());
+        break;
+      case ShadowKind::kShadowMem:
+        taint_store_ = std::make_unique<ShadowMemory>();
+        break;
+    }
+}
+
+TaintMask
+SptEngine::masterTaint(PhysReg reg) const
+{
+    return reg == kNoPhysReg ? TaintMask::none() : master_[reg];
+}
+
+const SptEngine::InstTaint *
+SptEngine::instTaint(SeqNum seq) const
+{
+    auto it = tab_.find(seq);
+    return it == tab_.end() ? nullptr : &it->second;
+}
+
+void
+SptEngine::countUntaint(UntaintReason reason)
+{
+    stats_.inc(reasonName(reason));
+    stats_.inc("untaint.events");
+}
+
+PhysReg
+SptEngine::slotReg(const DynInst &d, int slot) const
+{
+    switch (slot) {
+      case 0: return d.prd;
+      case 1: return d.prs1;
+      case 2: return d.prs2;
+      default: SPT_PANIC("bad slot");
+    }
+}
+
+TaintMask &
+SptEngine::slotMask(InstTaint &it, int slot) const
+{
+    switch (slot) {
+      case 0: return it.dest;
+      case 1: return it.src[0];
+      case 2: return it.src[1];
+      default: SPT_PANIC("bad slot");
+    }
+}
+
+bool &
+SptEngine::slotFlag(InstTaint &it, int slot) const
+{
+    switch (slot) {
+      case 0: return it.dest_flag;
+      case 1: return it.src_flag[0];
+      case 2: return it.src_flag[1];
+      default: SPT_PANIC("bad slot");
+    }
+}
+
+// --------------------------------------------------------------------
+// Pipeline events
+// --------------------------------------------------------------------
+
+void
+SptEngine::onRename(DynInst &d)
+{
+    InstTaint it;
+    if (d.num_srcs >= 1)
+        it.src[0] = master_[d.prs1];
+    if (d.num_srcs >= 2)
+        it.src[1] = master_[d.prs2];
+    if (d.has_dest) {
+        if (d.is_load) {
+            // Loads are conservatively tainted at rename; the data's
+            // taint is not known yet (Section 6.3).
+            it.dest = TaintMask::all();
+        } else {
+            it.dest = propagateForward(d.si.op, it.src[0], it.src[1]);
+        }
+        master_[d.prd] = it.dest;
+    }
+    tab_[d.seq] = it;
+}
+
+void
+SptEngine::onSquash(const DynInst &d)
+{
+    tab_.erase(d.seq);
+}
+
+void
+SptEngine::onRetire(const DynInst &d)
+{
+    // A retiring instruction's slot frees; push any still-pending
+    // untaint information into the master copy so it is not lost
+    // (newly renamed consumers read the master).
+    flushFlagsToMaster(d);
+    tab_.erase(d.seq);
+}
+
+void
+SptEngine::flushFlagsToMaster(const DynInst &d)
+{
+    auto it = tab_.find(d.seq);
+    if (it == tab_.end())
+        return;
+    for (int slot = 0; slot < 3; ++slot) {
+        if (!slotFlag(it->second, slot))
+            continue;
+        const PhysReg reg = slotReg(d, slot);
+        if (reg != kNoPhysReg && reg != PhysRegFile::kZeroReg)
+            master_[reg] &= slotMask(it->second, slot);
+    }
+}
+
+void
+SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
+{
+    auto iter = tab_.find(d.seq);
+    if (iter == tab_.end())
+        return;
+    InstTaint &it = iter->second;
+    it.load_data_seen = true;
+
+    if (it.dest.nothing()) {
+        // Section 6.8 load rule: the output register was already
+        // untainted (backward-untainted by a consumer that reached
+        // the VP; possible only once the load itself is
+        // non-speculative, Lemma 1) — clear the read bytes' taint.
+        if (!forwarded && cfg_.shadow != ShadowKind::kNone) {
+            it.shadow_cleared = true;
+            taint_store_->clearTaint(d.eff_addr, d.mem_bytes);
+            stats_.inc("shadow.load_clears");
+        }
+        return;
+    }
+    if (forwarded)
+        return; // untaint flows via the STLPublic rule (Section 6.7)
+
+    const uint8_t byte_taint =
+        taint_store_->readTaint(d.eff_addr, d.mem_bytes);
+    const TaintMask m = TaintMask::forLoad(
+        d.mem_bytes, opTraits(d.si.op).load_signed, byte_taint);
+    if (m != it.dest && m.subsetOf(it.dest)) {
+        it.dest = m;
+        it.dest_flag = true;
+        countUntaint(UntaintReason::kShadowData);
+    }
+}
+
+void
+SptEngine::onStoreCommit(const DynInst &d)
+{
+    auto iter = tab_.find(d.seq);
+    const TaintMask data_mask =
+        iter == tab_.end() ? TaintMask::all() : iter->second.src[1];
+    // The data operand's taint overwrites the written bytes' taint
+    // (Sections 6.8 / 7.5).
+    taint_store_->writeTaint(d.eff_addr, d.mem_bytes,
+                             data_mask.toByteMask());
+}
+
+// --------------------------------------------------------------------
+// Protection policy
+// --------------------------------------------------------------------
+
+bool
+SptEngine::addrOperandPublic(const DynInst &d) const
+{
+    if (d.at_vp)
+        return true;
+    auto it = tab_.find(d.seq);
+    if (it == tab_.end())
+        return true; // retired
+    return it->second.src[0].nothing();
+}
+
+bool
+SptEngine::operandsPublic(const DynInst &d) const
+{
+    if (d.at_vp)
+        return true;
+    auto it = tab_.find(d.seq);
+    if (it == tab_.end())
+        return true;
+    if (d.num_srcs >= 1 && it->second.src[0].any())
+        return false;
+    if (d.num_srcs >= 2 && it->second.src[1].any())
+        return false;
+    return true;
+}
+
+bool
+SptEngine::mayAccessMemory(const DynInst &d) const
+{
+    const bool allowed = addrOperandPublic(d);
+    if (!allowed)
+        stats_.inc(d.is_load ? "policy.load_blocked_checks"
+                             : "policy.store_blocked_checks");
+    return allowed;
+}
+
+bool
+SptEngine::mayResolveBranch(const DynInst &d) const
+{
+    return operandsPublic(d);
+}
+
+bool
+SptEngine::storeAddrPublic(const DynInst &store) const
+{
+    if (store.at_vp)
+        return true;
+    auto it = tab_.find(store.seq);
+    if (it == tab_.end())
+        return true;
+    return it->second.src[0].nothing();
+}
+
+bool
+SptEngine::stlPublic(const DynInst &load, const DynInst &store) const
+{
+    // STLPublic(S, L): L's address is untainted and the addresses of
+    // all stores older than L and younger than S (inclusive) are
+    // untainted (Section 6.7).
+    if (!addrOperandPublic(load))
+        return false;
+    for (const DynInstPtr &st : core_->storeQueue()) {
+        if (st->squashed)
+            continue;
+        if (st->seq < store.seq || st->seq >= load.seq)
+            continue;
+        if (!storeAddrPublic(*st))
+            return false;
+    }
+    return true;
+}
+
+bool
+SptEngine::stlForwardingPublic(const DynInst &load,
+                               const DynInst &store) const
+{
+    return stlPublic(load, store);
+}
+
+bool
+SptEngine::maySquashMemViolation(const DynInst &load) const
+{
+    // The squash's implicit branch involves the load's address and
+    // the addresses of all older in-flight stores (Section 6.7,
+    // footnote 4).
+    if (load.at_vp)
+        return true;
+    if (!addrOperandPublic(load))
+        return false;
+    for (const DynInstPtr &st : core_->storeQueue()) {
+        if (st->squashed || st->seq > load.seq)
+            continue;
+        if (!storeAddrPublic(*st))
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Per-cycle untaint machinery
+// --------------------------------------------------------------------
+
+void
+SptEngine::declassifyPhase()
+{
+    for (const DynInstPtr &d : core_->rob()) {
+        if (d->squashed || !d->at_vp)
+            continue;
+        auto iter = tab_.find(d->seq);
+        if (iter == tab_.end() || iter->second.declassified)
+            continue;
+        InstTaint &it = iter->second;
+        it.declassified = true;
+        // Leaked operands: the address of a load/store; the source
+        // operands of a branch/indirect jump.
+        bool src0 = false, src1 = false;
+        if (d->isMem())
+            src0 = true;
+        else if (d->is_ctrl) {
+            src0 = d->num_srcs >= 1;
+            src1 = d->num_srcs >= 2;
+        }
+        if (src0 && it.src[0].any()) {
+            it.src[0] = TaintMask::none();
+            it.src_flag[0] = true;
+            countUntaint(UntaintReason::kVpDeclassify);
+        }
+        if (src1 && it.src[1].any()) {
+            it.src[1] = TaintMask::none();
+            it.src_flag[1] = true;
+            countUntaint(UntaintReason::kVpDeclassify);
+        }
+    }
+}
+
+bool
+SptEngine::localRulesPhase()
+{
+    bool changed = false;
+    const bool backward = cfg_.method == UntaintMethod::kBackward ||
+                          cfg_.method == UntaintMethod::kIdeal;
+    for (const DynInstPtr &d : core_->rob()) {
+        if (d->squashed)
+            continue;
+        auto iter = tab_.find(d->seq);
+        if (iter == tab_.end())
+            continue;
+        InstTaint &it = iter->second;
+
+        // Forward rule: outputs that are pure functions of their
+        // operands (never loads).
+        if (d->has_dest && !d->is_load && it.dest.any()) {
+            const TaintMask m =
+                propagateForward(d->si.op, it.src[0], it.src[1]);
+            if (m != it.dest && m.subsetOf(it.dest)) {
+                it.dest = m;
+                it.dest_flag = true;
+                countUntaint(UntaintReason::kForward);
+                changed = true;
+            }
+        }
+
+        if (backward) {
+            const BackwardUntaint b = propagateBackward(
+                d->si.op, it.src[0], it.src[1], it.dest);
+            if (b.untaint_src0) {
+                it.src[0] = TaintMask::none();
+                it.src_flag[0] = true;
+                countUntaint(UntaintReason::kBackward);
+                changed = true;
+            }
+            if (b.untaint_src1) {
+                it.src[1] = TaintMask::none();
+                it.src_flag[1] = true;
+                countUntaint(UntaintReason::kBackward);
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+SptEngine::stlPhase()
+{
+    bool changed = false;
+    for (const DynInstPtr &ld : core_->loadQueue()) {
+        if (ld->squashed || !ld->forwarded)
+            continue;
+        auto liter = tab_.find(ld->seq);
+        if (liter == tab_.end() || !liter->second.load_data_seen)
+            continue;
+        const DynInstPtr st = core_->findInst(ld->forwarding_store);
+        if (!st)
+            continue; // store retired before the pair went public
+        auto siter = tab_.find(st->seq);
+        if (siter == tab_.end())
+            continue;
+        if (!stlPublic(*ld, *st))
+            continue;
+        InstTaint &lt = liter->second;
+        InstTaint &stt = siter->second;
+        // Forward: store data -> load output.
+        if (stt.src[1].nothing() && lt.dest.any()) {
+            lt.dest = TaintMask::none();
+            lt.dest_flag = true;
+            countUntaint(UntaintReason::kStlForward);
+            changed = true;
+        }
+        // Backward: load output -> store data.
+        if (lt.dest.nothing() && stt.src[1].any()) {
+            stt.src[1] = TaintMask::none();
+            stt.src_flag[1] = true;
+            countUntaint(UntaintReason::kStlForward);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+SptEngine::shadowClearPhase()
+{
+    if (cfg_.shadow == ShadowKind::kNone)
+        return; // no taint-tracking structure to update
+
+    // Section 6.8 load rule, retroactive form: a non-speculative
+    // load whose output register became untainted (e.g., backward-
+    // declassified by a consumer transmitter at the VP) makes the
+    // bytes it read publicly inferable — the attacker knows the load
+    // accessed eff_addr (its address is declassified at the VP) and
+    // knows the output value.
+    for (const DynInstPtr &ld : core_->loadQueue()) {
+        if (ld->squashed || !ld->at_vp || ld->forwarded ||
+            !ld->access_done)
+            continue;
+        auto iter = tab_.find(ld->seq);
+        if (iter == tab_.end())
+            continue;
+        InstTaint &it = iter->second;
+        if (!it.load_data_seen || it.shadow_cleared ||
+            it.dest.any())
+            continue;
+        it.shadow_cleared = true;
+        taint_store_->clearTaint(ld->eff_addr, ld->mem_bytes);
+        stats_.inc("shadow.load_clears");
+    }
+}
+
+void
+SptEngine::applyBroadcast(PhysReg reg, TaintMask mask)
+{
+    if (!mask.subsetOf(master_[reg]))
+        return;
+    if ((master_[reg] & mask) != master_[reg])
+        ++untainted_regs_this_cycle_;
+    master_[reg] &= mask;
+    for (const DynInstPtr &d : core_->rob()) {
+        if (d->squashed)
+            continue;
+        auto iter = tab_.find(d->seq);
+        if (iter == tab_.end())
+            continue;
+        for (int slot = 0; slot < 3; ++slot) {
+            if (slotReg(*d, slot) != reg)
+                continue;
+            TaintMask &m = slotMask(iter->second, slot);
+            m &= mask;
+            // The slot's information is fully conveyed once it
+            // matches the broadcast value.
+            if (m == mask)
+                slotFlag(iter->second, slot) = false;
+        }
+    }
+    stats_.inc("untaint.broadcasts");
+}
+
+void
+SptEngine::broadcastPhase()
+{
+    std::vector<Broadcast> chosen;
+    chosen.reserve(cfg_.broadcast_width);
+    for (const DynInstPtr &d : core_->rob()) {
+        if (chosen.size() >= cfg_.broadcast_width)
+            break;
+        if (d->squashed)
+            continue;
+        auto iter = tab_.find(d->seq);
+        if (iter == tab_.end())
+            continue;
+        // Destination before sources, older before younger
+        // (Section 7.3).
+        for (int slot = 0; slot < 3; ++slot) {
+            if (chosen.size() >= cfg_.broadcast_width)
+                break;
+            if (!slotFlag(iter->second, slot))
+                continue;
+            const PhysReg reg = slotReg(*d, slot);
+            if (reg == kNoPhysReg || reg == PhysRegFile::kZeroReg) {
+                slotFlag(iter->second, slot) = false;
+                continue;
+            }
+            bool dup = false;
+            for (const Broadcast &b : chosen)
+                dup = dup || b.reg == reg;
+            if (dup)
+                continue;
+            chosen.push_back({reg, slotMask(iter->second, slot)});
+            slotFlag(iter->second, slot) = false;
+        }
+    }
+    for (const Broadcast &b : chosen)
+        applyBroadcast(b.reg, b.mask);
+}
+
+void
+SptEngine::idealPropagate()
+{
+    // Unbounded, single-cycle transitive closure: iterate the rules
+    // with instant global visibility until nothing changes.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        changed |= localRulesPhase();
+        changed |= stlPhase();
+        // Flush every flag as an immediate broadcast.
+        for (const DynInstPtr &d : core_->rob()) {
+            if (d->squashed)
+                continue;
+            auto iter = tab_.find(d->seq);
+            if (iter == tab_.end())
+                continue;
+            for (int slot = 0; slot < 3; ++slot) {
+                if (!slotFlag(iter->second, slot))
+                    continue;
+                slotFlag(iter->second, slot) = false;
+                const PhysReg reg = slotReg(*d, slot);
+                if (reg != kNoPhysReg &&
+                    reg != PhysRegFile::kZeroReg) {
+                    applyBroadcast(reg,
+                                   slotMask(iter->second, slot));
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+void
+SptEngine::tick()
+{
+    untainted_regs_this_cycle_ = 0;
+    declassifyPhase();
+    if (cfg_.method == UntaintMethod::kIdeal) {
+        idealPropagate();
+        shadowClearPhase();
+    } else if (cfg_.method != UntaintMethod::kNone) {
+        localRulesPhase();
+        stlPhase();
+        broadcastPhase();
+        shadowClearPhase();
+    } else {
+        // Even with no propagation, VP declassifications must reach
+        // the master copy so the transmitters themselves can execute;
+        // in SPT{None} this happens only via the bounded broadcast.
+        broadcastPhase();
+    }
+    if (untainted_regs_this_cycle_ > 0) {
+        stats_.histogram("untaint.regs_per_untaint_cycle", 12)
+            .record(untainted_regs_this_cycle_);
+    }
+}
+
+} // namespace spt

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Speculative Privacy Tracking (paper Sections 6-7): the hardware
+ * protection scheme this repository reproduces.
+ *
+ * State (mirroring the paper's distributed taint storage):
+ *  - a master per-physical-register taint mask (the RAT taint bits;
+ *    rename reads it),
+ *  - per in-flight instruction local taint copies of its source and
+ *    destination registers with untaint-broadcast flags (the RS/LSQ
+ *    slot taint bits of Section 7.2),
+ *  - a byte-granularity data taint store (shadow L1 / shadow memory
+ *    / none, Section 7.5).
+ *
+ * Per cycle (Section 7.3), the engine:
+ *  1. declassifies the leaked operands of transmitters/branches that
+ *     reached the visibility point,
+ *  2. applies the forward/backward untaint rules locally at every
+ *     in-flight instruction,
+ *  3. propagates untaint through store-to-load forwarding pairs
+ *     guarded by the STLPublic condition (Section 6.7),
+ *  4. broadcasts at most `broadcast_width` newly untainted registers
+ *     (destinations before sources, older instructions before
+ *     younger ones), updating the master copy and all other slots.
+ *
+ * The protection policy is delayed execution: loads/stores whose
+ * address operand is tainted may not access memory until the operand
+ * untaints or the instruction reaches the VP, and branch-resolution
+ * effects are deferred while the predicate is tainted.
+ */
+
+#ifndef SPT_CORE_SPT_ENGINE_H
+#define SPT_CORE_SPT_ENGINE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/taint_mask.h"
+#include "core/taint_store.h"
+#include "uarch/security_engine.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+struct SptConfig {
+    UntaintMethod method = UntaintMethod::kBackward;
+    ShadowKind shadow = ShadowKind::kShadowL1;
+    unsigned broadcast_width = 3;
+};
+
+class SptEngine : public SecurityEngine
+{
+  public:
+    /** Reasons a register untaint event happened (Figure 8's
+     *  breakdown categories). */
+    enum class UntaintReason : uint8_t {
+        kVpDeclassify, ///< transmitter/branch operand at VP
+        kForward,
+        kBackward,
+        kShadowData,   ///< load read untainted memory data
+        kStlForward,   ///< across store-to-load forwarding
+    };
+
+    explicit SptEngine(const SptConfig &config);
+
+    void attach(Core &core) override;
+    const char *name() const override { return "spt"; }
+
+    void onRename(DynInst &d) override;
+    void onSquash(const DynInst &d) override;
+    void onRetire(const DynInst &d) override;
+    void onLoadData(DynInst &d, bool forwarded,
+                    SeqNum store_seq) override;
+    void onStoreCommit(const DynInst &d) override;
+
+    bool mayAccessMemory(const DynInst &d) const override;
+    bool mayResolveBranch(const DynInst &d) const override;
+    bool maySquashMemViolation(const DynInst &d) const override;
+    bool stlForwardingPublic(const DynInst &load,
+                             const DynInst &store) const override;
+
+    void tick() override;
+
+    // --- inspection (tests/benches) -----------------------------------
+    TaintMask masterTaint(PhysReg reg) const;
+    /** Local taint state of an in-flight instruction, or nullptr. */
+    struct InstTaint {
+        TaintMask src[2] = {TaintMask::none(), TaintMask::none()};
+        bool src_flag[2] = {false, false};
+        TaintMask dest = TaintMask::none();
+        bool dest_flag = false;
+        bool declassified = false;
+        bool load_data_seen = false;
+        bool shadow_cleared = false;
+    };
+    const InstTaint *instTaint(SeqNum seq) const;
+    const SptConfig &config() const { return cfg_; }
+    DataTaintStore &taintStore() { return *taint_store_; }
+
+  private:
+    SptConfig cfg_;
+    std::unordered_map<SeqNum, InstTaint> tab_;
+    std::vector<TaintMask> master_;
+    std::unique_ptr<DataTaintStore> taint_store_;
+
+    // Scratch for the per-cycle broadcast phase.
+    struct Broadcast {
+        PhysReg reg;
+        TaintMask mask;
+    };
+
+    /** Registers whose master taint shrank this cycle (Figure 9). */
+    unsigned untainted_regs_this_cycle_ = 0;
+
+    void countUntaint(UntaintReason reason);
+    void declassifyPhase();
+    bool localRulesPhase();
+    bool stlPhase();
+    void shadowClearPhase();
+    void broadcastPhase();
+    void idealPropagate();
+    void applyBroadcast(PhysReg reg, TaintMask mask);
+    void flushFlagsToMaster(const DynInst &d);
+
+    bool addrOperandPublic(const DynInst &d) const;
+    bool operandsPublic(const DynInst &d) const;
+    /** STLPublic(S, L) of Section 6.7. */
+    bool stlPublic(const DynInst &load, const DynInst &store) const;
+    bool storeAddrPublic(const DynInst &store) const;
+
+    PhysReg slotReg(const DynInst &d, int slot) const;
+    TaintMask &slotMask(InstTaint &it, int slot) const;
+    bool &slotFlag(InstTaint &it, int slot) const;
+};
+
+} // namespace spt
+
+#endif // SPT_CORE_SPT_ENGINE_H

@@ -1,0 +1,169 @@
+#include "core/taint_store.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+uint8_t
+maskForBytes(unsigned bytes)
+{
+    return bytes >= 8 ? 0xff
+                      : static_cast<uint8_t>((1u << bytes) - 1);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// ShadowL1
+// --------------------------------------------------------------------
+
+ShadowL1::ShadowL1(SetAssocCache &l1d)
+    : l1d_(l1d), line_bytes_(l1d.params().line_bytes)
+{
+    entries_.resize(size_t{l1d.numSets()} * l1d.params().ways);
+    for (Entry &e : entries_)
+        e.taint.assign(line_bytes_, 1);
+    l1d_.setObserver(this);
+}
+
+ShadowL1::Entry *
+ShadowL1::find(uint64_t addr)
+{
+    const auto way = l1d_.wayOf(addr);
+    if (!way)
+        return nullptr;
+    Entry &e = entries_[size_t{l1d_.setOf(addr)} *
+                            l1d_.params().ways +
+                        *way];
+    if (!e.valid || e.line_addr != l1d_.lineAddr(addr))
+        return nullptr;
+    return &e;
+}
+
+const ShadowL1::Entry *
+ShadowL1::find(uint64_t addr) const
+{
+    return const_cast<ShadowL1 *>(this)->find(addr);
+}
+
+uint8_t
+ShadowL1::readTaint(uint64_t addr, unsigned bytes) const
+{
+    const Entry *e = find(addr);
+    if (!e)
+        return maskForBytes(bytes); // not resident: tainted
+    uint8_t out = 0;
+    for (unsigned i = 0; i < bytes && i < 8; ++i) {
+        const uint64_t a = addr + i;
+        if (l1d_.lineAddr(a) != e->line_addr) {
+            // Access straddles into a different line; be
+            // conservative for the tail bytes.
+            out |= static_cast<uint8_t>(maskForBytes(bytes) &
+                                        ~((1u << i) - 1));
+            break;
+        }
+        if (e->taint[a - e->line_addr])
+            out |= uint8_t{1} << i;
+    }
+    return out;
+}
+
+void
+ShadowL1::writeTaint(uint64_t addr, unsigned bytes,
+                     uint8_t byte_taint)
+{
+    Entry *e = find(addr);
+    if (!e)
+        return; // line not resident; nothing to track
+    for (unsigned i = 0; i < bytes && i < 8; ++i) {
+        const uint64_t a = addr + i;
+        if (l1d_.lineAddr(a) != e->line_addr)
+            break;
+        e->taint[a - e->line_addr] = (byte_taint >> i) & 1;
+    }
+    stats_.inc("shadow_l1.writes");
+}
+
+void
+ShadowL1::clearTaint(uint64_t addr, unsigned bytes)
+{
+    writeTaint(addr, bytes, 0);
+    stats_.inc("shadow_l1.clears");
+}
+
+void
+ShadowL1::onFill(uint64_t line_addr, unsigned set, unsigned way)
+{
+    Entry &e = entries_[size_t{set} * l1d_.params().ways + way];
+    e.valid = true;
+    e.line_addr = line_addr;
+    // A freshly filled line is fully tainted (Section 7.5).
+    std::fill(e.taint.begin(), e.taint.end(), 1);
+    stats_.inc("shadow_l1.fills");
+}
+
+void
+ShadowL1::onEvict(uint64_t, unsigned set, unsigned way)
+{
+    Entry &e = entries_[size_t{set} * l1d_.params().ways + way];
+    e.valid = false;
+    std::fill(e.taint.begin(), e.taint.end(), 1);
+    stats_.inc("shadow_l1.evictions");
+}
+
+// --------------------------------------------------------------------
+// ShadowMemory
+// --------------------------------------------------------------------
+
+bool
+ShadowMemory::untainted(uint64_t addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end())
+        return false;
+    return it->second[addr % kPageBytes] != 0;
+}
+
+void
+ShadowMemory::setUntainted(uint64_t addr, bool clear)
+{
+    auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end()) {
+        if (!clear)
+            return; // default is tainted
+        it = pages_
+                 .emplace(addr / kPageBytes,
+                          std::vector<uint8_t>(kPageBytes, 0))
+                 .first;
+    }
+    it->second[addr % kPageBytes] = clear ? 1 : 0;
+}
+
+uint8_t
+ShadowMemory::readTaint(uint64_t addr, unsigned bytes) const
+{
+    uint8_t out = 0;
+    for (unsigned i = 0; i < bytes && i < 8; ++i)
+        if (!untainted(addr + i))
+            out |= uint8_t{1} << i;
+    return out;
+}
+
+void
+ShadowMemory::writeTaint(uint64_t addr, unsigned bytes,
+                         uint8_t byte_taint)
+{
+    for (unsigned i = 0; i < bytes && i < 8; ++i)
+        setUntainted(addr + i, !((byte_taint >> i) & 1));
+}
+
+void
+ShadowMemory::clearTaint(uint64_t addr, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes && i < 8; ++i)
+        setUntainted(addr + i, true);
+}
+
+} // namespace spt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Byte-granularity taint tracking for memory data (paper Sections
+ * 6.8 and 7.5).
+ *
+ * All program memory starts tainted (nothing has been leaked yet).
+ * Three implementations, matching Table 2's shadow options:
+ *
+ *  - NullTaintStore: memory data is always tainted (NoShadowL1).
+ *  - ShadowL1: an in-core mirror of the L1D's set-associative
+ *    geometry with one taint bit per byte per line. It holds no tags:
+ *    the L1D's tag-check and eviction outputs drive it through the
+ *    CacheObserver hooks, so an invalidated/filled line reverts to
+ *    all-tainted.
+ *  - ShadowMemory: the idealized variant that keeps a taint bit for
+ *    every byte of memory (SPT {*, ShadowMem}).
+ */
+
+#ifndef SPT_CORE_TAINT_STORE_H
+#define SPT_CORE_TAINT_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "mem/cache.h"
+
+namespace spt {
+
+class DataTaintStore
+{
+  public:
+    virtual ~DataTaintStore() = default;
+
+    /** Per-byte taint of [addr, addr+bytes): bit i = byte i tainted. */
+    virtual uint8_t readTaint(uint64_t addr, unsigned bytes) const = 0;
+
+    /** Overwrites the per-byte taint of a written range (store rule:
+     *  the data operand's taint overwrites the bytes' taint). */
+    virtual void writeTaint(uint64_t addr, unsigned bytes,
+                            uint8_t byte_taint) = 0;
+
+    /** Clears taint of a read range (load rule 2 of Section 6.8). */
+    virtual void clearTaint(uint64_t addr, unsigned bytes) = 0;
+};
+
+/** Memory data is always tainted; writes are dropped. */
+class NullTaintStore : public DataTaintStore
+{
+  public:
+    uint8_t
+    readTaint(uint64_t, unsigned bytes) const override
+    {
+        return static_cast<uint8_t>((1u << (bytes < 8 ? bytes : 8)) -
+                                    1) |
+               (bytes >= 8 ? 0x80 : 0);
+    }
+    void writeTaint(uint64_t, unsigned, uint8_t) override {}
+    void clearTaint(uint64_t, unsigned) override {}
+};
+
+/** Shadow L1: taint bits for L1D-resident bytes only. */
+class ShadowL1 : public DataTaintStore, public CacheObserver
+{
+  public:
+    /** Mirrors the geometry of @p l1d and registers as its
+     *  observer. */
+    explicit ShadowL1(SetAssocCache &l1d);
+
+    uint8_t readTaint(uint64_t addr, unsigned bytes) const override;
+    void writeTaint(uint64_t addr, unsigned bytes,
+                    uint8_t byte_taint) override;
+    void clearTaint(uint64_t addr, unsigned bytes) override;
+
+    // CacheObserver: tag-check / eviction outputs of the L1D.
+    void onFill(uint64_t line_addr, unsigned set,
+                unsigned way) override;
+    void onEvict(uint64_t line_addr, unsigned set,
+                 unsigned way) override;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint64_t line_addr = 0;
+        /** Bit b set = byte b of the line is tainted. */
+        std::vector<uint8_t> taint; // line_bytes entries (1 = tainted)
+    };
+
+    SetAssocCache &l1d_;
+    unsigned line_bytes_;
+    std::vector<Entry> entries_;
+    StatSet stats_;
+
+    /** Entry holding @p addr's line, or nullptr if not resident. */
+    Entry *find(uint64_t addr);
+    const Entry *find(uint64_t addr) const;
+};
+
+/** Idealized whole-memory byte taint (sparse: pages of "untainted"
+ *  flags; absent page = fully tainted). */
+class ShadowMemory : public DataTaintStore
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    uint8_t readTaint(uint64_t addr, unsigned bytes) const override;
+    void writeTaint(uint64_t addr, unsigned bytes,
+                    uint8_t byte_taint) override;
+    void clearTaint(uint64_t addr, unsigned bytes) override;
+
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    /** 1 = untainted (memory defaults to tainted). */
+    std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+
+    bool untainted(uint64_t addr) const;
+    void setUntainted(uint64_t addr, bool untainted);
+};
+
+} // namespace spt
+
+#endif // SPT_CORE_TAINT_STORE_H

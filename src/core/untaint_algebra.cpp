@@ -1,0 +1,191 @@
+#include "core/untaint_algebra.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+bool
+gateEval(GateOp op, bool a, bool b)
+{
+    switch (op) {
+      case GateOp::kAnd: return a && b;
+      case GateOp::kOr:  return a || b;
+      case GateOp::kXor: return a != b;
+      case GateOp::kNot: return !a;
+      case GateOp::kBuf: return a;
+    }
+    SPT_PANIC("bad gate op");
+}
+
+Wire
+gateForward(GateOp op, Wire a, Wire b)
+{
+    Wire out;
+    out.value = gateEval(op, a.value, b.value);
+    switch (op) {
+      case GateOp::kAnd:
+        // An untainted 0 input forces the output to 0 regardless of
+        // the other (possibly tainted) input.
+        if ((!a.tainted && !a.value) || (!b.tainted && !b.value))
+            out.tainted = false;
+        else
+            out.tainted = a.tainted || b.tainted;
+        break;
+      case GateOp::kOr:
+        // Dually, an untainted 1 input forces the output to 1.
+        if ((!a.tainted && a.value) || (!b.tainted && b.value))
+            out.tainted = false;
+        else
+            out.tainted = a.tainted || b.tainted;
+        break;
+      case GateOp::kXor:
+        // No value of one input determines the output alone.
+        out.tainted = a.tainted || b.tainted;
+        break;
+      case GateOp::kNot:
+      case GateOp::kBuf:
+        out.tainted = a.tainted;
+        break;
+    }
+    return out;
+}
+
+BackwardResult
+gateBackward(GateOp op, Wire a, Wire b, bool out_value)
+{
+    BackwardResult r;
+    switch (op) {
+      case GateOp::kAnd:
+        if (out_value) {
+            // 1 = a & b => a = b = 1.
+            r.untaint_a = a.tainted;
+            r.untaint_b = b.tainted;
+        } else {
+            // 0 = a & b: only deducible if the other input is an
+            // untainted 1.
+            if (!a.tainted && a.value)
+                r.untaint_b = b.tainted;
+            if (!b.tainted && b.value)
+                r.untaint_a = a.tainted;
+        }
+        break;
+      case GateOp::kOr:
+        if (!out_value) {
+            // 0 = a | b => a = b = 0.
+            r.untaint_a = a.tainted;
+            r.untaint_b = b.tainted;
+        } else {
+            if (!a.tainted && !a.value)
+                r.untaint_b = b.tainted;
+            if (!b.tainted && !b.value)
+                r.untaint_a = a.tainted;
+        }
+        break;
+      case GateOp::kXor:
+        // Knowing the output and one input determines the other.
+        if (!a.tainted)
+            r.untaint_b = b.tainted;
+        if (!b.tainted)
+            r.untaint_a = a.tainted;
+        break;
+      case GateOp::kNot:
+      case GateOp::kBuf:
+        r.untaint_a = a.tainted;
+        break;
+    }
+    return r;
+}
+
+void
+GateGraph::checkWire(int wire) const
+{
+    SPT_ASSERT(wire >= 0 &&
+                   static_cast<size_t>(wire) < wires_.size(),
+               "wire id out of range: " << wire);
+}
+
+int
+GateGraph::addInput(bool value, bool tainted)
+{
+    wires_.push_back({value, tainted});
+    return static_cast<int>(wires_.size()) - 1;
+}
+
+int
+GateGraph::addGate(GateOp op, int a, int b)
+{
+    checkWire(a);
+    const bool unary = op == GateOp::kNot || op == GateOp::kBuf;
+    if (!unary)
+        checkWire(b);
+    const Wire wb = unary ? Wire{} : wires_[static_cast<size_t>(b)];
+    const Wire out =
+        gateForward(op, wires_[static_cast<size_t>(a)], wb);
+    wires_.push_back(out);
+    const int out_id = static_cast<int>(wires_.size()) - 1;
+    gates_.push_back({op, a, unary ? -1 : b, out_id});
+    return out_id;
+}
+
+void
+GateGraph::declassify(int wire)
+{
+    checkWire(wire);
+    wires_[static_cast<size_t>(wire)].tainted = false;
+}
+
+unsigned
+GateGraph::propagate()
+{
+    unsigned untainted = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const Gate &g : gates_) {
+            Wire &a = wires_[static_cast<size_t>(g.a)];
+            Wire b_dummy{};
+            Wire &b = g.b >= 0 ? wires_[static_cast<size_t>(g.b)]
+                               : b_dummy;
+            Wire &out = wires_[static_cast<size_t>(g.out)];
+            // Forward: re-evaluate the output taint from inputs.
+            const Wire fwd = gateForward(g.op, a, b);
+            if (out.tainted && !fwd.tainted) {
+                out.tainted = false;
+                ++untainted;
+                changed = true;
+            }
+            // Backward: from a declassified output.
+            if (!out.tainted) {
+                const BackwardResult r =
+                    gateBackward(g.op, a, b, out.value);
+                if (r.untaint_a && a.tainted) {
+                    a.tainted = false;
+                    ++untainted;
+                    changed = true;
+                }
+                if (g.b >= 0 && r.untaint_b && b.tainted) {
+                    b.tainted = false;
+                    ++untainted;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return untainted;
+}
+
+bool
+GateGraph::tainted(int wire) const
+{
+    checkWire(wire);
+    return wires_[static_cast<size_t>(wire)].tainted;
+}
+
+bool
+GateGraph::value(int wire) const
+{
+    checkWire(wire);
+    return wires_[static_cast<size_t>(wire)].value;
+}
+
+} // namespace spt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The gate-level untaint algebra of paper Section 5: value-aware
+ * forward information-flow rules (GLIFT) and the novel backward
+ * rules that infer gate inputs from a declassified output, plus a
+ * small gate-graph evaluator that propagates declassification
+ * through compositions of operators (Section 5.3).
+ *
+ * This is the conceptual foundation the instruction-level rules of
+ * Section 6.6 are derived from; it is exercised directly by the
+ * property-test suite (exhaustive over all value/taint combinations)
+ * and by the quickstart example.
+ */
+
+#ifndef SPT_CORE_UNTAINT_ALGEBRA_H
+#define SPT_CORE_UNTAINT_ALGEBRA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/** A 1-bit wire carrying a value and a taint status. */
+struct Wire {
+    bool value = false;
+    bool tainted = false;
+};
+
+enum class GateOp : uint8_t { kAnd, kOr, kXor, kNot, kBuf };
+
+/** Boolean function of a gate. */
+bool gateEval(GateOp op, bool a, bool b);
+
+/**
+ * Value-aware forward taint rule (GLIFT, Section 5.1): computes the
+ * output wire of a gate. The output is untainted when it is
+ * determined by untainted inputs alone (e.g., AND with an untainted
+ * 0 input).
+ */
+Wire gateForward(GateOp op, Wire a, Wire b);
+
+/** Which inputs a backward step can untaint. */
+struct BackwardResult {
+    bool untaint_a = false;
+    bool untaint_b = false;
+};
+
+/**
+ * Backward untaint rule (Section 5.2): given that the gate's output
+ * has been declassified (untainted, value @p out_value), determines
+ * which tainted inputs become inferable from the output value, the
+ * gate semantics, and any untainted input values.
+ *
+ * Examples (AND): out=1 => both inputs are 1; out=0 with an
+ * untainted a=1 => b must be 0.
+ */
+BackwardResult gateBackward(GateOp op, Wire a, Wire b,
+                            bool out_value);
+
+/**
+ * A tiny combinational dataflow graph for demonstrating and testing
+ * compositional declassification (Section 5.3, Figure 3). Wires are
+ * single bits; gates read one or two wires and drive one wire.
+ */
+class GateGraph
+{
+  public:
+    /** Adds a primary input; returns its wire id. */
+    int addInput(bool value, bool tainted);
+
+    /** Adds a gate driven by wires @p a and @p b (b ignored for
+     *  NOT/BUF); returns the output wire id. Values are computed
+     *  immediately; the output taint follows the forward rule. */
+    int addGate(GateOp op, int a, int b = -1);
+
+    /** Declassifies a wire: marks it untainted (its value becomes
+     *  public knowledge). */
+    void declassify(int wire);
+
+    /**
+     * Propagates untaint forward and backward through the graph to a
+     * fixpoint, per Sections 5.1-5.3. Returns the number of wires
+     * untainted by the propagation.
+     */
+    unsigned propagate();
+
+    bool tainted(int wire) const;
+    bool value(int wire) const;
+    size_t numWires() const { return wires_.size(); }
+
+  private:
+    struct Gate {
+        GateOp op;
+        int a;
+        int b;
+        int out;
+    };
+
+    std::vector<Wire> wires_;
+    std::vector<Gate> gates_;
+
+    void checkWire(int wire) const;
+};
+
+} // namespace spt
+
+#endif // SPT_CORE_UNTAINT_ALGEBRA_H

@@ -1,0 +1,74 @@
+#include "core/untaint_rules.h"
+
+namespace spt {
+
+bool
+isLaneOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+      case Opcode::kXori:
+      case Opcode::kMov:
+      case Opcode::kNot:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TaintMask
+propagateForward(Opcode op, TaintMask a, TaintMask b)
+{
+    const OpTraits &t = opTraits(op);
+    if (t.untaint_class == UntaintClass::kImmediate)
+        return TaintMask::none();
+    TaintMask combined = TaintMask::none();
+    if (t.num_srcs >= 1)
+        combined |= a;
+    if (t.num_srcs >= 2)
+        combined |= b;
+    if (combined.nothing())
+        return TaintMask::none();
+    // Lane-preserving bitwise ops keep per-group precision; all
+    // other operations mix bits across groups.
+    return isLaneOp(op) ? combined : TaintMask::all();
+}
+
+BackwardUntaint
+propagateBackward(Opcode op, TaintMask src0, TaintMask src1,
+                  TaintMask dest)
+{
+    BackwardUntaint r;
+    if (dest.any())
+        return r; // output not (fully) declassified
+    const OpTraits &t = opTraits(op);
+    switch (t.untaint_class) {
+      case UntaintClass::kCopy:
+        // MOV/NOT/NEG: the input is a bijection of the output.
+        r.untaint_src0 = src0.any();
+        break;
+      case UntaintClass::kInvertible:
+        if (t.num_srcs == 1) {
+            // ADDI/XORI: the immediate is public program text.
+            r.untaint_src0 = src0.any();
+        } else {
+            // ADD/SUB/XOR: output plus one input determines the
+            // other input.
+            if (src0.nothing() && src1.any())
+                r.untaint_src1 = true;
+            else if (src1.nothing() && src0.any())
+                r.untaint_src0 = true;
+        }
+        break;
+      case UntaintClass::kOpaque:
+      case UntaintClass::kImmediate:
+        break;
+    }
+    return r;
+}
+
+} // namespace spt

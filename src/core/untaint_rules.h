@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Instruction-level taint propagation and untaint rules (paper
+ * Sections 6.5-6.6), table-driven off the opcode's UntaintClass.
+ *
+ * Forward taint (rename time / re-evaluated each cycle): bitwise
+ * lane operations (AND/OR/XOR/MOV/NOT) propagate taint per access-
+ * mode group since byte lanes do not mix; every other ALU op taints
+ * the whole output if any input group is tainted. Immediate-class
+ * ops (LI, JAL/JALR link values) produce untainted outputs because
+ * they are determined by ROB contents alone (Section 6.5).
+ *
+ * Backward untaint (Section 6.6): register MOV-class ops untaint
+ * their single source when the output is untainted; invertible
+ * arithmetic (ADD/SUB/XOR and their immediate forms) untaints the
+ * remaining tainted input when the output and all other inputs are
+ * untainted. Backward rules act at full-register granularity.
+ */
+
+#ifndef SPT_CORE_UNTAINT_RULES_H
+#define SPT_CORE_UNTAINT_RULES_H
+
+#include "core/taint_mask.h"
+#include "isa/opcode.h"
+
+namespace spt {
+
+/** True for ops whose output bytes depend only on the same byte
+ *  lanes of the inputs (group-precise taint propagation). */
+bool isLaneOp(Opcode op);
+
+/**
+ * Forward taint propagation for a non-load instruction with source
+ * taints @p a and @p b (@p b ignored for single-source ops). This is
+ * both the rename-time taint rule and the per-cycle forward untaint
+ * rule — re-evaluating it after a source untaints yields the
+ * forward-untainted output.
+ */
+TaintMask propagateForward(Opcode op, TaintMask a, TaintMask b);
+
+/** Result of applying the backward rule to one instruction. */
+struct BackwardUntaint {
+    bool untaint_src0 = false;
+    bool untaint_src1 = false;
+};
+
+/**
+ * Backward untaint rule: given the instruction's current source and
+ * destination taints, determines which sources become inferable.
+ * Only fires when the destination is fully untainted.
+ */
+BackwardUntaint propagateBackward(Opcode op, TaintMask src0,
+                                  TaintMask src1, TaintMask dest);
+
+} // namespace spt
+
+#endif // SPT_CORE_UNTAINT_RULES_H

@@ -1,0 +1,617 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+/** How a pending instruction's immediate must be patched in pass 2. */
+enum class Fixup : uint8_t {
+    kNone,      // immediate already final
+    kPcRel,     // imm = symbol_value - pc (branches, jal)
+    kAbsolute,  // imm = symbol_value (la)
+};
+
+struct PendingInst {
+    Instruction inst;
+    Fixup fixup = Fixup::kNone;
+    std::string symbol;
+    int line = 0;
+};
+
+/** A data word whose value is a symbol, patched in pass 2. */
+struct DataFixup {
+    uint64_t addr;
+    unsigned bytes;
+    std::string symbol;
+    int line;
+};
+
+struct SourceError {
+    int line;
+    std::string message;
+};
+
+[[noreturn]] void
+fail(int line, const std::string &msg)
+{
+    SPT_FATAL("assembler: line " << line << ": " << msg);
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    std::string out = line;
+    for (const char *marker : {"#", ";", "//"}) {
+        const size_t pos = out.find(marker);
+        if (pos != std::string::npos)
+            out = out.substr(0, pos);
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty() || !out.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::optional<int64_t>
+parseNumber(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    size_t i = 0;
+    bool neg = false;
+    if (s[0] == '-' || s[0] == '+') {
+        neg = s[0] == '-';
+        i = 1;
+    }
+    if (i >= s.size())
+        return std::nullopt;
+    uint64_t value = 0;
+    if (s.size() > i + 2 && s[i] == '0' &&
+        (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        for (size_t j = i + 2; j < s.size(); ++j) {
+            const char c = s[j];
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = c - 'A' + 10;
+            else
+                return std::nullopt;
+            value = value * 16 + static_cast<uint64_t>(digit);
+        }
+    } else {
+        for (size_t j = i; j < s.size(); ++j) {
+            if (!std::isdigit(static_cast<unsigned char>(s[j])))
+                return std::nullopt;
+            value = value * 10 + static_cast<uint64_t>(s[j] - '0');
+        }
+    }
+    const int64_t sv = static_cast<int64_t>(value);
+    return neg ? -sv : sv;
+}
+
+bool
+isIdentifier(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_'
+        && s[0] != '.')
+        return false;
+    for (char c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_'
+            && c != '.')
+            return false;
+    return true;
+}
+
+/** Parses "imm(reg)" / "(reg)" memory operand syntax. */
+void
+parseMemOperand(int line, const std::string &s, int64_t &imm,
+                uint8_t &base)
+{
+    const size_t open = s.find('(');
+    const size_t close = s.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        fail(line, "expected imm(reg) memory operand, got '" + s + "'");
+    const std::string imm_str = trim(s.substr(0, open));
+    const std::string reg_str =
+        trim(s.substr(open + 1, close - open - 1));
+    if (imm_str.empty()) {
+        imm = 0;
+    } else {
+        auto v = parseNumber(imm_str);
+        if (!v)
+            fail(line, "bad displacement '" + imm_str + "'");
+        imm = *v;
+    }
+    base = parseRegister(reg_str);
+}
+
+const std::unordered_map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (size_t i = 0;
+             i < static_cast<size_t>(Opcode::kNumOpcodes); ++i) {
+            const auto op = static_cast<Opcode>(i);
+            m[std::string(mnemonic(op))] = op;
+        }
+        return m;
+    }();
+    return map;
+}
+
+class AssemblerImpl
+{
+  public:
+    Program run(const std::string &source);
+
+  private:
+    Program prog_;
+    std::vector<PendingInst> pending_;
+    std::vector<DataFixup> data_fixups_;
+    uint64_t data_cursor_ = kDefaultDataBase;
+    bool in_data_ = false;
+    std::string entry_symbol_;
+    int entry_line_ = 0;
+
+    void handleLine(int line, const std::string &raw);
+    void handleDirective(int line, const std::string &mnem,
+                         const std::vector<std::string> &ops);
+    void handleInstruction(int line, const std::string &mnem,
+                           const std::vector<std::string> &ops);
+    void emitData(int line, unsigned bytes,
+                  const std::vector<std::string> &ops);
+    void definePendingLabel(int line, const std::string &label);
+    void push(int line, const Instruction &inst,
+              Fixup fixup = Fixup::kNone,
+              const std::string &symbol = {});
+    void setImmOrSymbol(int line, const std::string &operand,
+                        Fixup fixup, PendingInst &pi);
+    void resolve();
+};
+
+void
+AssemblerImpl::definePendingLabel(int line, const std::string &label)
+{
+    if (!isIdentifier(label))
+        fail(line, "bad label name '" + label + "'");
+    const uint64_t value =
+        in_data_ ? data_cursor_ : pending_.size();
+    if (prog_.hasSymbol(label))
+        fail(line, "duplicate label '" + label + "'");
+    prog_.defineSymbol(label, value);
+}
+
+void
+AssemblerImpl::push(int line, const Instruction &inst, Fixup fixup,
+                    const std::string &symbol)
+{
+    PendingInst pi;
+    pi.inst = inst;
+    pi.fixup = fixup;
+    pi.symbol = symbol;
+    pi.line = line;
+    pending_.push_back(pi);
+}
+
+void
+AssemblerImpl::setImmOrSymbol(int line, const std::string &operand,
+                              Fixup fixup, PendingInst &pi)
+{
+    auto v = parseNumber(operand);
+    if (v) {
+        pi.inst.imm = *v;
+        pi.fixup = Fixup::kNone;
+        return;
+    }
+    if (!isIdentifier(operand))
+        fail(line, "expected number or symbol, got '" + operand + "'");
+    pi.fixup = fixup;
+    pi.symbol = operand;
+}
+
+void
+AssemblerImpl::emitData(int line, unsigned bytes,
+                        const std::vector<std::string> &ops)
+{
+    if (!in_data_)
+        fail(line, "data directive outside .data section");
+    std::vector<uint8_t> out;
+    for (const std::string &op : ops) {
+        auto v = parseNumber(op);
+        if (!v) {
+            if (!isIdentifier(op))
+                fail(line, "bad data value '" + op + "'");
+            // Symbol reference: emit zeros now, patch in pass 2.
+            data_fixups_.push_back(
+                {data_cursor_ + out.size(), bytes, op, line});
+            v = 0;
+        }
+        const auto u = static_cast<uint64_t>(*v);
+        for (unsigned i = 0; i < bytes; ++i)
+            out.push_back(static_cast<uint8_t>(u >> (8 * i)));
+    }
+    prog_.addData(data_cursor_, out);
+    data_cursor_ += out.size();
+}
+
+void
+AssemblerImpl::handleDirective(int line, const std::string &mnem,
+                               const std::vector<std::string> &ops)
+{
+    if (mnem == ".text") {
+        in_data_ = false;
+    } else if (mnem == ".data") {
+        in_data_ = true;
+        if (!ops.empty() && !ops[0].empty()) {
+            auto v = parseNumber(ops[0]);
+            if (!v || *v < 0)
+                fail(line, "bad .data base address");
+            data_cursor_ = static_cast<uint64_t>(*v);
+        }
+    } else if (mnem == ".quad") {
+        emitData(line, 8, ops);
+    } else if (mnem == ".word") {
+        emitData(line, 4, ops);
+    } else if (mnem == ".half") {
+        emitData(line, 2, ops);
+    } else if (mnem == ".byte") {
+        emitData(line, 1, ops);
+    } else if (mnem == ".zero" || mnem == ".space") {
+        if (ops.size() != 1)
+            fail(line, mnem + " needs one operand");
+        auto v = parseNumber(ops[0]);
+        if (!v || *v < 0)
+            fail(line, "bad size for " + mnem);
+        prog_.addData(
+            data_cursor_,
+            std::vector<uint8_t>(static_cast<size_t>(*v), 0));
+        data_cursor_ += static_cast<uint64_t>(*v);
+    } else if (mnem == ".align") {
+        if (ops.size() != 1)
+            fail(line, ".align needs one operand");
+        auto v = parseNumber(ops[0]);
+        if (!v || *v <= 0 ||
+            !isPowerOfTwo(static_cast<uint64_t>(*v)))
+            fail(line, ".align needs a power-of-two operand");
+        const uint64_t aligned =
+            alignUp(data_cursor_, static_cast<uint64_t>(*v));
+        if (aligned > data_cursor_) {
+            prog_.addData(data_cursor_,
+                          std::vector<uint8_t>(
+                              static_cast<size_t>(
+                                  aligned - data_cursor_), 0));
+            data_cursor_ = aligned;
+        }
+    } else if (mnem == ".entry") {
+        if (ops.size() != 1 || !isIdentifier(ops[0]))
+            fail(line, ".entry needs one label operand");
+        entry_symbol_ = ops[0];
+        entry_line_ = line;
+    } else {
+        fail(line, "unknown directive '" + mnem + "'");
+    }
+}
+
+void
+AssemblerImpl::handleInstruction(int line, const std::string &mnem,
+                                 const std::vector<std::string> &ops)
+{
+    // --- Pseudo-instructions -------------------------------------
+    if (mnem == "mv") {
+        if (ops.size() != 2)
+            fail(line, "mv needs 2 operands");
+        push(line, {Opcode::kMov, parseRegister(ops[0]),
+                    parseRegister(ops[1]), 0, 0});
+        return;
+    }
+    if (mnem == "j") {
+        if (ops.size() != 1)
+            fail(line, "j needs 1 operand");
+        PendingInst pi;
+        pi.inst = {Opcode::kJal, kRegZero, 0, 0, 0};
+        pi.line = line;
+        setImmOrSymbol(line, ops[0], Fixup::kPcRel, pi);
+        pending_.push_back(pi);
+        return;
+    }
+    if (mnem == "jr") {
+        if (ops.size() != 1)
+            fail(line, "jr needs 1 operand");
+        push(line, {Opcode::kJalr, kRegZero, parseRegister(ops[0]),
+                    0, 0});
+        return;
+    }
+    if (mnem == "call") {
+        if (ops.size() != 1)
+            fail(line, "call needs 1 operand");
+        PendingInst pi;
+        pi.inst = {Opcode::kJal, kRegRa, 0, 0, 0};
+        pi.line = line;
+        setImmOrSymbol(line, ops[0], Fixup::kPcRel, pi);
+        pending_.push_back(pi);
+        return;
+    }
+    if (mnem == "ret") {
+        if (!ops.empty())
+            fail(line, "ret takes no operands");
+        push(line, {Opcode::kJalr, kRegZero, kRegRa, 0, 0});
+        return;
+    }
+    if (mnem == "la") {
+        if (ops.size() != 2)
+            fail(line, "la needs 2 operands");
+        PendingInst pi;
+        pi.inst = {Opcode::kLi, parseRegister(ops[0]), 0, 0, 0};
+        pi.line = line;
+        setImmOrSymbol(line, ops[1], Fixup::kAbsolute, pi);
+        pending_.push_back(pi);
+        return;
+    }
+    if (mnem == "beqz" || mnem == "bnez") {
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        PendingInst pi;
+        pi.inst = {mnem == "beqz" ? Opcode::kBeq : Opcode::kBne, 0,
+                   parseRegister(ops[0]), kRegZero, 0};
+        pi.line = line;
+        setImmOrSymbol(line, ops[1], Fixup::kPcRel, pi);
+        pending_.push_back(pi);
+        return;
+    }
+    if (mnem == "seqz") {
+        if (ops.size() != 2)
+            fail(line, "seqz needs 2 operands");
+        push(line, {Opcode::kSltiu, parseRegister(ops[0]),
+                    parseRegister(ops[1]), 0, 1});
+        return;
+    }
+    if (mnem == "snez") {
+        if (ops.size() != 2)
+            fail(line, "snez needs 2 operands");
+        push(line, {Opcode::kSltu, parseRegister(ops[0]), kRegZero,
+                    parseRegister(ops[1]), 0});
+        return;
+    }
+
+    // --- Real opcodes --------------------------------------------
+    auto it = mnemonicMap().find(mnem);
+    if (it == mnemonicMap().end())
+        fail(line, "unknown mnemonic '" + mnem + "'");
+    const Opcode op = it->second;
+    const OpTraits &t = opTraits(op);
+
+    Instruction inst;
+    inst.op = op;
+    switch (t.format) {
+      case OpFormat::kRType:
+        if (ops.size() != 3)
+            fail(line, mnem + " needs 3 operands");
+        inst.rd = parseRegister(ops[0]);
+        inst.rs1 = parseRegister(ops[1]);
+        inst.rs2 = parseRegister(ops[2]);
+        push(line, inst);
+        return;
+      case OpFormat::kIType: {
+        if (ops.size() != 3)
+            fail(line, mnem + " needs 3 operands");
+        inst.rd = parseRegister(ops[0]);
+        inst.rs1 = parseRegister(ops[1]);
+        auto v = parseNumber(ops[2]);
+        if (!v)
+            fail(line, "bad immediate '" + ops[2] + "'");
+        inst.imm = *v;
+        push(line, inst);
+        return;
+      }
+      case OpFormat::kUnary:
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        inst.rd = parseRegister(ops[0]);
+        inst.rs1 = parseRegister(ops[1]);
+        push(line, inst);
+        return;
+      case OpFormat::kLiType: {
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        PendingInst pi;
+        pi.inst = inst;
+        pi.inst.rd = parseRegister(ops[0]);
+        pi.line = line;
+        // `li rd, symbol` behaves as `la`.
+        setImmOrSymbol(line, ops[1], Fixup::kAbsolute, pi);
+        pending_.push_back(pi);
+        return;
+      }
+      case OpFormat::kLoad:
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        inst.rd = parseRegister(ops[0]);
+        parseMemOperand(line, ops[1], inst.imm, inst.rs1);
+        push(line, inst);
+        return;
+      case OpFormat::kStore:
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        inst.rs2 = parseRegister(ops[0]);
+        parseMemOperand(line, ops[1], inst.imm, inst.rs1);
+        push(line, inst);
+        return;
+      case OpFormat::kBranch: {
+        if (ops.size() != 3)
+            fail(line, mnem + " needs 3 operands");
+        PendingInst pi;
+        pi.inst = inst;
+        pi.inst.rs1 = parseRegister(ops[0]);
+        pi.inst.rs2 = parseRegister(ops[1]);
+        pi.line = line;
+        setImmOrSymbol(line, ops[2], Fixup::kPcRel, pi);
+        pending_.push_back(pi);
+        return;
+      }
+      case OpFormat::kJal: {
+        if (ops.size() != 2)
+            fail(line, mnem + " needs 2 operands");
+        PendingInst pi;
+        pi.inst = inst;
+        pi.inst.rd = parseRegister(ops[0]);
+        pi.line = line;
+        setImmOrSymbol(line, ops[1], Fixup::kPcRel, pi);
+        pending_.push_back(pi);
+        return;
+      }
+      case OpFormat::kJalr: {
+        if (ops.size() != 3)
+            fail(line, mnem + " needs 3 operands");
+        inst.rd = parseRegister(ops[0]);
+        inst.rs1 = parseRegister(ops[1]);
+        auto v = parseNumber(ops[2]);
+        if (!v)
+            fail(line, "bad immediate '" + ops[2] + "'");
+        inst.imm = *v;
+        push(line, inst);
+        return;
+      }
+      case OpFormat::kNone:
+        if (!ops.empty())
+            fail(line, mnem + " takes no operands");
+        push(line, inst);
+        return;
+    }
+    fail(line, "unhandled instruction format");
+}
+
+void
+AssemblerImpl::handleLine(int line, const std::string &raw)
+{
+    std::string text = trim(stripComment(raw));
+    // Peel off any leading labels ("foo: bar: inst ...").
+    while (true) {
+        const size_t colon = text.find(':');
+        if (colon == std::string::npos)
+            break;
+        const std::string head = trim(text.substr(0, colon));
+        if (!isIdentifier(head))
+            break;
+        definePendingLabel(line, head);
+        text = trim(text.substr(colon + 1));
+    }
+    if (text.empty())
+        return;
+    // Split mnemonic from operands.
+    size_t sp = 0;
+    while (sp < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[sp])))
+        ++sp;
+    const std::string mnem = text.substr(0, sp);
+    const std::string rest = trim(text.substr(sp));
+    std::vector<std::string> ops =
+        rest.empty() ? std::vector<std::string>{}
+                     : splitOperands(rest);
+    for (const auto &o : ops)
+        if (o.empty())
+            fail(line, "empty operand");
+    if (!mnem.empty() && mnem[0] == '.')
+        handleDirective(line, mnem, ops);
+    else
+        handleInstruction(line, mnem, ops);
+}
+
+void
+AssemblerImpl::resolve()
+{
+    for (size_t pc = 0; pc < pending_.size(); ++pc) {
+        PendingInst &pi = pending_[pc];
+        if (pi.fixup != Fixup::kNone) {
+            if (!prog_.hasSymbol(pi.symbol))
+                fail(pi.line, "undefined symbol '" + pi.symbol + "'");
+            const uint64_t target = prog_.symbol(pi.symbol);
+            if (pi.fixup == Fixup::kPcRel)
+                pi.inst.imm = static_cast<int64_t>(target) -
+                              static_cast<int64_t>(pc);
+            else
+                pi.inst.imm = static_cast<int64_t>(target);
+        }
+        prog_.append(pi.inst);
+    }
+    for (const DataFixup &fx : data_fixups_) {
+        if (!prog_.hasSymbol(fx.symbol))
+            fail(fx.line, "undefined symbol '" + fx.symbol + "'");
+        prog_.patchData(fx.addr, prog_.symbol(fx.symbol), fx.bytes);
+    }
+    if (!entry_symbol_.empty()) {
+        if (!prog_.hasSymbol(entry_symbol_))
+            fail(entry_line_,
+                 "undefined entry symbol '" + entry_symbol_ + "'");
+        prog_.setEntry(prog_.symbol(entry_symbol_));
+    }
+}
+
+Program
+AssemblerImpl::run(const std::string &source)
+{
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        handleLine(line_no, line);
+    }
+    resolve();
+    if (prog_.size() == 0)
+        SPT_FATAL("assembler: empty program");
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    AssemblerImpl impl;
+    return impl.run(source);
+}
+
+} // namespace spt

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-pass text assembler for TRISC.
+ *
+ * Grammar (line oriented; '#', ';' and '//' start comments):
+ *
+ *   .text                     switch to text section (default)
+ *   .data [base]              switch to data section, optional base
+ *   label:                    define a symbol at the current location
+ *   .quad v, v, ...           emit 8-byte values
+ *   .word v, ...              emit 4-byte values
+ *   .half v, ...              emit 2-byte values
+ *   .byte v, ...              emit 1-byte values
+ *   .zero n / .space n        emit n zero bytes
+ *   .align n                  align data cursor to n bytes
+ *   .entry label              set the program entry point
+ *   mnemonic operands         one instruction
+ *
+ * Pseudo-instructions: mv, j, jr, call, ret, la, beqz, bnez, seqz,
+ * snez. Branch/jal targets may be labels or numeric pc-relative
+ * offsets; `la` resolves a data symbol to an absolute address.
+ */
+
+#ifndef SPT_ISA_ASSEMBLER_H
+#define SPT_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace spt {
+
+/** Assembles TRISC source text; throws FatalError with a line number
+ *  on any syntax or symbol error. */
+Program assemble(const std::string &source);
+
+} // namespace spt
+
+#endif // SPT_ISA_ASSEMBLER_H

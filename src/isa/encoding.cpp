@@ -1,0 +1,45 @@
+#include "isa/encoding.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+EncodedInstruction
+encode(const Instruction &inst)
+{
+    EncodedInstruction enc;
+    enc.bytes[0] = static_cast<uint8_t>(inst.op);
+    enc.bytes[1] = inst.rd;
+    enc.bytes[2] = inst.rs1;
+    enc.bytes[3] = inst.rs2;
+    const auto imm = static_cast<uint64_t>(inst.imm);
+    for (int i = 0; i < 8; ++i)
+        enc.bytes[4 + i] = static_cast<uint8_t>(imm >> (8 * i));
+    return enc;
+}
+
+Instruction
+decode(const EncodedInstruction &enc)
+{
+    Instruction inst;
+    const uint8_t op = enc.bytes[0];
+    if (op >= static_cast<uint8_t>(Opcode::kNumOpcodes))
+        SPT_FATAL("decode: invalid opcode byte " << int{op});
+    inst.op = static_cast<Opcode>(op);
+    inst.rd = enc.bytes[1];
+    inst.rs1 = enc.bytes[2];
+    inst.rs2 = enc.bytes[3];
+    if (inst.rd >= kNumArchRegs || inst.rs1 >= kNumArchRegs ||
+        inst.rs2 >= kNumArchRegs)
+        SPT_FATAL("decode: register specifier out of range");
+    uint64_t imm = 0;
+    for (int i = 0; i < 8; ++i)
+        imm |= static_cast<uint64_t>(enc.bytes[4 + i]) << (8 * i);
+    inst.imm = static_cast<int64_t>(imm);
+    for (int i = 12; i < 16; ++i)
+        if (enc.bytes[i] != 0)
+            SPT_FATAL("decode: nonzero reserved byte " << i);
+    return inst;
+}
+
+} // namespace spt

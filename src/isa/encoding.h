@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width binary encoding of TRISC instructions.
+ *
+ * Each instruction occupies kInstrBytes (16) bytes:
+ *   byte 0: opcode
+ *   byte 1: rd
+ *   byte 2: rs1
+ *   byte 3: rs2
+ *   bytes 4-11: imm (little-endian, signed)
+ *   bytes 12-15: reserved, must be zero
+ *
+ * The fixed width keeps the I-cache model simple and makes the
+ * round-trip encoder/decoder trivially verifiable.
+ */
+
+#ifndef SPT_ISA_ENCODING_H
+#define SPT_ISA_ENCODING_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace spt {
+
+struct EncodedInstruction {
+    std::array<uint8_t, kInstrBytes> bytes{};
+};
+
+EncodedInstruction encode(const Instruction &inst);
+
+/** Decodes; throws FatalError on malformed bytes (bad opcode,
+ *  register out of range, nonzero reserved bytes). */
+Instruction decode(const EncodedInstruction &enc);
+
+} // namespace spt
+
+#endif // SPT_ISA_ENCODING_H

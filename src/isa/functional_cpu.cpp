@@ -1,0 +1,93 @@
+#include "isa/functional_cpu.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+FunctionalCpu::FunctionalCpu(Program program)
+    : program_(std::move(program)), pc_(program_.entry())
+{
+    program_.loadInto(mem_);
+    regs_[kRegSp] = kDefaultStackTop;
+}
+
+uint64_t
+FunctionalCpu::reg(unsigned idx) const
+{
+    SPT_ASSERT(idx < kNumArchRegs, "register index out of range");
+    return regs_[idx];
+}
+
+void
+FunctionalCpu::setReg(unsigned idx, uint64_t value)
+{
+    SPT_ASSERT(idx < kNumArchRegs, "register index out of range");
+    if (idx != kRegZero)
+        regs_[idx] = value;
+}
+
+FunctionalCpu::StepInfo
+FunctionalCpu::step()
+{
+    StepInfo info;
+    if (halted_) {
+        info.halted = true;
+        return info;
+    }
+    if (!program_.validPc(pc_))
+        SPT_FATAL("functional cpu: pc out of program bounds: " << pc_);
+
+    const Instruction &inst = program_.at(pc_);
+    const OpTraits &t = opTraits(inst.op);
+    info.pc = pc_;
+    info.inst = inst;
+
+    const uint64_t rs1v = regs_[inst.rs1];
+    const uint64_t rs2v = regs_[inst.rs2];
+    ExecResult r = evaluateOp(inst, pc_, rs1v, rs2v);
+
+    uint64_t next = nextPc(pc_);
+    if (t.is_load) {
+        info.is_mem = true;
+        info.mem_addr = r.mem_addr;
+        r.value = finishLoad(inst.op, mem_.read(r.mem_addr,
+                                                t.mem_bytes));
+    } else if (t.is_store) {
+        info.is_mem = true;
+        info.mem_addr = r.mem_addr;
+        mem_.write(r.mem_addr, r.value, t.mem_bytes);
+    } else if (t.is_cond_branch) {
+        if (r.is_taken)
+            next = r.target;
+    } else if (t.is_jump) {
+        next = r.target;
+    } else if (t.is_halt) {
+        halted_ = true;
+        info.halted = true;
+    }
+
+    if (t.has_dest) {
+        setReg(inst.rd, r.value);
+        info.wrote_reg = inst.rd != kRegZero;
+        info.dest = inst.rd;
+        info.dest_value = regs_[inst.rd];
+    }
+
+    pc_ = next;
+    ++retired_;
+    return info;
+}
+
+FunctionalCpu::RunResult
+FunctionalCpu::run(uint64_t max_instrs)
+{
+    RunResult result;
+    while (!halted_ && result.instructions < max_instrs) {
+        step();
+        ++result.instructions;
+    }
+    result.halted = halted_;
+    return result;
+}
+
+} // namespace spt

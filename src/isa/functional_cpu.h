@@ -1,0 +1,78 @@
+/**
+ * @file
+ * In-order, one-instruction-per-step functional reference CPU.
+ *
+ * Serves three purposes: (1) the golden model that the out-of-order
+ * timing core is checked against in tests (lockstep commit
+ * comparison), (2) a fast way to compute expected workload results,
+ * and (3) the oracle for the non-speculative execution in security
+ * arguments (what *architecturally* executes).
+ */
+
+#ifndef SPT_ISA_FUNCTIONAL_CPU_H
+#define SPT_ISA_FUNCTIONAL_CPU_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/byte_memory.h"
+#include "isa/program.h"
+#include "isa/semantics.h"
+
+namespace spt {
+
+class FunctionalCpu
+{
+  public:
+    /** What one architectural step did (for lockstep checking). */
+    struct StepInfo {
+        uint64_t pc = 0;
+        Instruction inst;
+        bool wrote_reg = false;
+        uint8_t dest = 0;
+        uint64_t dest_value = 0;
+        bool is_mem = false;
+        uint64_t mem_addr = 0;
+        bool halted = false;
+    };
+
+    struct RunResult {
+        uint64_t instructions = 0;
+        bool halted = false;
+    };
+
+    /** Loads @p program data into a fresh memory (the program is
+     *  copied, so temporaries are safe). The stack pointer is
+     *  initialized to kDefaultStackTop. */
+    explicit FunctionalCpu(Program program);
+
+    /** Executes one instruction; no-op (halted=true) after HALT. */
+    StepInfo step();
+
+    /** Runs until HALT or @p max_instrs, whichever first. */
+    RunResult run(uint64_t max_instrs = 100'000'000);
+
+    uint64_t reg(unsigned idx) const;
+    void setReg(unsigned idx, uint64_t value);
+
+    uint64_t pc() const { return pc_; }
+    bool halted() const { return halted_; }
+    uint64_t instructionsRetired() const { return retired_; }
+
+    ByteMemory &memory() { return mem_; }
+    const ByteMemory &memory() const { return mem_; }
+
+    const Program &program() const { return program_; }
+
+  private:
+    Program program_;
+    ByteMemory mem_;
+    std::array<uint64_t, kNumArchRegs> regs_{};
+    uint64_t pc_;
+    bool halted_ = false;
+    uint64_t retired_ = 0;
+};
+
+} // namespace spt
+
+#endif // SPT_ISA_FUNCTIONAL_CPU_H

@@ -1,0 +1,114 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+const std::unordered_map<std::string, uint8_t> &
+aliasMap()
+{
+    static const std::unordered_map<std::string, uint8_t> map = [] {
+        std::unordered_map<std::string, uint8_t> m;
+        m["zero"] = 0;
+        m["ra"] = 1;
+        m["sp"] = 2;
+        m["gp"] = 3;
+        m["tp"] = 4;
+        m["t0"] = 5;
+        m["t1"] = 6;
+        m["t2"] = 7;
+        m["s0"] = 8;
+        m["fp"] = 8;
+        m["s1"] = 9;
+        for (int i = 0; i <= 7; ++i)
+            m["a" + std::to_string(i)] = static_cast<uint8_t>(10 + i);
+        for (int i = 2; i <= 11; ++i)
+            m["s" + std::to_string(i)] = static_cast<uint8_t>(16 + i);
+        for (int i = 3; i <= 6; ++i)
+            m["t" + std::to_string(i)] = static_cast<uint8_t>(25 + i);
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+uint8_t
+parseRegister(const std::string &name)
+{
+    if (name.size() >= 2 && name[0] == 'x') {
+        bool numeric = true;
+        for (size_t i = 1; i < name.size(); ++i)
+            numeric = numeric && std::isdigit(name[i]);
+        if (numeric) {
+            const int n = std::stoi(name.substr(1));
+            if (n >= 0 && n < static_cast<int>(kNumArchRegs))
+                return static_cast<uint8_t>(n);
+            SPT_FATAL("register out of range: " << name);
+        }
+    }
+    auto it = aliasMap().find(name);
+    if (it == aliasMap().end())
+        SPT_FATAL("unknown register name: " << name);
+    return it->second;
+}
+
+std::string
+registerName(uint8_t reg)
+{
+    return "x" + std::to_string(reg);
+}
+
+std::string
+toString(const Instruction &inst)
+{
+    const OpTraits &t = opTraits(inst.op);
+    std::ostringstream os;
+    os << t.mnemonic;
+    switch (t.format) {
+      case OpFormat::kRType:
+        os << " " << registerName(inst.rd) << ", "
+           << registerName(inst.rs1) << ", " << registerName(inst.rs2);
+        break;
+      case OpFormat::kIType:
+        os << " " << registerName(inst.rd) << ", "
+           << registerName(inst.rs1) << ", " << inst.imm;
+        break;
+      case OpFormat::kUnary:
+        os << " " << registerName(inst.rd) << ", "
+           << registerName(inst.rs1);
+        break;
+      case OpFormat::kLiType:
+        os << " " << registerName(inst.rd) << ", " << inst.imm;
+        break;
+      case OpFormat::kLoad:
+        os << " " << registerName(inst.rd) << ", " << inst.imm << "("
+           << registerName(inst.rs1) << ")";
+        break;
+      case OpFormat::kStore:
+        os << " " << registerName(inst.rs2) << ", " << inst.imm << "("
+           << registerName(inst.rs1) << ")";
+        break;
+      case OpFormat::kBranch:
+        os << " " << registerName(inst.rs1) << ", "
+           << registerName(inst.rs2) << ", " << inst.imm;
+        break;
+      case OpFormat::kJal:
+        os << " " << registerName(inst.rd) << ", " << inst.imm;
+        break;
+      case OpFormat::kJalr:
+        os << " " << registerName(inst.rd) << ", "
+           << registerName(inst.rs1) << ", " << inst.imm;
+        break;
+      case OpFormat::kNone:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace spt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * TRISC instruction record and register-name utilities.
+ */
+
+#ifndef SPT_ISA_INSTRUCTION_H
+#define SPT_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace spt {
+
+/** Number of architectural integer registers; x0 is hardwired zero. */
+constexpr unsigned kNumArchRegs = 32;
+
+/** Well-known ABI register numbers. */
+constexpr uint8_t kRegZero = 0;
+constexpr uint8_t kRegRa = 1;   ///< return address
+constexpr uint8_t kRegSp = 2;   ///< stack pointer
+
+/**
+ * A decoded TRISC instruction. PCs are instruction indices (each
+ * instruction occupies one slot; in memory terms each instruction is
+ * kInstrBytes wide and instruction address = pc * kInstrBytes).
+ */
+struct Instruction {
+    Opcode op = Opcode::kNop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Byte footprint of one instruction in simulated memory (for the
+ *  I-cache model and the binary encoding). */
+constexpr uint64_t kInstrBytes = 16;
+
+/** Renders an instruction in assembler syntax. */
+std::string toString(const Instruction &inst);
+
+/** Maps "x7", "a0", "sp", ... to a register number; throws
+ *  FatalError on unknown names. */
+uint8_t parseRegister(const std::string &name);
+
+/** Canonical name ("x7") for a register number. */
+std::string registerName(uint8_t reg);
+
+} // namespace spt
+
+#endif // SPT_ISA_INSTRUCTION_H

@@ -1,0 +1,116 @@
+#include "isa/opcode.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+using F = OpFormat;
+using U = UntaintClass;
+
+struct Row {
+    Opcode op;
+    OpTraits t;
+};
+
+// Column order:
+// mnemonic, format, num_srcs, has_dest, is_load, is_store,
+// is_cond_branch, is_jump, is_halt, mem_bytes, load_signed,
+// untaint_class
+constexpr Row kRows[] = {
+    {Opcode::kAdd,  {"add",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kInvertible}},
+    {Opcode::kSub,  {"sub",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kInvertible}},
+    {Opcode::kAnd,  {"and",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kOr,   {"or",   F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kXor,  {"xor",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kInvertible}},
+    {Opcode::kSll,  {"sll",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSrl,  {"srl",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSra,  {"sra",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMul,  {"mul",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMulh, {"mulh", F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kDiv,  {"div",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kRem,  {"rem",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSlt,  {"slt",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSltu, {"sltu", F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMin,  {"min",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMax,  {"max",  F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMinu, {"minu", F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kMaxu, {"maxu", F::kRType, 2, true,  false, false, false, false, false, 0, false, U::kOpaque}},
+
+    {Opcode::kAddi,  {"addi",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kInvertible}},
+    {Opcode::kAndi,  {"andi",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kOri,   {"ori",   F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kXori,  {"xori",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kInvertible}},
+    {Opcode::kSlli,  {"slli",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSrli,  {"srli",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSrai,  {"srai",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSlti,  {"slti",  F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kSltiu, {"sltiu", F::kIType, 1, true, false, false, false, false, false, 0, false, U::kOpaque}},
+
+    {Opcode::kMov, {"mov", F::kUnary,  1, true, false, false, false, false, false, 0, false, U::kCopy}},
+    {Opcode::kNot, {"not", F::kUnary,  1, true, false, false, false, false, false, 0, false, U::kCopy}},
+    {Opcode::kNeg, {"neg", F::kUnary,  1, true, false, false, false, false, false, 0, false, U::kCopy}},
+    {Opcode::kLi,  {"li",  F::kLiType, 0, true, false, false, false, false, false, 0, false, U::kImmediate}},
+
+    {Opcode::kLb,  {"lb",  F::kLoad, 1, true, true, false, false, false, false, 1, true,  U::kOpaque}},
+    {Opcode::kLbu, {"lbu", F::kLoad, 1, true, true, false, false, false, false, 1, false, U::kOpaque}},
+    {Opcode::kLh,  {"lh",  F::kLoad, 1, true, true, false, false, false, false, 2, true,  U::kOpaque}},
+    {Opcode::kLhu, {"lhu", F::kLoad, 1, true, true, false, false, false, false, 2, false, U::kOpaque}},
+    {Opcode::kLw,  {"lw",  F::kLoad, 1, true, true, false, false, false, false, 4, true,  U::kOpaque}},
+    {Opcode::kLwu, {"lwu", F::kLoad, 1, true, true, false, false, false, false, 4, false, U::kOpaque}},
+    {Opcode::kLd,  {"ld",  F::kLoad, 1, true, true, false, false, false, false, 8, false, U::kOpaque}},
+
+    {Opcode::kSb, {"sb", F::kStore, 2, false, false, true, false, false, false, 1, false, U::kOpaque}},
+    {Opcode::kSh, {"sh", F::kStore, 2, false, false, true, false, false, false, 2, false, U::kOpaque}},
+    {Opcode::kSw, {"sw", F::kStore, 2, false, false, true, false, false, false, 4, false, U::kOpaque}},
+    {Opcode::kSd, {"sd", F::kStore, 2, false, false, true, false, false, false, 8, false, U::kOpaque}},
+
+    {Opcode::kBeq,  {"beq",  F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+    {Opcode::kBne,  {"bne",  F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+    {Opcode::kBlt,  {"blt",  F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+    {Opcode::kBge,  {"bge",  F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+    {Opcode::kBltu, {"bltu", F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+    {Opcode::kBgeu, {"bgeu", F::kBranch, 2, false, false, false, true, false, false, 0, false, U::kOpaque}},
+
+    {Opcode::kJal,  {"jal",  F::kJal,  0, true, false, false, false, true, false, 0, false, U::kImmediate}},
+    {Opcode::kJalr, {"jalr", F::kJalr, 1, true, false, false, false, true, false, 0, false, U::kImmediate}},
+
+    {Opcode::kNop,  {"nop",  F::kNone, 0, false, false, false, false, false, false, 0, false, U::kOpaque}},
+    {Opcode::kHalt, {"halt", F::kNone, 0, false, false, false, false, false, true,  0, false, U::kOpaque}},
+};
+
+constexpr size_t kNumOps = static_cast<size_t>(Opcode::kNumOpcodes);
+
+std::array<OpTraits, kNumOps>
+buildTable()
+{
+    std::array<OpTraits, kNumOps> table{};
+    static_assert(sizeof(kRows) / sizeof(kRows[0]) == kNumOps,
+                  "traits table must cover every opcode");
+    for (const Row &row : kRows)
+        table[static_cast<size_t>(row.op)] = row.t;
+    return table;
+}
+
+const std::array<OpTraits, kNumOps> kTable = buildTable();
+
+} // namespace
+
+const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = static_cast<size_t>(op);
+    SPT_ASSERT(idx < kNumOps, "opcode out of range: " << idx);
+    return kTable[idx];
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return opTraits(op).mnemonic;
+}
+
+} // namespace spt

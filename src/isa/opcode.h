@@ -1,0 +1,128 @@
+/**
+ * @file
+ * TRISC opcode definitions and static per-opcode traits.
+ *
+ * TRISC is the 64-bit RISC ISA used throughout this reproduction in
+ * place of x86 (the paper's gem5 setup). The traits table captures
+ * everything the microarchitecture and the SPT taint engine need to
+ * know statically about an instruction: operand counts, whether it is
+ * a transmitter (load/store), a control-flow instruction, and which
+ * untaint-algebra class it belongs to (Section 6.6 of the paper).
+ */
+
+#ifndef SPT_ISA_OPCODE_H
+#define SPT_ISA_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace spt {
+
+enum class Opcode : uint8_t {
+    // ALU register-register
+    kAdd, kSub, kAnd, kOr, kXor,
+    kSll, kSrl, kSra,
+    kMul, kMulh, kDiv, kRem,
+    kSlt, kSltu,
+    kMin, kMax, kMinu, kMaxu,
+    // ALU register-immediate
+    kAddi, kAndi, kOri, kXori,
+    kSlli, kSrli, kSrai,
+    kSlti, kSltiu,
+    // Register moves / unary
+    kMov, kNot, kNeg,
+    // Load immediate (output determined by ROB contents; Section 6.5)
+    kLi,
+    // Loads: rd = mem[rs1 + imm]
+    kLb, kLbu, kLh, kLhu, kLw, kLwu, kLd,
+    // Stores: mem[rs1 + imm] = rs2
+    kSb, kSh, kSw, kSd,
+    // Conditional branches: if cmp(rs1, rs2) goto pc + imm
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    // Unconditional jumps
+    kJal,   // rd = pc + 1; pc += imm
+    kJalr,  // rd = pc + 1; pc = rs1 + imm
+    // Misc
+    kNop,
+    kHalt,
+
+    kNumOpcodes,
+};
+
+/** Instruction-format classes, used by the assembler and encoder. */
+enum class OpFormat : uint8_t {
+    kRType,   // op rd, rs1, rs2
+    kIType,   // op rd, rs1, imm
+    kUnary,   // op rd, rs1
+    kLiType,  // op rd, imm
+    kLoad,    // op rd, imm(rs1)
+    kStore,   // op rs2, imm(rs1)
+    kBranch,  // op rs1, rs2, label
+    kJal,     // op rd, label
+    kJalr,    // op rd, rs1, imm
+    kNone,    // op
+};
+
+/** Untaint-algebra class of an opcode (paper Section 6.6 / 6.5).
+ *
+ * - kCopy: single-source value-preserving ops (MOV, NOT, NEG). If the
+ *   output is declassified, the input is inferable.
+ * - kInvertible: two-source ops where knowing the output and one
+ *   input determines the other input (ADD, SUB, XOR), plus their
+ *   immediate forms (the immediate is public program text).
+ * - kImmediate: output determined entirely by ROB contents (LI);
+ *   always untainted (Section 6.5).
+ * - kOpaque: forward rule only.
+ */
+enum class UntaintClass : uint8_t {
+    kOpaque,
+    kCopy,
+    kInvertible,
+    kImmediate,
+};
+
+/** Static traits of one opcode. */
+struct OpTraits {
+    std::string_view mnemonic;
+    OpFormat format;
+    uint8_t num_srcs;     ///< register sources actually read (0-2)
+    bool has_dest;        ///< writes a destination register
+    bool is_load;
+    bool is_store;
+    bool is_cond_branch;  ///< conditional control flow
+    bool is_jump;         ///< unconditional control flow (JAL/JALR)
+    bool is_halt;
+    uint8_t mem_bytes;    ///< access size for loads/stores, else 0
+    bool load_signed;     ///< sign-extend loaded value
+    UntaintClass untaint_class;
+};
+
+/** Traits lookup; aborts on out-of-range opcode. */
+const OpTraits &opTraits(Opcode op);
+
+/** Convenience predicates. */
+inline bool isLoad(Opcode op) { return opTraits(op).is_load; }
+inline bool isStore(Opcode op) { return opTraits(op).is_store; }
+inline bool isMemOp(Opcode op) { return isLoad(op) || isStore(op); }
+inline bool isCondBranch(Opcode op)
+{
+    return opTraits(op).is_cond_branch;
+}
+inline bool isJump(Opcode op) { return opTraits(op).is_jump; }
+inline bool
+isControlFlow(Opcode op)
+{
+    return isCondBranch(op) || isJump(op);
+}
+
+/** Transmit instructions: per the paper's evaluation (Section 9.1),
+ *  loads and stores are the transmitters; their *address* operands
+ *  leak when they execute. */
+inline bool isTransmitter(Opcode op) { return isMemOp(op); }
+
+/** Mnemonic for printing. */
+std::string_view mnemonic(Opcode op);
+
+} // namespace spt
+
+#endif // SPT_ISA_OPCODE_H

@@ -1,0 +1,183 @@
+#include "isa/program_fuzzer.h"
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+// Register roles: x5..x27 are general fuzz registers; x28 holds the
+// arena base, x29 is the loop counter, x30/x31 are address temps.
+constexpr uint8_t kGenLo = 5;
+constexpr uint8_t kGenHi = 27;
+constexpr uint8_t kArenaReg = 28;
+constexpr uint8_t kLoopReg = 29;
+constexpr uint8_t kAddrReg = 30;
+
+const Opcode kAluR[] = {
+    Opcode::kAdd, Opcode::kSub, Opcode::kAnd, Opcode::kOr,
+    Opcode::kXor, Opcode::kSll, Opcode::kSrl, Opcode::kSra,
+    Opcode::kMul, Opcode::kMulh, Opcode::kDiv, Opcode::kRem,
+    Opcode::kSlt, Opcode::kSltu, Opcode::kMin, Opcode::kMax,
+};
+const Opcode kAluI[] = {
+    Opcode::kAddi, Opcode::kAndi, Opcode::kOri, Opcode::kXori,
+    Opcode::kSlli, Opcode::kSrli, Opcode::kSrai,
+};
+const Opcode kUnary[] = {Opcode::kMov, Opcode::kNot, Opcode::kNeg};
+const Opcode kLoads[] = {Opcode::kLb, Opcode::kLbu, Opcode::kLh,
+                         Opcode::kLhu, Opcode::kLw, Opcode::kLwu,
+                         Opcode::kLd};
+const Opcode kStores[] = {Opcode::kSb, Opcode::kSh, Opcode::kSw,
+                          Opcode::kSd};
+const Opcode kBranches[] = {Opcode::kBeq, Opcode::kBne,
+                            Opcode::kBlt, Opcode::kBge,
+                            Opcode::kBltu, Opcode::kBgeu};
+
+class Fuzzer
+{
+  public:
+    Fuzzer(uint64_t seed, const FuzzConfig &cfg)
+        : rng_(seed), cfg_(cfg)
+    {
+        SPT_ASSERT(isPowerOfTwo(cfg.arena_bytes),
+                   "arena size must be a power of two");
+    }
+
+    Program
+    generate()
+    {
+        // Seed the arena with deterministic data.
+        std::vector<uint64_t> arena(cfg_.arena_bytes / 8);
+        for (auto &w : arena)
+            w = rng_.next();
+        prog_.addData64(cfg_.arena_base, arena);
+
+        emit({Opcode::kLi, kArenaReg, 0, 0,
+              static_cast<int64_t>(cfg_.arena_base)});
+        // Give the general registers varied initial values.
+        for (uint8_t r = kGenLo; r <= kGenHi; ++r)
+            emit({Opcode::kLi, r, 0, 0,
+                  static_cast<int64_t>(rng_.next() >> 8)});
+
+        for (unsigned b = 0; b < cfg_.num_blocks; ++b)
+            emitBlock();
+
+        // Fold every general register into the a7 checksum.
+        emit({Opcode::kLi, 17, 0, 0, 0});
+        for (uint8_t r = kGenLo; r <= kGenHi; ++r) {
+            emit({Opcode::kXor, 17, 17, r, 0});
+            emit({Opcode::kSlli, 31, 17, 0, 1});
+            emit({Opcode::kAdd, 17, 17, 31, 0});
+        }
+        emit({Opcode::kHalt, 0, 0, 0, 0});
+        return std::move(prog_);
+    }
+
+  private:
+    Rng rng_;
+    FuzzConfig cfg_;
+    Program prog_;
+
+    void emit(const Instruction &inst) { prog_.append(inst); }
+
+    uint8_t
+    genReg()
+    {
+        return static_cast<uint8_t>(
+            kGenLo + rng_.nextBelow(kGenHi - kGenLo + 1));
+    }
+
+    template <size_t N>
+    Opcode
+    pick(const Opcode (&arr)[N])
+    {
+        return arr[rng_.nextBelow(N)];
+    }
+
+    /** Emits one data-processing or memory instruction. */
+    void
+    emitOne()
+    {
+        if (rng_.nextBool(cfg_.mem_fraction)) {
+            emitMemOp();
+            return;
+        }
+        const double kind = rng_.nextDouble();
+        if (kind < 0.55) {
+            emit({pick(kAluR), genReg(), genReg(), genReg(), 0});
+        } else if (kind < 0.85) {
+            const Opcode op = pick(kAluI);
+            int64_t imm = rng_.nextRange(-2048, 2047);
+            if (op == Opcode::kSlli || op == Opcode::kSrli ||
+                op == Opcode::kSrai)
+                imm = rng_.nextRange(0, 63);
+            emit({op, genReg(), genReg(), 0, imm});
+        } else {
+            emit({pick(kUnary), genReg(), genReg(), 0, 0});
+        }
+    }
+
+    /** Emits a masked, aligned access into the arena: the address
+     *  is a data-dependent function of a fuzz register. */
+    void
+    emitMemOp()
+    {
+        const bool is_store = rng_.nextBool(0.45);
+        const Opcode op =
+            is_store ? pick(kStores) : pick(kLoads);
+        const unsigned bytes = opTraits(op).mem_bytes;
+        const int64_t mask = static_cast<int64_t>(
+            (cfg_.arena_bytes - 1) & ~uint64_t{bytes - 1});
+        emit({Opcode::kAndi, kAddrReg, genReg(), 0, mask});
+        emit({Opcode::kAdd, kAddrReg, kAddrReg, kArenaReg, 0});
+        if (is_store) {
+            Instruction st{op, 0, kAddrReg, genReg(), 0};
+            emit(st);
+        } else {
+            emit({op, genReg(), kAddrReg, 0, 0});
+        }
+    }
+
+    void
+    emitBlock()
+    {
+        const bool looped = rng_.nextBool(0.5);
+        if (looped)
+            emit({Opcode::kLi, kLoopReg, 0, 0,
+                  static_cast<int64_t>(
+                      1 + rng_.nextBelow(cfg_.loop_iterations))});
+        const uint64_t body_start = prog_.size();
+
+        for (unsigned i = 0; i < cfg_.block_len; ++i) {
+            // Occasionally a data-dependent forward skip over the
+            // next instruction (unpredictable branch).
+            if (rng_.nextBool(cfg_.branch_fraction / 4)) {
+                emit({pick(kBranches), 0, genReg(), genReg(), 2});
+                emitOne();
+            } else {
+                emitOne();
+            }
+        }
+
+        if (looped) {
+            emit({Opcode::kAddi, kLoopReg, kLoopReg, 0, -1});
+            const int64_t back =
+                static_cast<int64_t>(body_start) -
+                static_cast<int64_t>(prog_.size());
+            emit({Opcode::kBne, 0, kLoopReg, 0, back});
+        }
+    }
+};
+
+} // namespace
+
+Program
+fuzzProgram(uint64_t seed, const FuzzConfig &config)
+{
+    Fuzzer fuzzer(seed, config);
+    return fuzzer.generate();
+}
+
+} // namespace spt

@@ -1,0 +1,168 @@
+#include "isa/semantics.h"
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+int64_t asS(uint64_t v) { return static_cast<int64_t>(v); }
+uint64_t asU(int64_t v) { return static_cast<uint64_t>(v); }
+
+uint64_t
+divSigned(uint64_t a, uint64_t b)
+{
+    if (b == 0)
+        return ~uint64_t{0};
+    if (asS(a) == INT64_MIN && asS(b) == -1)
+        return a; // overflow case, RISC-V semantics
+    return asU(asS(a) / asS(b));
+}
+
+uint64_t
+remSigned(uint64_t a, uint64_t b)
+{
+    if (b == 0)
+        return a;
+    if (asS(a) == INT64_MIN && asS(b) == -1)
+        return 0;
+    return asU(asS(a) % asS(b));
+}
+
+uint64_t
+mulHigh(uint64_t a, uint64_t b)
+{
+    return asU(static_cast<int64_t>(
+        (static_cast<__int128>(asS(a)) * static_cast<__int128>(asS(b)))
+        >> 64));
+}
+
+} // namespace
+
+ExecResult
+evaluateOp(const Instruction &inst, uint64_t pc, uint64_t rs1v,
+           uint64_t rs2v)
+{
+    ExecResult r;
+    const uint64_t imm = static_cast<uint64_t>(inst.imm);
+    switch (inst.op) {
+      case Opcode::kAdd: r.value = rs1v + rs2v; break;
+      case Opcode::kSub: r.value = rs1v - rs2v; break;
+      case Opcode::kAnd: r.value = rs1v & rs2v; break;
+      case Opcode::kOr:  r.value = rs1v | rs2v; break;
+      case Opcode::kXor: r.value = rs1v ^ rs2v; break;
+      case Opcode::kSll: r.value = rs1v << (rs2v & 63); break;
+      case Opcode::kSrl: r.value = rs1v >> (rs2v & 63); break;
+      case Opcode::kSra:
+        r.value = asU(asS(rs1v) >> (rs2v & 63));
+        break;
+      case Opcode::kMul:  r.value = rs1v * rs2v; break;
+      case Opcode::kMulh: r.value = mulHigh(rs1v, rs2v); break;
+      case Opcode::kDiv:  r.value = divSigned(rs1v, rs2v); break;
+      case Opcode::kRem:  r.value = remSigned(rs1v, rs2v); break;
+      case Opcode::kSlt:
+        r.value = asS(rs1v) < asS(rs2v) ? 1 : 0;
+        break;
+      case Opcode::kSltu: r.value = rs1v < rs2v ? 1 : 0; break;
+      case Opcode::kMin:
+        r.value = asS(rs1v) < asS(rs2v) ? rs1v : rs2v;
+        break;
+      case Opcode::kMax:
+        r.value = asS(rs1v) > asS(rs2v) ? rs1v : rs2v;
+        break;
+      case Opcode::kMinu: r.value = rs1v < rs2v ? rs1v : rs2v; break;
+      case Opcode::kMaxu: r.value = rs1v > rs2v ? rs1v : rs2v; break;
+
+      case Opcode::kAddi:  r.value = rs1v + imm; break;
+      case Opcode::kAndi:  r.value = rs1v & imm; break;
+      case Opcode::kOri:   r.value = rs1v | imm; break;
+      case Opcode::kXori:  r.value = rs1v ^ imm; break;
+      case Opcode::kSlli:  r.value = rs1v << (imm & 63); break;
+      case Opcode::kSrli:  r.value = rs1v >> (imm & 63); break;
+      case Opcode::kSrai:
+        r.value = asU(asS(rs1v) >> (imm & 63));
+        break;
+      case Opcode::kSlti:
+        r.value = asS(rs1v) < inst.imm ? 1 : 0;
+        break;
+      case Opcode::kSltiu: r.value = rs1v < imm ? 1 : 0; break;
+
+      case Opcode::kMov: r.value = rs1v; break;
+      case Opcode::kNot: r.value = ~rs1v; break;
+      case Opcode::kNeg: r.value = asU(-asS(rs1v)); break;
+      case Opcode::kLi:  r.value = imm; break;
+
+      case Opcode::kLb: case Opcode::kLbu:
+      case Opcode::kLh: case Opcode::kLhu:
+      case Opcode::kLw: case Opcode::kLwu:
+      case Opcode::kLd:
+        r.mem_addr = rs1v + imm;
+        break;
+
+      case Opcode::kSb: case Opcode::kSh:
+      case Opcode::kSw: case Opcode::kSd:
+        r.mem_addr = rs1v + imm;
+        r.value = rs2v; // store data
+        break;
+
+      case Opcode::kBeq:
+        r.is_taken = rs1v == rs2v;
+        r.target = pc + imm;
+        break;
+      case Opcode::kBne:
+        r.is_taken = rs1v != rs2v;
+        r.target = pc + imm;
+        break;
+      case Opcode::kBlt:
+        r.is_taken = asS(rs1v) < asS(rs2v);
+        r.target = pc + imm;
+        break;
+      case Opcode::kBge:
+        r.is_taken = asS(rs1v) >= asS(rs2v);
+        r.target = pc + imm;
+        break;
+      case Opcode::kBltu:
+        r.is_taken = rs1v < rs2v;
+        r.target = pc + imm;
+        break;
+      case Opcode::kBgeu:
+        r.is_taken = rs1v >= rs2v;
+        r.target = pc + imm;
+        break;
+
+      case Opcode::kJal:
+        r.is_taken = true;
+        r.value = pc + 1;
+        r.target = pc + imm;
+        break;
+      case Opcode::kJalr:
+        r.is_taken = true;
+        r.value = pc + 1;
+        r.target = rs1v + imm;
+        break;
+
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        break;
+
+      default:
+        SPT_PANIC("unhandled opcode in evaluateOp");
+    }
+    return r;
+}
+
+uint64_t
+finishLoad(Opcode op, uint64_t raw)
+{
+    const OpTraits &t = opTraits(op);
+    SPT_ASSERT(t.is_load, "finishLoad on non-load");
+    const unsigned bits_width = t.mem_bytes * 8;
+    if (bits_width >= 64)
+        return raw;
+    if (t.load_signed)
+        return asU(signExtend(raw, bits_width));
+    return raw & ((uint64_t{1} << bits_width) - 1);
+}
+
+} // namespace spt

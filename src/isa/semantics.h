@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional semantics of TRISC instructions.
+ *
+ * Both the reference FunctionalCpu and the out-of-order core's
+ * execution units evaluate instructions through this single
+ * implementation, so timing simulation can never diverge
+ * functionally from the reference.
+ */
+
+#ifndef SPT_ISA_SEMANTICS_H
+#define SPT_ISA_SEMANTICS_H
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace spt {
+
+/** Outcome of evaluating one instruction (excluding memory data). */
+struct ExecResult {
+    uint64_t value = 0;     ///< dest value (ALU result / link address)
+    bool is_taken = false;  ///< conditional branch outcome
+    uint64_t target = 0;    ///< control-flow target pc (if taken/jump)
+    uint64_t mem_addr = 0;  ///< effective address for loads/stores
+};
+
+/**
+ * Evaluates @p inst given operand values. For loads, only mem_addr is
+ * meaningful (the loaded value comes from the memory system and is
+ * finalized with finishLoad()). For stores, mem_addr is the address
+ * and rs2v the data. Division by zero follows RISC-V: quotient is all
+ * ones, remainder is the dividend.
+ */
+ExecResult evaluateOp(const Instruction &inst, uint64_t pc,
+                      uint64_t rs1v, uint64_t rs2v);
+
+/** Applies load width/sign-extension to raw little-endian data. */
+uint64_t finishLoad(Opcode op, uint64_t raw);
+
+/** The fall-through pc of an instruction at @p pc. */
+inline uint64_t nextPc(uint64_t pc) { return pc + 1; }
+
+} // namespace spt
+
+#endif // SPT_ISA_SEMANTICS_H

@@ -1,0 +1,50 @@
+#include "mem/noc.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+MeshNoc::MeshNoc(unsigned cols, unsigned rows,
+                 unsigned cycles_per_hop, unsigned core_node,
+                 unsigned mem_ctrl_node, unsigned line_bytes)
+    : cols_(cols), rows_(rows), cycles_per_hop_(cycles_per_hop),
+      core_node_(core_node), mem_ctrl_node_(mem_ctrl_node),
+      line_bytes_(line_bytes)
+{
+    SPT_ASSERT(cols_ > 0 && rows_ > 0, "degenerate mesh");
+    SPT_ASSERT(core_node_ < numNodes() &&
+                   mem_ctrl_node_ < numNodes(),
+               "node ids out of range");
+}
+
+unsigned
+MeshNoc::bankOf(uint64_t addr) const
+{
+    return static_cast<unsigned>((addr / line_bytes_) % numNodes());
+}
+
+unsigned
+MeshNoc::hops(unsigned from, unsigned to) const
+{
+    const int fx = static_cast<int>(from % cols_);
+    const int fy = static_cast<int>(from / cols_);
+    const int tx = static_cast<int>(to % cols_);
+    const int ty = static_cast<int>(to / cols_);
+    const int dx = fx > tx ? fx - tx : tx - fx;
+    const int dy = fy > ty ? fy - ty : ty - fy;
+    return static_cast<unsigned>(dx + dy);
+}
+
+unsigned
+MeshNoc::l3RoundTrip(uint64_t addr) const
+{
+    return 2 * hops(core_node_, bankOf(addr)) * cycles_per_hop_;
+}
+
+unsigned
+MeshNoc::dramRoundTrip() const
+{
+    return 2 * hops(core_node_, mem_ctrl_node_) * cycles_per_hop_;
+}
+
+} // namespace spt

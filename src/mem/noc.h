@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hop-latency model of the paper's 4x2 mesh network (Table 1: 128b
+ * links, 1 cycle per hop). The shared L3 is address-banked across
+ * the mesh nodes; requests from the core node pay the Manhattan-
+ * distance round trip to the target bank (and to the memory
+ * controller node for DRAM accesses).
+ */
+
+#ifndef SPT_MEM_NOC_H
+#define SPT_MEM_NOC_H
+
+#include <cstdint>
+
+namespace spt {
+
+class MeshNoc
+{
+  public:
+    MeshNoc(unsigned cols = 4, unsigned rows = 2,
+            unsigned cycles_per_hop = 1, unsigned core_node = 0,
+            unsigned mem_ctrl_node = 7, unsigned line_bytes = 64);
+
+    unsigned numNodes() const { return cols_ * rows_; }
+
+    /** Mesh node hosting the L3 bank for @p addr. */
+    unsigned bankOf(uint64_t addr) const;
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hops(unsigned from, unsigned to) const;
+
+    /** Round-trip latency from the core to the L3 bank of @p addr. */
+    unsigned l3RoundTrip(uint64_t addr) const;
+
+    /** Round-trip latency from the core to the memory controller. */
+    unsigned dramRoundTrip() const;
+
+  private:
+    unsigned cols_;
+    unsigned rows_;
+    unsigned cycles_per_hop_;
+    unsigned core_node_;
+    unsigned mem_ctrl_node_;
+    unsigned line_bytes_;
+};
+
+} // namespace spt
+
+#endif // SPT_MEM_NOC_H

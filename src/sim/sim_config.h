@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulation configuration: Table 1 (machine parameters) defaults
+ * and the Table 2 design-variant factory.
+ */
+
+#ifndef SPT_SIM_SIM_CONFIG_H
+#define SPT_SIM_SIM_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "core/engine_factory.h"
+#include "mem/memory_system.h"
+#include "uarch/core.h"
+
+namespace spt {
+
+struct SimConfig {
+    CoreParams core;              ///< Table 1 pipeline parameters
+    MemorySystemParams mem;       ///< Table 1 cache/NoC/DRAM
+    EngineConfig engine;          ///< Table 2 protection variant
+    uint64_t max_cycles = 500'000'000;
+    /** Compare every commit against the functional reference CPU. */
+    bool lockstep_check = false;
+};
+
+/** A named Table-2 design variant. */
+struct NamedConfig {
+    std::string name;
+    EngineConfig engine;
+};
+
+/** The seven design variants of Table 2, in the paper's order. */
+std::vector<NamedConfig> table2Configs();
+
+/** The subset used for headline numbers: UnsafeBaseline,
+ *  SecureBaseline, full SPT, STT. */
+std::vector<NamedConfig> headlineConfigs();
+
+} // namespace spt
+
+#endif // SPT_SIM_SIM_CONFIG_H

@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+Simulator::Simulator(const Program &program, const SimConfig &config)
+    : program_(program), config_(config)
+{
+    core_ = std::make_unique<Core>(program, config.core, config.mem,
+                                   makeEngine(config.engine));
+    if (config.lockstep_check) {
+        reference_ = std::make_unique<FunctionalCpu>(program);
+        core_->setCommitHook([this](const DynInst &d) {
+            auto info = reference_->step();
+            SPT_ASSERT(!info.halted || d.si.op == Opcode::kHalt,
+                       "reference halted before the core");
+            SPT_ASSERT(info.pc == d.pc,
+                       "lockstep pc mismatch: core " << d.pc
+                           << " reference " << info.pc << " (seq "
+                           << d.seq << ")");
+            if (info.wrote_reg) {
+                SPT_ASSERT(d.has_dest,
+                           "reference wrote a register but core did "
+                           "not, pc " << d.pc);
+                SPT_ASSERT(d.result == info.dest_value,
+                           "lockstep value mismatch at pc "
+                               << d.pc << ": core " << d.result
+                               << " reference " << info.dest_value);
+            }
+            if (info.is_mem) {
+                SPT_ASSERT(d.eff_addr == info.mem_addr,
+                           "lockstep address mismatch at pc "
+                               << d.pc);
+            }
+        });
+    }
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run()
+{
+    SPT_ASSERT(!ran_, "Simulator::run() may only be called once");
+    ran_ = true;
+    const Core::RunResult r = core_->run(config_.max_cycles);
+    SimResult result;
+    result.cycles = r.cycles;
+    result.instructions = r.instructions;
+    result.halted = r.halted;
+    result.ipc = r.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(r.instructions) /
+                           static_cast<double>(r.cycles);
+    return result;
+}
+
+void
+Simulator::dumpStats(std::ostream &os) const
+{
+    os << "# --- core ---\n";
+    const_cast<Core &>(*core_).stats().dump(os);
+    os << "# --- engine (" << core_->engine().name() << ") ---\n";
+    core_->engine().stats().dump(os);
+    os << "# --- memory ---\n";
+    core_->memorySystem().stats().dump(os);
+    os << "# --- bpu ---\n";
+    core_->bpu().stats().dump(os);
+}
+
+uint64_t
+Simulator::stat(const std::string &name) const
+{
+    const auto dot = name.find('.');
+    if (dot == std::string::npos)
+        SPT_FATAL("stat name needs a component prefix: " << name);
+    const std::string component = name.substr(0, dot);
+    const std::string rest = name.substr(dot + 1);
+    Core &core = const_cast<Core &>(*core_);
+    if (component == "core")
+        return core.stats().get(rest);
+    if (component == "engine")
+        return core.engine().stats().get(rest);
+    if (component == "mem")
+        return core.memorySystem().stats().get(rest);
+    if (component == "bpu")
+        return core.bpu().stats().get(rest);
+    SPT_FATAL("unknown stat component: " << component);
+}
+
+SimResult
+runProgram(const Program &program, const EngineConfig &engine_cfg,
+           AttackModel model, uint64_t max_cycles)
+{
+    SimConfig cfg;
+    cfg.engine = engine_cfg;
+    cfg.core.attack_model = model;
+    cfg.max_cycles = max_cycles;
+    Simulator sim(program, cfg);
+    return sim.run();
+}
+
+} // namespace spt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Top-level simulation driver: builds a Core from a SimConfig, runs
+ * a program to completion, optionally lockstep-checks every commit
+ * against the functional reference CPU, and gathers all statistics
+ * (the equivalent of gem5's stats.txt).
+ */
+
+#ifndef SPT_SIM_SIMULATOR_H
+#define SPT_SIM_SIMULATOR_H
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "isa/functional_cpu.h"
+#include "sim/sim_config.h"
+
+namespace spt {
+
+struct SimResult {
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    bool halted = false;
+    double ipc = 0.0;
+};
+
+class Simulator
+{
+  public:
+    Simulator(const Program &program, const SimConfig &config);
+    ~Simulator();
+
+    /** Runs until HALT (or max_cycles); may be called once. */
+    SimResult run();
+
+    Core &core() { return *core_; }
+    const SimConfig &config() const { return config_; }
+
+    /** Dumps every component's statistics ("stats.txt"). */
+    void dumpStats(std::ostream &os) const;
+
+    /** Counter lookup across components, e.g. "core.cycles",
+     *  "engine.untaint.forward", "mem.l1_hits". */
+    uint64_t stat(const std::string &name) const;
+
+  private:
+    const Program &program_;
+    SimConfig config_;
+    std::unique_ptr<Core> core_;
+    std::unique_ptr<FunctionalCpu> reference_;
+    bool ran_ = false;
+};
+
+/** Convenience: run @p program under @p engine_cfg / @p model and
+ *  return the result (used by benches and examples). */
+SimResult runProgram(const Program &program,
+                     const EngineConfig &engine_cfg,
+                     AttackModel model,
+                     uint64_t max_cycles = 500'000'000);
+
+} // namespace spt
+
+#endif // SPT_SIM_SIMULATOR_H

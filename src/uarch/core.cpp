@@ -1,0 +1,350 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spt {
+
+Core::Core(Program program, const CoreParams &params,
+           const MemorySystemParams &mem_params,
+           std::unique_ptr<SecurityEngine> engine)
+    : program_(std::move(program)), params_(params),
+      memsys_(mem_params), engine_(std::move(engine)),
+      prf_(params.num_phys_regs), fetch_pc_(program_.entry())
+{
+    SPT_ASSERT(engine_ != nullptr, "core needs a security engine");
+    program_.loadInto(mem_);
+    // Architectural initial state: sp points at the stack top. The
+    // initial RAT maps xN -> phys N, so write phys kRegSp directly.
+    prf_.write(kRegSp, kDefaultStackTop);
+    engine_->attach(*this);
+}
+
+uint64_t
+Core::archReg(unsigned arch) const
+{
+    SPT_ASSERT(arch < kNumArchRegs, "arch register out of range");
+    return prf_.value(rat_.lookup(static_cast<uint8_t>(arch)));
+}
+
+DynInstPtr
+Core::findInst(SeqNum seq) const
+{
+    for (const DynInstPtr &d : rob_)
+        if (d->seq == seq)
+            return d;
+    return nullptr;
+}
+
+uint64_t
+Core::readOperand(PhysReg reg) const
+{
+    return reg == kNoPhysReg ? 0 : prf_.value(reg);
+}
+
+bool
+Core::operandsReady(const DynInst &d) const
+{
+    if (d.num_srcs >= 1 && !prf_.ready(d.prs1))
+        return false;
+    if (d.num_srcs >= 2 && !prf_.ready(d.prs2))
+        return false;
+    return true;
+}
+
+unsigned
+Core::execLatency(const Instruction &si) const
+{
+    switch (si.op) {
+      case Opcode::kMul:
+      case Opcode::kMulh:
+        return 3;
+      case Opcode::kDiv:
+      case Opcode::kRem:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+// --------------------------------------------------------------------
+// Top level
+// --------------------------------------------------------------------
+
+void
+Core::tick()
+{
+    ++cycle_;
+    handleSquashes();
+    commitStage();
+    if (halted_)
+        return;
+    writebackStage();
+    memStage();
+    issueStage();
+    renameDispatchStage();
+    fetchStage();
+    updateVp();
+    engine_->tick();
+}
+
+Core::RunResult
+Core::run(uint64_t max_cycles)
+{
+    uint64_t last_retired = retired_;
+    uint64_t last_progress_cycle = cycle_;
+    while (!halted_ && cycle_ < max_cycles) {
+        tick();
+        if (retired_ != last_retired) {
+            last_retired = retired_;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > 200'000) {
+            SPT_PANIC("no instruction committed for 200k cycles at pc "
+                      << (rob_.empty() ? fetch_pc_
+                                       : rob_.front()->pc));
+        }
+    }
+    stats_.set("cycles", cycle_);
+    stats_.set("instructions", retired_);
+    return {cycle_, retired_, halted_};
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetchStage()
+{
+    if (halted_ || cycle_ < fetch_stall_until_)
+        return;
+    if (fetch_queue_.size() >= params_.fetch_queue_size)
+        return;
+
+    uint64_t pc = fetch_pc_;
+    const unsigned line_bytes = memsys_.l1i().params().line_bytes;
+    uint64_t cur_line = ~uint64_t{0};
+    unsigned icache_latency = 0;
+
+    for (unsigned count = 0; count < params_.fetch_width; ++count) {
+        if (!program_.validPc(pc)) {
+            // Wrong-path fetch ran off the program; wait for a
+            // redirect.
+            stats_.inc("fetch.invalid_pc_stalls");
+            break;
+        }
+        const uint64_t line = pc * kInstrBytes / line_bytes;
+        if (line != cur_line && !params_.perfect_icache) {
+            const MemAccessResult res = memsys_.access(
+                pc * kInstrBytes, AccessKind::kIfetch, cycle_);
+            if (res.hit_level > 1) {
+                // Miss: stall until the fill arrives, then refetch.
+                fetch_stall_until_ = cycle_ + res.latency;
+                stats_.inc("fetch.icache_miss_stalls");
+                break;
+            }
+            cur_line = line;
+            icache_latency = res.latency;
+        }
+
+        auto d = std::make_shared<DynInst>();
+        d->seq = next_seq_++;
+        d->pc = pc;
+        d->si = program_.at(pc);
+        const OpTraits &t = opTraits(d->si.op);
+        d->is_load = t.is_load;
+        d->is_store = t.is_store;
+        d->is_ctrl = t.is_cond_branch || t.is_jump;
+        d->is_squash_source =
+            t.is_cond_branch || d->si.op == Opcode::kJalr;
+        d->has_dest = t.has_dest && d->si.rd != kRegZero;
+        d->num_srcs = t.num_srcs;
+        d->mem_bytes = t.mem_bytes;
+
+        if (d->is_ctrl) {
+            d->has_checkpoint = true;
+            d->checkpoint = bpu_.checkpoint();
+            const BranchPrediction p = bpu_.predict(pc, d->si);
+            d->predicted_taken = p.taken;
+            d->pred_next_pc = p.next_pc;
+        } else {
+            d->pred_next_pc = pc + 1;
+        }
+
+        fetch_queue_.push_back(
+            {d, cycle_ + icache_latency + params_.frontend_extra_delay});
+        stats_.inc("fetch.instructions");
+
+        const uint64_t next = d->pred_next_pc;
+        pc = next;
+        if (d->is_ctrl && next != d->pc + 1) {
+            // Redirected fetch resumes at the target next cycle.
+            ++count;
+            break;
+        }
+    }
+    fetch_pc_ = pc;
+}
+
+// --------------------------------------------------------------------
+// Rename + dispatch
+// --------------------------------------------------------------------
+
+void
+Core::renameDispatchStage()
+{
+    for (unsigned n = 0; n < params_.rename_width; ++n) {
+        if (fetch_queue_.empty())
+            break;
+        FetchEntry &fe = fetch_queue_.front();
+        if (fe.ready_cycle > cycle_)
+            break;
+        DynInstPtr d = fe.inst;
+
+        // Structural hazards.
+        if (rob_.size() >= params_.rob_size) {
+            stats_.inc("rename.rob_full");
+            break;
+        }
+        if (d->has_dest && !prf_.hasFree()) {
+            stats_.inc("rename.no_phys_regs");
+            break;
+        }
+        if (d->is_load && lq_.size() >= params_.lq_size) {
+            stats_.inc("rename.lq_full");
+            break;
+        }
+        if (d->is_store && sq_.size() >= params_.sq_size) {
+            stats_.inc("rename.sq_full");
+            break;
+        }
+        const bool needs_rs =
+            !(d->si.op == Opcode::kNop || d->si.op == Opcode::kHalt ||
+              (d->si.op == Opcode::kJal && !d->has_dest));
+        if (needs_rs && rs_.size() >= params_.rs_size) {
+            stats_.inc("rename.rs_full");
+            break;
+        }
+
+        // Rename.
+        if (d->num_srcs >= 1)
+            d->prs1 = rat_.lookup(d->si.rs1);
+        if (d->num_srcs >= 2)
+            d->prs2 = rat_.lookup(d->si.rs2);
+        if (d->has_dest) {
+            d->prev_prd = rat_.lookup(d->si.rd);
+            d->prd = prf_.allocate();
+            rat_.set(d->si.rd, d->prd);
+        }
+        engine_->onRename(*d);
+
+        // Dispatch.
+        rob_.push_back(d);
+        if (d->is_load) {
+            lq_.push_back(d);
+            if (auto wait = store_sets_.loadRenamed(d->pc))
+                d->wait_store_seq = *wait;
+        }
+        if (d->is_store) {
+            sq_.push_back(d);
+            store_sets_.storeRenamed(d->pc, d->seq);
+        }
+        if (needs_rs) {
+            rs_.push_back(d);
+        } else {
+            // NOP/HALT/plain JAL complete at dispatch.
+            d->executed = true;
+            d->completed = true;
+            d->actual_next_pc = d->pred_next_pc;
+        }
+        fetch_queue_.pop_front();
+        stats_.inc("rename.instructions");
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue + execute scheduling
+// --------------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+    // rs_ is kept in program order (dispatch order); oldest first.
+    for (const DynInstPtr &d : rs_) {
+        if (issued >= params_.issue_width)
+            break;
+        if (d->issued || !operandsReady(*d))
+            continue;
+        d->issued = true;
+        ++issued;
+        stats_.inc("issue.instructions");
+
+        const uint64_t rs1v = readOperand(d->prs1);
+        const uint64_t rs2v = readOperand(d->prs2);
+        d->exec = evaluateOp(d->si, d->pc, rs1v, rs2v);
+        completion_events_.emplace(cycle_ + execLatency(d->si), d);
+    }
+    std::erase_if(rs_,
+                  [](const DynInstPtr &d) { return d->issued; });
+}
+
+// --------------------------------------------------------------------
+// Writeback (completion events)
+// --------------------------------------------------------------------
+
+void
+Core::writebackStage()
+{
+    while (!completion_events_.empty() &&
+           completion_events_.begin()->first <= cycle_) {
+        DynInstPtr d = completion_events_.begin()->second;
+        completion_events_.erase(completion_events_.begin());
+        if (d->squashed)
+            continue;
+        completeInst(d);
+    }
+}
+
+void
+Core::completeInst(const DynInstPtr &d)
+{
+    if (d->isMem() && !d->addr_known) {
+        // AGU completion: the virtual address (and store data) is now
+        // known to the LSQ, before any memory access is performed.
+        d->addr_known = true;
+        d->eff_addr = d->exec.mem_addr;
+        if (d->is_store) {
+            d->store_data = d->exec.value;
+            d->executed = true;
+            checkViolationsFromStore(d);
+        }
+        return;
+    }
+    if (d->is_load) {
+        completeLoadData(d);
+        return;
+    }
+
+    // ALU / control completion.
+    d->executed = true;
+    d->completed = true;
+    if (d->has_dest) {
+        d->result = d->exec.value;
+        prf_.write(d->prd, d->result);
+    }
+    if (d->is_ctrl) {
+        d->actual_next_pc =
+            d->exec.is_taken ? d->exec.target : d->pc + 1;
+        if (d->actual_next_pc != d->pred_next_pc) {
+            d->mispredicted = true;
+            d->squash_pending = true;
+            stats_.inc("branch.mispredicts");
+        } else {
+            stats_.inc("branch.correct");
+        }
+    }
+}
+
+} // namespace spt

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Cycle-level out-of-order core: 8-wide fetch/rename/issue/commit,
+ * 192-entry ROB, unified reservation station, split 32/32 LQ/SQ with
+ * store-to-load forwarding and store-set memory-dependence
+ * speculation, LTAGE front end, and Table-1 memory hierarchy.
+ *
+ * Every security-relevant action is routed through the attached
+ * SecurityEngine:
+ *  - load/store memory accesses wait for mayAccessMemory(),
+ *  - branch-resolution effects (redirect + squash) wait for
+ *    mayResolveBranch(),
+ *  - memory-order-violation squashes wait for
+ *    maySquashMemViolation(),
+ *  - predictor training happens only at commit.
+ *
+ * The ROB computes per-cycle visibility-point (VP) flags under the
+ * configured attack model; engines build declassification on top.
+ */
+
+#ifndef SPT_UARCH_CORE_H
+#define SPT_UARCH_CORE_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bp/bpu.h"
+#include "common/byte_memory.h"
+#include "common/stats.h"
+#include "isa/program.h"
+#include "mem/memory_system.h"
+#include "uarch/dyn_inst.h"
+#include "uarch/phys_reg_file.h"
+#include "uarch/rename_map.h"
+#include "uarch/security_engine.h"
+#include "uarch/store_set.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+struct CoreParams {
+    unsigned fetch_width = 8;
+    unsigned rename_width = 8;
+    unsigned issue_width = 8;
+    unsigned commit_width = 8;
+    unsigned rob_size = 192;
+    unsigned rs_size = 64;
+    unsigned lq_size = 32;
+    unsigned sq_size = 32;
+    unsigned num_phys_regs = 320;
+    unsigned fetch_queue_size = 32;
+    unsigned frontend_extra_delay = 3; ///< decode/rename pipe depth
+    unsigned redirect_penalty = 2;
+    unsigned load_ports = 2;  ///< loads starting a memory access/cycle
+    unsigned store_ports = 1; ///< stores translating per cycle
+    bool mem_dep_speculation = true;
+    /** Ideal instruction fetch (no I-cache timing); useful for
+     *  micro-tests that need deterministic backend timing. */
+    bool perfect_icache = false;
+    AttackModel attack_model = AttackModel::kSpectre;
+};
+
+class Core
+{
+  public:
+    struct RunResult {
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        bool halted = false;
+    };
+
+    using CommitHook = std::function<void(const DynInst &)>;
+
+    /** The program is copied, so temporaries are safe. */
+    Core(Program program, const CoreParams &params,
+         const MemorySystemParams &mem_params,
+         std::unique_ptr<SecurityEngine> engine);
+
+    /** Advances the machine one clock cycle. */
+    void tick();
+
+    /** Runs until HALT commits or @p max_cycles elapse. */
+    RunResult run(uint64_t max_cycles);
+
+    bool halted() const { return halted_; }
+    uint64_t cycle() const { return cycle_; }
+    uint64_t instructionsRetired() const { return retired_; }
+
+    /** Architectural register value via the current RAT mapping
+     *  (exact once the pipeline has drained, e.g., after HALT). */
+    uint64_t archReg(unsigned arch) const;
+
+    // --- engine/test access ------------------------------------------
+    const std::deque<DynInstPtr> &rob() const { return rob_; }
+    const std::vector<DynInstPtr> &loadQueue() const { return lq_; }
+    const std::vector<DynInstPtr> &storeQueue() const { return sq_; }
+
+    /** Finds an in-flight (non-squashed) instruction by seq. */
+    DynInstPtr findInst(SeqNum seq) const;
+
+    MemorySystem &memorySystem() { return memsys_; }
+    ByteMemory &memory() { return mem_; }
+    PhysRegFile &physRegs() { return prf_; }
+    SecurityEngine &engine() { return *engine_; }
+    BranchPredictorUnit &bpu() { return bpu_; }
+    const CoreParams &params() const { return params_; }
+    const Program &program() const { return program_; }
+    AttackModel attackModel() const { return params_.attack_model; }
+
+    void setCommitHook(CommitHook hook)
+    {
+        commit_hook_ = std::move(hook);
+    }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct FetchEntry {
+        DynInstPtr inst;
+        uint64_t ready_cycle;
+    };
+
+    Program program_;
+    CoreParams params_;
+    MemorySystem memsys_;
+    ByteMemory mem_; ///< architectural backing store
+    std::unique_ptr<SecurityEngine> engine_;
+    BranchPredictorUnit bpu_;
+    PhysRegFile prf_;
+    RenameMap rat_;
+    StoreSetPredictor store_sets_;
+    StatSet stats_;
+
+    uint64_t cycle_ = 0;
+    uint64_t retired_ = 0;
+    bool halted_ = false;
+    SeqNum next_seq_ = 1;
+
+    // Frontend.
+    uint64_t fetch_pc_;
+    uint64_t fetch_stall_until_ = 0;
+    std::deque<FetchEntry> fetch_queue_;
+
+    // Backend structures.
+    std::deque<DynInstPtr> rob_;
+    std::vector<DynInstPtr> rs_;
+    std::vector<DynInstPtr> lq_;
+    std::vector<DynInstPtr> sq_;
+    std::multimap<uint64_t, DynInstPtr> completion_events_;
+
+    CommitHook commit_hook_;
+
+    // --- stages -------------------------------------------------------
+    void commitStage();
+    void handleSquashes();
+    void writebackStage();
+    void memStage();
+    void issueStage();
+    void renameDispatchStage();
+    void fetchStage();
+    void updateVp();
+
+    // --- helpers -------------------------------------------------------
+    void completeInst(const DynInstPtr &d);
+    void completeLoadData(const DynInstPtr &d);
+    bool tryLoadAccess(const DynInstPtr &d);
+    void checkViolationsFromStore(const DynInstPtr &st);
+    void performControlSquash(const DynInstPtr &branch);
+    void performMemSquash(const DynInstPtr &load);
+    void squashFrom(SeqNum first_squashed, uint64_t new_fetch_pc,
+                    const DynInstPtr &restore_ctrl);
+    unsigned execLatency(const Instruction &si) const;
+    bool operandsReady(const DynInst &d) const;
+    uint64_t readOperand(PhysReg reg) const;
+};
+
+} // namespace spt
+
+#endif // SPT_UARCH_CORE_H

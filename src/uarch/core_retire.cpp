@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Commit, squash/recovery, and visibility-point logic of the Core.
+ */
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "uarch/core.h"
+
+namespace spt {
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Core::commitStage()
+{
+    for (unsigned n = 0; n < params_.commit_width; ++n) {
+        if (rob_.empty())
+            break;
+        DynInstPtr d = rob_.front();
+        if (!d->completed || d->squash_pending ||
+            d->mem_violation_pending)
+            break;
+
+        if (d->is_store) {
+            // The store buffer drains to the L1D; commit does not
+            // stall on the access latency.
+            mem_.write(d->eff_addr, d->store_data, d->mem_bytes);
+            memsys_.access(d->eff_addr, AccessKind::kStore, cycle_);
+            engine_->onStoreCommit(*d);
+            store_sets_.storeRemoved(d->pc, d->seq);
+            SPT_ASSERT(!sq_.empty() && sq_.front() == d,
+                       "store commit out of order");
+            sq_.erase(sq_.begin());
+        }
+        if (d->is_load) {
+            SPT_ASSERT(!lq_.empty() && lq_.front() == d,
+                       "load commit out of order");
+            lq_.erase(lq_.begin());
+        }
+        if (d->is_ctrl) {
+            bpu_.commitUpdate(d->pc, d->si, d->exec.is_taken,
+                              d->exec.target);
+        }
+        if (d->has_dest && d->prev_prd != kNoPhysReg)
+            prf_.free(d->prev_prd);
+
+        engine_->onRetire(*d);
+        if (commit_hook_)
+            commit_hook_(*d);
+        rob_.pop_front();
+        ++retired_;
+        stats_.inc("commit.instructions");
+
+        if (d->si.op == Opcode::kHalt) {
+            halted_ = true;
+            // Drain: squash everything fetched past the halt so the
+            // RAT reflects final architectural state.
+            squashFrom(d->seq + 1, d->pc + 1, nullptr);
+            break;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Squash handling
+// --------------------------------------------------------------------
+
+void
+Core::handleSquashes()
+{
+    // At most one squash per cycle; oldest eligible first.
+    for (const DynInstPtr &d : rob_) {
+        if (d->squash_pending && engine_->mayResolveBranch(*d)) {
+            performControlSquash(d);
+            return;
+        }
+        if (d->mem_violation_pending &&
+            engine_->maySquashMemViolation(*d)) {
+            performMemSquash(d);
+            return;
+        }
+    }
+}
+
+void
+Core::performControlSquash(const DynInstPtr &branch)
+{
+    branch->squash_pending = false;
+    stats_.inc("squash.control");
+    squashFrom(branch->seq + 1, branch->actual_next_pc, branch);
+    bpu_.repair(branch->pc, branch->si, branch->exec.is_taken);
+}
+
+void
+Core::performMemSquash(const DynInstPtr &load)
+{
+    stats_.inc("squash.mem_violation");
+    store_sets_.trainViolation(load->pc, load->violating_store_pc);
+    // Squash the load itself and everything younger; refetch from the
+    // load's own pc.
+    squashFrom(load->seq, load->pc, nullptr);
+}
+
+void
+Core::squashFrom(SeqNum first_squashed, uint64_t new_fetch_pc,
+                 const DynInstPtr &resolved_branch)
+{
+    // If no explicit control checkpoint drives the recovery (memory
+    // violation), restore the oldest squashed control instruction's
+    // pre-prediction state.
+    const DynInstPtr *restore_from = nullptr;
+    if (resolved_branch) {
+        restore_from = &resolved_branch;
+    } else {
+        for (const DynInstPtr &d : rob_) {
+            if (d->seq >= first_squashed && d->has_checkpoint) {
+                restore_from = &d;
+                break;
+            }
+        }
+        if (!restore_from) {
+            // The oldest squashed control instruction may still be
+            // in the fetch queue (predicted but not yet renamed).
+            for (const FetchEntry &fe : fetch_queue_) {
+                if (fe.inst->seq >= first_squashed &&
+                    fe.inst->has_checkpoint) {
+                    restore_from = &fe.inst;
+                    break;
+                }
+            }
+        }
+    }
+    if (restore_from)
+        bpu_.restore((*restore_from)->checkpoint);
+
+    // Walk the ROB from the tail, undoing rename mappings.
+    while (!rob_.empty() && rob_.back()->seq >= first_squashed) {
+        DynInstPtr d = rob_.back();
+        d->squashed = true;
+        engine_->onSquash(*d);
+        if (d->has_dest) {
+            rat_.set(d->si.rd, d->prev_prd);
+            prf_.free(d->prd);
+        }
+        if (d->is_store)
+            store_sets_.storeRemoved(d->pc, d->seq);
+        rob_.pop_back();
+        stats_.inc("squash.instructions");
+    }
+    std::erase_if(rs_, [first_squashed](const DynInstPtr &d) {
+        return d->seq >= first_squashed;
+    });
+    std::erase_if(lq_, [first_squashed](const DynInstPtr &d) {
+        return d->seq >= first_squashed;
+    });
+    std::erase_if(sq_, [first_squashed](const DynInstPtr &d) {
+        return d->seq >= first_squashed;
+    });
+    for (FetchEntry &fe : fetch_queue_) {
+        fe.inst->squashed = true;
+        engine_->onSquash(*fe.inst);
+    }
+    fetch_queue_.clear();
+
+    fetch_pc_ = new_fetch_pc;
+    fetch_stall_until_ = cycle_ + params_.redirect_penalty;
+}
+
+// --------------------------------------------------------------------
+// Visibility point
+// --------------------------------------------------------------------
+
+void
+Core::updateVp()
+{
+    bool blocked = false;
+    for (const DynInstPtr &d : rob_) {
+        if (!blocked && !d->at_vp)
+            d->at_vp = true;
+        if (params_.attack_model == AttackModel::kSpectre) {
+            // Control-flow speculation, augmented with data
+            // speculation sources (unresolved store addresses and
+            // pending violations) so the VP stays sound under
+            // memory-dependence speculation (paper Section 8).
+            if (d->is_squash_source &&
+                (!d->executed || d->squash_pending))
+                blocked = true;
+            if (d->is_store && !d->addr_known)
+                blocked = true;
+            if (d->mem_violation_pending)
+                blocked = true;
+        } else { // Futuristic: non-squashable.
+            if (!d->completed || d->squash_pending ||
+                d->mem_violation_pending)
+                blocked = true;
+        }
+        if (blocked && !d->at_vp)
+            break;
+    }
+}
+
+} // namespace spt

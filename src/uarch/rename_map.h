@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Register alias table: architectural to physical register mapping.
+ * Recovery is by reverse ROB walk (each DynInst carries prev_prd),
+ * so the map itself needs no checkpoints.
+ */
+
+#ifndef SPT_UARCH_RENAME_MAP_H
+#define SPT_UARCH_RENAME_MAP_H
+
+#include <array>
+
+#include "isa/instruction.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+class RenameMap
+{
+  public:
+    /** Initial mapping: x0 -> phys 0, xN -> phys N. */
+    RenameMap()
+    {
+        for (unsigned i = 0; i < kNumArchRegs; ++i)
+            map_[i] = static_cast<PhysReg>(i);
+    }
+
+    PhysReg lookup(uint8_t arch) const { return map_[arch]; }
+
+    void set(uint8_t arch, PhysReg phys) { map_[arch] = phys; }
+
+  private:
+    std::array<PhysReg, kNumArchRegs> map_{};
+};
+
+} // namespace spt
+
+#endif // SPT_UARCH_RENAME_MAP_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The hook interface between the out-of-order core and a protection
+ * scheme. The core consults the engine before every observable
+ * speculative action (memory access, branch-resolution effects,
+ * memory-order-violation squash) and notifies it of every pipeline
+ * event it needs to maintain taint state.
+ *
+ * Implementations live in src/core (SPT, STT, SecureBaseline); the
+ * trivial pass-through UnsafeEngine below is the insecure baseline.
+ */
+
+#ifndef SPT_UARCH_SECURITY_ENGINE_H
+#define SPT_UARCH_SECURITY_ENGINE_H
+
+#include "common/stats.h"
+#include "uarch/dyn_inst.h"
+
+namespace spt {
+
+class Core;
+
+class SecurityEngine
+{
+  public:
+    virtual ~SecurityEngine() = default;
+
+    /** Called once, when the core takes ownership of the engine. */
+    virtual void attach(Core &core) { core_ = &core; }
+
+    /** A scheme name for stats/reporting. */
+    virtual const char *name() const = 0;
+
+    // --- pipeline event notifications --------------------------------
+    virtual void onRename(DynInst &) {}
+    virtual void onSquash(const DynInst &) {}
+    virtual void onRetire(const DynInst &) {}
+
+    /** A load obtained its data. @p forwarded: via store-to-load
+     *  forwarding from store @p store_seq; otherwise from memory at
+     *  load.eff_addr. Called before the dest value broadcast. */
+    virtual void onLoadData(DynInst &, bool /*forwarded*/,
+                            SeqNum /*store_seq*/)
+    {
+    }
+
+    /** A retired store is writing the L1D. */
+    virtual void onStoreCommit(const DynInst &) {}
+
+    // --- protection-policy queries ------------------------------------
+    /** May this load/store perform its memory access (TLB + cache),
+     *  i.e., transmit its address operand? */
+    virtual bool mayAccessMemory(const DynInst &) const
+    {
+        return true;
+    }
+
+    /** May this control-flow instruction's resolution effects
+     *  (redirect + squash) become visible? */
+    virtual bool mayResolveBranch(const DynInst &) const
+    {
+        return true;
+    }
+
+    /** May the memory-order-violation squash of this load proceed? */
+    virtual bool maySquashMemViolation(const DynInst &) const
+    {
+        return true;
+    }
+
+    /**
+     * Is the fact that store-to-load forwarding occurs between this
+     * pair public (inferable by the attacker)? If not, the core hides
+     * the decision by performing the cache access anyway, per the
+     * paper's Section 6.7 mechanism (inherited from STT). The
+     * insecure default is "public", i.e., the ordinary forwarding
+     * fast path.
+     */
+    virtual bool stlForwardingPublic(const DynInst & /*load*/,
+                                     const DynInst & /*store*/) const
+    {
+        return true;
+    }
+
+    // --- per-cycle work -------------------------------------------------
+    /** Runs at the end of every core cycle (after the VP scan). */
+    virtual void tick() {}
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  protected:
+    Core *core_ = nullptr;
+    /** Mutable: const policy queries count their block decisions. */
+    mutable StatSet stats_;
+};
+
+/** The unmodified, insecure processor (UnsafeBaseline in Table 2). */
+class UnsafeEngine : public SecurityEngine
+{
+  public:
+    const char *name() const override { return "unsafe"; }
+};
+
+} // namespace spt
+
+#endif // SPT_UARCH_SECURITY_ENGINE_H

@@ -1,0 +1,73 @@
+#include "uarch/store_set.h"
+
+namespace spt {
+
+StoreSetPredictor::StoreSetPredictor(unsigned ssit_bits,
+                                     unsigned lfst_entries)
+    : ssit_bits_(ssit_bits), ssit_(size_t{1} << ssit_bits, -1),
+      lfst_(lfst_entries)
+{
+}
+
+size_t
+StoreSetPredictor::ssitIndex(uint64_t pc) const
+{
+    return pc & ((size_t{1} << ssit_bits_) - 1);
+}
+
+void
+StoreSetPredictor::storeRenamed(uint64_t pc, SeqNum seq)
+{
+    const int32_t set = ssit_[ssitIndex(pc)];
+    if (set < 0)
+        return;
+    LfstEntry &e = lfst_[static_cast<size_t>(set) % lfst_.size()];
+    e.valid = true;
+    e.seq = seq;
+}
+
+std::optional<SeqNum>
+StoreSetPredictor::loadRenamed(uint64_t pc)
+{
+    const int32_t set = ssit_[ssitIndex(pc)];
+    if (set < 0)
+        return std::nullopt;
+    const LfstEntry &e =
+        lfst_[static_cast<size_t>(set) % lfst_.size()];
+    if (!e.valid)
+        return std::nullopt;
+    return e.seq;
+}
+
+void
+StoreSetPredictor::storeRemoved(uint64_t pc, SeqNum seq)
+{
+    const int32_t set = ssit_[ssitIndex(pc)];
+    if (set < 0)
+        return;
+    LfstEntry &e = lfst_[static_cast<size_t>(set) % lfst_.size()];
+    if (e.valid && e.seq == seq)
+        e.valid = false;
+}
+
+void
+StoreSetPredictor::trainViolation(uint64_t load_pc, uint64_t store_pc)
+{
+    const size_t li = ssitIndex(load_pc);
+    const size_t si = ssitIndex(store_pc);
+    const int32_t lset = ssit_[li];
+    const int32_t sset = ssit_[si];
+    if (lset < 0 && sset < 0) {
+        ssit_[li] = ssit_[si] = next_set_id_++;
+    } else if (lset >= 0 && sset < 0) {
+        ssit_[si] = lset;
+    } else if (lset < 0 && sset >= 0) {
+        ssit_[li] = sset;
+    } else {
+        // Merge: adopt the smaller id.
+        const int32_t winner = lset < sset ? lset : sset;
+        ssit_[li] = ssit_[si] = winner;
+    }
+}
+
+} // namespace spt

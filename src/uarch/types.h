@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Basic types shared across the out-of-order core.
+ */
+
+#ifndef SPT_UARCH_TYPES_H
+#define SPT_UARCH_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace spt {
+
+/** Monotonically increasing dynamic-instruction id. */
+using SeqNum = uint64_t;
+
+/** Physical register identifier. */
+using PhysReg = uint16_t;
+
+constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/**
+ * Attack models from the paper (Section 2.2.1): they define the
+ * visibility point (VP), the moment an instruction is considered
+ * non-speculative.
+ *
+ * - kSpectre: covers control-flow speculation. An instruction
+ *   reaches the VP once all older control-flow instructions have
+ *   resolved (and, in this implementation, once all older store
+ *   addresses are known — the data-speculation-augmented variant of
+ *   the model that Section 8 of the paper describes, which keeps the
+ *   VP sound in the presence of memory-dependence speculation).
+ * - kFuturistic: covers all speculation. An instruction reaches the
+ *   VP once it can no longer be squashed, i.e., all older
+ *   instructions have completed without a pending squash.
+ */
+enum class AttackModel : uint8_t {
+    kSpectre,
+    kFuturistic,
+};
+
+/** Protection schemes of Table 2. */
+enum class ProtectionScheme : uint8_t {
+    kUnsafeBaseline,
+    kSecureBaseline,
+    kStt,
+    kSpt,
+};
+
+/** SPT untaint-propagation capability levels (Table 2). */
+enum class UntaintMethod : uint8_t {
+    kNone,     ///< no untainting => SecureBaseline behavior
+    kForward,  ///< forward rules only
+    kBackward, ///< forward + backward rules
+    kIdeal,    ///< single-cycle transitive closure, unbounded width
+};
+
+/** Memory taint-tracking scope (Table 2). */
+enum class ShadowKind : uint8_t {
+    kNone,      ///< memory data always tainted
+    kShadowL1,  ///< byte-granular taint for L1D-resident lines
+    kShadowMem, ///< idealized byte-granular taint for all memory
+};
+
+} // namespace spt
+
+#endif // SPT_UARCH_TYPES_H

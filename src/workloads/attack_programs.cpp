@@ -1,0 +1,152 @@
+#include "workloads/attack_programs.h"
+
+#include <sstream>
+
+#include "isa/assembler.h"
+
+namespace spt {
+
+namespace {
+
+constexpr uint64_t kVictimData = 0x100000;
+constexpr uint64_t kProbeBase = 0x400000;
+constexpr unsigned kProbeStride = 64;
+constexpr uint8_t kSecret = 42;
+constexpr uint8_t kTrained = 7;
+
+} // namespace
+
+AttackProgram
+makeSpectreV1()
+{
+    // Data layout:
+    //   0x100000: array1_size (= 16)
+    //   0x100008: array1, 16 bytes, all kTrained
+    //   0x100100: the secret byte (out of bounds of array1)
+    // Malicious index: 0x100100 - 0x100008 = 248.
+    std::ostringstream os;
+    os << R"(
+    .text
+main:
+    li   s0, )" << kVictimData << R"(
+    li   s1, )" << (kVictimData + 8) << R"(
+    li   s2, )" << kProbeBase << R"(
+    # Two train-then-attack rounds: the first attack's transient
+    # execution pulls the secret's line into the cache (its cold
+    # miss outlasts the transient window); after re-training the
+    # bounds check, the second attack reads the secret as an L1 hit
+    # and leaks it through the probe array before the check
+    # resolves.
+    li   s5, 2
+round:
+    li   s3, 40
+    li   s4, 0
+train:
+    mv   a0, s4
+    call victim
+    addi s4, s4, 1
+    andi s4, s4, 15
+    addi s3, s3, -1
+    bnez s3, train
+    li   a0, 248
+    call victim
+    addi s5, s5, -1
+    bnez s5, round
+    halt
+victim:
+    # Bounds check with a slow-to-resolve size (divide chain) so
+    # the transient window is wide open.
+    ld   t0, 0(s0)
+    li   t1, 1
+    div  t0, t0, t1
+    div  t0, t0, t1
+    div  t0, t0, t1
+    div  t0, t0, t1
+    div  t0, t0, t1
+    div  t0, t0, t1
+    bgeu a0, t0, oob
+    add  t2, s1, a0
+    lbu  t3, 0(t2)
+    slli t4, t3, 6
+    add  t4, t4, s2
+    lbu  t5, 0(t4)
+oob:
+    ret
+)";
+    AttackProgram ap;
+    ap.program = assemble(os.str());
+    std::vector<uint8_t> data;
+    data.push_back(16); // array1_size (low byte; rest zero)
+    for (int i = 0; i < 7; ++i)
+        data.push_back(0);
+    for (int i = 0; i < 16; ++i)
+        data.push_back(kTrained); // array1 contents
+    ap.program.addData(kVictimData, data);
+    ap.program.addData(kVictimData + 0x100, {kSecret});
+    ap.probe_base = kProbeBase;
+    ap.probe_stride = kProbeStride;
+    ap.secret = kSecret;
+    ap.trained_value = kTrained;
+    return ap;
+}
+
+AttackProgram
+makeCtVictim()
+{
+    // Data layout: 0x100008 holds the secret word. The victim's
+    // constant-time section reads it into s1 and never transmits it.
+    // The dispatch function's indirect jump is BTB-trained to the
+    // transmit gadget while s1 still holds a public 0, then invoked
+    // with a benign architectural target once s1 holds the secret.
+    std::ostringstream os;
+    os << R"(
+    .text
+main:
+    li   s2, )" << kProbeBase << R"(
+    li   s1, 0
+    li   s3, 30
+    la   t5, gadget
+train:
+    mv   a0, t5
+    call dispatch
+    addi s3, s3, -1
+    bnez s3, train
+    # --- constant-time section: load and process the secret -----
+    li   t0, )" << (kVictimData + 8) << R"(
+    ld   s1, 0(t0)
+    xor  s4, s1, s1
+    addi s4, s4, 1
+    slli s5, s1, 3
+    add  s4, s4, s5
+    # --- attack: architecturally benign indirect call ------------
+    la   t6, benign
+    mv   a0, t6
+    call dispatch
+    halt
+dispatch:
+    li   t1, 1
+    div  a0, a0, t1
+    div  a0, a0, t1
+    div  a0, a0, t1
+    jalr x0, a0, 0
+gadget:
+    slli t2, s1, 6
+    add  t2, t2, s2
+    lbu  t3, 0(t2)
+    ret
+benign:
+    ret
+)";
+    AttackProgram ap;
+    ap.program = assemble(os.str());
+    ap.program.addData(kVictimData, std::vector<uint8_t>(8, 0));
+    ap.program.addData(kVictimData + 8,
+                       {kSecret, 0, 0, 0, 0, 0, 0, 0});
+    ap.probe_base = kProbeBase;
+    ap.probe_stride = kProbeStride;
+    ap.secret = kSecret;
+    ap.trained_value = 0;
+    return ap;
+}
+
+} // namespace spt

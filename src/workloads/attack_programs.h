@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Penetration-test programs (paper Section 9.1): a Spectre V1
+ * bounds-bypass victim and a constant-time-code victim attacked via
+ * BTB mistraining (the class of attack STT does not block because
+ * the secret is non-speculatively accessed).
+ *
+ * Each program embeds its own attacker-controlled trainer and the
+ * transient gadget; the leak oracle is the simulated cache state:
+ * after the run, the harness checks whether the probe-array line
+ * indexed by the secret became cached.
+ */
+
+#ifndef SPT_WORKLOADS_ATTACK_PROGRAMS_H
+#define SPT_WORKLOADS_ATTACK_PROGRAMS_H
+
+#include "isa/program.h"
+
+namespace spt {
+
+struct AttackProgram {
+    Program program;
+    uint64_t probe_base;     ///< base of the probe array
+    unsigned probe_stride;   ///< bytes per probe slot (a cache line)
+    uint8_t secret;          ///< the value the attack tries to leak
+    uint8_t trained_value;   ///< value legitimately leaked in training
+};
+
+/**
+ * Spectre V1: `if (i < size) leak(probe[array1[i] * 64])`, with the
+ * bounds check mistrained and the size load slowed by a divide chain
+ * to open the transient window. The out-of-bounds index points at a
+ * secret byte.
+ */
+AttackProgram makeSpectreV1();
+
+/**
+ * Constant-time victim: a secret is loaded *non-speculatively* and
+ * processed obliviously; a mistrained indirect jump (BTB injection)
+ * transiently redirects execution into a transmit gadget that leaks
+ * the secret-holding register. STT does not protect this (the secret
+ * is non-speculatively accessed data); SPT does.
+ */
+AttackProgram makeCtVictim();
+
+} // namespace spt
+
+#endif // SPT_WORKLOADS_ATTACK_PROGRAMS_H

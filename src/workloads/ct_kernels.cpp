@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Constant-time (data-oblivious) kernels, mirroring the paper's
+ * AES-bitslice / ChaCha20 / djbsort benchmarks: secrets flow only
+ * through data-independent arithmetic — never into load/store
+ * addresses or branch predicates.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+
+namespace {
+
+constexpr uint64_t kBaseA = 0x100000;
+constexpr uint64_t kBaseB = 0x400000;
+
+/** Emits a masked 32-bit rotate-left of register @p x by @p n, using
+ *  @p tmp1/@p tmp2 as scratch and @p mask holding 0xffffffff. */
+void
+emitRotl32(std::ostringstream &os, const std::string &x, unsigned n,
+           const std::string &tmp1, const std::string &tmp2,
+           const std::string &mask)
+{
+    os << "    slli " << tmp1 << ", " << x << ", " << n << "\n"
+       << "    srli " << tmp2 << ", " << x << ", " << (32 - n) << "\n"
+       << "    or   " << x << ", " << tmp1 << ", " << tmp2 << "\n"
+       << "    and  " << x << ", " << x << ", " << mask << "\n";
+}
+
+/** One ChaCha20 quarter round on state registers a,b,c,d. */
+void
+emitQuarterRound(std::ostringstream &os, const std::string &a,
+                 const std::string &b, const std::string &c,
+                 const std::string &d)
+{
+    const std::string t1 = "t4", t2 = "t5", mask = "a6";
+    auto add32 = [&](const std::string &x, const std::string &y) {
+        os << "    add  " << x << ", " << x << ", " << y << "\n"
+           << "    and  " << x << ", " << x << ", " << mask << "\n";
+    };
+    auto xorr = [&](const std::string &x, const std::string &y) {
+        os << "    xor  " << x << ", " << x << ", " << y << "\n";
+    };
+    add32(a, b);
+    xorr(d, a);
+    emitRotl32(os, d, 16, t1, t2, mask);
+    add32(c, d);
+    xorr(b, c);
+    emitRotl32(os, b, 12, t1, t2, mask);
+    add32(a, b);
+    xorr(d, a);
+    emitRotl32(os, d, 8, t1, t2, mask);
+    add32(c, d);
+    xorr(b, c);
+    emitRotl32(os, b, 7, t1, t2, mask);
+}
+
+} // namespace
+
+Program
+makeChaCha20(unsigned blocks)
+{
+    // State word -> register mapping.
+    const std::string v[16] = {"s0", "s1", "s2",  "s3", "s4", "s5",
+                               "s6", "s7", "s8",  "s9", "s10",
+                               "s11", "t0", "t1", "t2", "t3"};
+    // Initial state: "expand 32-byte k" constants, key, counter,
+    // nonce — laid out at kBaseA as sixteen 32-bit words.
+    Rng rng(0xc4ac4a20);
+    std::vector<uint64_t> init;
+    const uint32_t sigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                               0x6b206574};
+    for (uint32_t c : sigma)
+        init.push_back(c);
+    for (int i = 0; i < 8; ++i) // key
+        init.push_back(rng.next() & 0xffffffff);
+    init.push_back(0);          // counter
+    for (int i = 0; i < 3; ++i) // nonce
+        init.push_back(rng.next() & 0xffffffff);
+
+    std::ostringstream os;
+    os << "    .text\n"
+       << "    li   a2, " << kBaseA << "\n"  // init state
+       << "    li   a3, " << kBaseB << "\n"  // keystream out
+       << "    li   a4, " << blocks << "\n"  // block counter down
+       << "    li   a5, 0\n"                 // block number
+       << "    li   a6, 0xffffffff\n"
+       << "    li   a7, 0\n"
+       << "block:\n";
+    // Load the initial state (64-bit slots for simplicity).
+    for (int i = 0; i < 16; ++i)
+        os << "    ld   " << v[i] << ", " << (8 * i) << "(a2)\n";
+    // Per-block counter in state word 12.
+    os << "    add  t0, t0, a5\n"
+       << "    and  t0, t0, a6\n"
+       << "    li   a0, 10\n"
+       << "rounds:\n";
+    // Column rounds.
+    emitQuarterRound(os, v[0], v[4], v[8], v[12]);
+    emitQuarterRound(os, v[1], v[5], v[9], v[13]);
+    emitQuarterRound(os, v[2], v[6], v[10], v[14]);
+    emitQuarterRound(os, v[3], v[7], v[11], v[15]);
+    // Diagonal rounds.
+    emitQuarterRound(os, v[0], v[5], v[10], v[15]);
+    emitQuarterRound(os, v[1], v[6], v[11], v[12]);
+    emitQuarterRound(os, v[2], v[7], v[8], v[13]);
+    emitQuarterRound(os, v[3], v[4], v[9], v[14]);
+    os << "    addi a0, a0, -1\n"
+       << "    bnez a0, rounds\n";
+    // Feed-forward add of the initial state, store the keystream,
+    // fold into the checksum.
+    for (int i = 0; i < 16; ++i) {
+        os << "    ld   t4, " << (8 * i) << "(a2)\n"
+           << "    add  " << v[i] << ", " << v[i] << ", t4\n"
+           << "    and  " << v[i] << ", " << v[i] << ", a6\n"
+           << "    sd   " << v[i] << ", " << (8 * i) << "(a3)\n"
+           << "    add  a7, a7, " << v[i] << "\n";
+    }
+    os << "    addi a3, a3, 128\n"
+       << "    addi a5, a5, 1\n"
+       << "    addi a4, a4, -1\n"
+       << "    bnez a4, block\n"
+       << "    halt\n";
+
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, init);
+    return p;
+}
+
+Program
+makeBitsliceAes(unsigned blocks, unsigned rounds)
+{
+    // Eight 64-bit bitslice planes in s0..s7; a fixed pseudo-random
+    // nonlinear gate network (the shape of a bitsliced SBox circuit)
+    // followed by a linear diffusion layer of XORs and rotations.
+    Rng rng(0xae5ae5);
+    const std::string plane[8] = {"s0", "s1", "s2", "s3",
+                                  "s4", "s5", "s6", "s7"};
+
+    std::ostringstream os;
+    os << "    .text\n"
+       << "    li   a2, " << kBaseA << "\n"
+       << "    li   a3, " << kBaseB << "\n"
+       << "    li   a4, " << blocks << "\n"
+       << "    li   a7, 0\n"
+       << "block:\n";
+    for (int i = 0; i < 8; ++i)
+        os << "    ld   " << plane[i] << ", " << (8 * i)
+           << "(a2)\n";
+    os << "    li   a0, " << rounds << "\n"
+       << "round:\n";
+    // Nonlinear layer: 24 two-input gates with fixed wiring.
+    const char *gates[3] = {"and", "or", "xor"};
+    for (int g = 0; g < 24; ++g) {
+        const auto &x = plane[rng.nextBelow(8)];
+        const auto &y = plane[rng.nextBelow(8)];
+        const auto &z = plane[rng.nextBelow(8)];
+        const char *op = gates[rng.nextBelow(3)];
+        os << "    " << op << "  t4, " << x << ", " << y << "\n"
+           << "    xor  " << z << ", " << z << ", t4\n";
+    }
+    // Linear layer: rotate-and-xor diffusion across planes.
+    for (int i = 0; i < 8; ++i) {
+        const unsigned r = 1 + static_cast<unsigned>(
+                                   rng.nextBelow(63));
+        const auto &x = plane[i];
+        const auto &y = plane[(i + 1) % 8];
+        os << "    slli t4, " << y << ", " << r << "\n"
+           << "    srli t5, " << y << ", " << (64 - r) << "\n"
+           << "    or   t4, t4, t5\n"
+           << "    xor  " << x << ", " << x << ", t4\n";
+    }
+    os << "    not  s0, s0\n"
+       << "    addi a0, a0, -1\n"
+       << "    bnez a0, round\n";
+    for (int i = 0; i < 8; ++i) {
+        os << "    sd   " << plane[i] << ", " << (8 * i)
+           << "(a3)\n"
+           << "    add  a7, a7, " << plane[i] << "\n";
+    }
+    // Next input block: advance the input pointer through a 64-block
+    // ring so the planes keep changing.
+    os << "    addi a2, a2, 64\n"
+       << "    andi t4, a4, 63\n"
+       << "    bnez t4, no_wrap\n"
+       << "    li   a2, " << kBaseA << "\n"
+       << "no_wrap:\n"
+       << "    addi a3, a3, 64\n"
+       << "    addi a4, a4, -1\n"
+       << "    bnez a4, block\n"
+       << "    halt\n";
+
+    Program p = assemble(os.str());
+    std::vector<uint64_t> input(8 * 65);
+    for (auto &w : input)
+        w = rng.next();
+    p.addData64(kBaseA, input);
+    return p;
+}
+
+Program
+makeDjbsort(unsigned elems)
+{
+    // Batcher odd-even mergesort network, fully data-oblivious: the
+    // compare-exchange sequence is a public function of the array
+    // size, stored as an offset-pair table the kernel walks.
+    Rng rng(0xd1b5047);
+    std::vector<uint64_t> values(elems);
+    for (auto &val : values)
+        val = rng.nextBelow(1u << 30);
+
+    std::vector<uint64_t> pairs; // byte offsets (i, j), i < j
+    const unsigned n = elems;
+    for (unsigned p = 1; p < n; p <<= 1) {
+        for (unsigned k = p; k >= 1; k >>= 1) {
+            for (unsigned j = k % p; j + k < n; j += 2 * k) {
+                for (unsigned i = 0; i < k && i + j + k < n; ++i) {
+                    if ((i + j) / (2 * p) ==
+                        (i + j + k) / (2 * p)) {
+                        pairs.push_back((i + j) * 8);
+                        pairs.push_back((i + j + k) * 8);
+                    }
+                }
+            }
+        }
+    }
+    const uint64_t num_pairs = pairs.size() / 2;
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, )" << num_pairs << R"(
+ce:
+    ld   t0, 0(s1)
+    ld   t1, 8(s1)
+    add  t2, t0, s0
+    add  t3, t1, s0
+    ld   t4, 0(t2)
+    ld   t5, 0(t3)
+    min  t6, t4, t5
+    max  a0, t4, t5
+    sd   t6, 0(t2)
+    sd   a0, 0(t3)
+    addi s1, s1, 16
+    addi s2, s2, -1
+    bnez s2, ce
+    # checksum: weighted sum proves sortedness deterministically
+    li   s3, )" << elems << R"(
+    mv   t0, s0
+    li   a7, 0
+    li   t1, 1
+sum:
+    ld   t2, 0(t0)
+    mul  t3, t2, t1
+    add  a7, a7, t3
+    addi t1, t1, 1
+    addi t0, t0, 8
+    addi s3, s3, -1
+    bnez s3, sum
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, values);
+    p.addData64(kBaseB, pairs);
+    return p;
+}
+
+} // namespace spt

@@ -1,0 +1,785 @@
+/**
+ * @file
+ * SPEC-CPU2017-substitute kernels (see workloads.h). Each generator
+ * emits TRISC assembly (plus deterministic, fixed-seed input data)
+ * that reproduces one benchmark's dominant microarchitectural
+ * behavior class.
+ */
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+
+namespace {
+
+constexpr uint64_t kBaseA = 0x100000;
+constexpr uint64_t kBaseB = 0x400000;
+constexpr uint64_t kBaseC = 0x700000;
+constexpr uint64_t kBaseD = 0x760000;
+
+} // namespace
+
+Program
+makePointerChase(unsigned nodes, unsigned passes)
+{
+    Rng rng(0x11cf0001);
+    // A single random cycle through all nodes (16 bytes per node:
+    // next pointer, value) defeats any stride prefetching and makes
+    // every load's address depend on the previous load — mcf-style
+    // load-to-use criticality.
+    std::vector<uint64_t> order(nodes);
+    std::iota(order.begin(), order.end(), 0);
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        const auto j =
+            static_cast<unsigned>(rng.nextBelow(i + 1));
+        std::swap(order[i], order[j]);
+    }
+    std::vector<uint64_t> words(2 * nodes);
+    for (unsigned k = 0; k < nodes; ++k) {
+        const uint64_t cur = order[k];
+        const uint64_t nxt = order[(k + 1) % nodes];
+        words[2 * cur] = kBaseA + nxt * 16;
+        words[2 * cur + 1] = rng.nextBelow(1000);
+    }
+    const uint64_t head = kBaseA + order[0] * 16;
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   a0, )" << head << R"(
+    li   a1, )" << passes << R"(
+    li   a7, 0
+pass:
+    li   a2, )" << nodes << R"(
+    mv   t1, a0
+chase:
+    ld   t2, 8(t1)
+    add  a7, a7, t2
+    ld   t1, 0(t1)
+    addi a2, a2, -1
+    bnez a2, chase
+    addi a1, a1, -1
+    bnez a1, pass
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, words);
+    return p;
+}
+
+Program
+makeInterpreter(unsigned ops)
+{
+    Rng rng(0x11cf0002);
+    std::vector<uint8_t> bytecode(ops);
+    for (auto &b : bytecode)
+        b = static_cast<uint8_t>(rng.nextBelow(8));
+
+    std::ostringstream os;
+    os << R"(
+    .data
+jtab:
+    .quad op_add, op_sub, op_xor, op_and, op_mul, op_shift, op_mix, op_acc
+    .text
+    li   s0, )" << kBaseB << R"(
+    li   s1, )" << ops << R"(
+    la   s2, jtab
+    li   a7, 0
+    li   s3, 1
+    li   s4, 2
+dispatch:
+    lbu  t0, 0(s0)
+    slli t1, t0, 3
+    add  t1, t1, s2
+    ld   t2, 0(t1)
+    jalr x0, t2, 0
+op_add:
+    add  s3, s3, s4
+    j    next
+op_sub:
+    sub  s4, s3, s4
+    j    next
+op_xor:
+    xor  s3, s3, s4
+    j    next
+op_and:
+    and  s4, s3, s4
+    ori  s4, s4, 1
+    j    next
+op_mul:
+    mul  s3, s3, s4
+    j    next
+op_shift:
+    srli s4, s4, 1
+    ori  s4, s4, 5
+    j    next
+op_mix:
+    xor  s3, s3, s4
+    add  s4, s4, s3
+    j    next
+op_acc:
+    add  a7, a7, s3
+    j    next
+next:
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bnez s1, dispatch
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData(kBaseB, bytecode);
+    return p;
+}
+
+Program
+makeHashTable(unsigned inserts, unsigned lookups)
+{
+    Rng rng(0x11cf0003);
+    const unsigned slots = 16384;
+    std::vector<uint64_t> ins(inserts);
+    for (auto &k : ins)
+        k = rng.next() | 1; // nonzero keys
+    std::vector<uint64_t> look(lookups);
+    for (unsigned i = 0; i < lookups; ++i) {
+        // Half the lookups hit, half miss.
+        look[i] = (i % 2 == 0)
+                      ? ins[rng.nextBelow(inserts)]
+                      : (rng.next() | 1);
+    }
+
+    // The probe cursor is kept as a byte offset (t1) and advanced
+    // with ADDs, so SPT's backward rule can invert the address
+    // arithmetic once a probe load's operand is declassified.
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << ((slots - 1) * 8) << R"(
+    li   s2, )" << kBaseB << R"(
+    li   s3, )" << inserts << R"(
+    li   s6, 0x9e3779b97f4a7c15
+    li   a7, 0
+insert_loop:
+    ld   a0, 0(s2)
+    mul  t1, a0, s6
+    srli t1, t1, 45
+    and  t1, t1, s1
+probe_i:
+    add  t2, t1, s0
+    ld   t3, 0(t2)
+    beqz t3, do_insert
+    addi t1, t1, 8
+    and  t1, t1, s1
+    j    probe_i
+do_insert:
+    sd   a0, 0(t2)
+    addi s2, s2, 8
+    addi s3, s3, -1
+    bnez s3, insert_loop
+    li   s2, )" << kBaseC << R"(
+    li   s3, )" << lookups << R"(
+lookup_loop:
+    ld   a0, 0(s2)
+    mul  t1, a0, s6
+    srli t1, t1, 45
+    and  t1, t1, s1
+probe_l:
+    add  t2, t1, s0
+    ld   t3, 0(t2)
+    beqz t3, done_one
+    beq  t3, a0, hit
+    addi t1, t1, 8
+    and  t1, t1, s1
+    j    probe_l
+hit:
+    addi a7, a7, 1
+done_one:
+    addi s2, s2, 8
+    addi s3, s3, -1
+    bnez s3, lookup_loop
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseB, ins);
+    p.addData64(kBaseC, look);
+    return p;
+}
+
+Program
+makeTreeSearch(unsigned depth, unsigned branch)
+{
+    Rng rng(0x11cf0004);
+    std::vector<uint64_t> board(64);
+    for (auto &v : board)
+        v = rng.nextBelow(4096);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   a0, )" << depth << R"(
+    li   a1, 0x12345
+    call search
+    mv   a7, a0
+    halt
+search:
+    bnez a0, recurse
+    andi t0, a1, 63
+    slli t0, t0, 3
+    li   t1, )" << kBaseA << R"(
+    add  t0, t0, t1
+    ld   t2, 0(t0)
+    add  a0, t2, a1
+    andi a0, a0, 0xffff
+    ret
+recurse:
+    addi sp, sp, -40
+    sd   ra, 0(sp)
+    sd   s0, 8(sp)
+    sd   s1, 16(sp)
+    sd   s2, 24(sp)
+    sd   s3, 32(sp)
+    mv   s2, a0
+    mv   s3, a1
+    li   s0, -1000000000
+    li   s1, )" << branch << R"(
+child:
+    addi a0, s2, -1
+    li   t0, 2862933555777941757
+    mul  a1, s3, t0
+    add  a1, a1, s1
+    call search
+    max  s0, s0, a0
+    addi s1, s1, -1
+    bnez s1, child
+    neg  a0, s0
+    ld   ra, 0(sp)
+    ld   s0, 8(sp)
+    ld   s1, 16(sp)
+    ld   s2, 24(sp)
+    ld   s3, 32(sp)
+    addi sp, sp, 40
+    ret
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, board);
+    return p;
+}
+
+Program
+makeLzMatch(unsigned positions)
+{
+    Rng rng(0x11cf0005);
+    const unsigned window = 64 * 1024;
+    std::vector<uint8_t> data(window);
+    // Compressible stream: mostly random, with frequent copies of
+    // earlier chunks so the match finder actually finds matches.
+    unsigned i = 0;
+    while (i < window) {
+        if (i > 512 && rng.nextBool(0.4)) {
+            const unsigned src = static_cast<unsigned>(
+                rng.nextBelow(i - 256));
+            const unsigned len =
+                16 + static_cast<unsigned>(rng.nextBelow(48));
+            for (unsigned k = 0; k < len && i < window; ++k)
+                data[i++] = data[src + k];
+        } else {
+            data[i++] = static_cast<uint8_t>(rng.nextBelow(256));
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, 1
+    li   s3, )" << positions << R"(
+    li   s6, 2654435761
+    li   a7, 0
+scan:
+    add  t0, s0, s2
+    lwu  t1, 0(t0)
+    mul  t3, t1, s6
+    srli t3, t3, 20
+    andi t3, t3, 4095
+    slli t3, t3, 3
+    add  t3, t3, s1
+    ld   t4, 0(t3)
+    sd   s2, 0(t3)
+    beqz t4, no_match
+    add  t5, s0, t4
+    ld   a0, 0(t5)
+    ld   a1, 0(t0)
+    bne  a0, a1, no_match
+    addi a7, a7, 8
+    ld   a2, 8(t5)
+    ld   a3, 8(t0)
+    bne  a2, a3, no_match
+    addi a7, a7, 8
+no_match:
+    addi s2, s2, 7
+    addi s3, s3, -1
+    bnez s3, scan
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData(kBaseA, data);
+    return p;
+}
+
+Program
+makeEventHeap(unsigned heap_size, unsigned ops)
+{
+    Rng rng(0x11cf0006);
+    std::vector<uint64_t> keys(heap_size);
+    for (auto &k : keys)
+        k = rng.nextBelow(1 << 20);
+    std::make_heap(keys.begin(), keys.end(),
+                   std::greater<uint64_t>());
+    // 1-indexed heap: element i lives at offset i*8.
+    std::vector<uint64_t> heap(heap_size + 1, 0);
+    std::copy(keys.begin(), keys.end(), heap.begin() + 1);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s4, )" << heap_size << R"(
+    li   s5, )" << ops << R"(
+    li   s6, 6364136223846793005
+    li   a7, 0
+op_loop:
+    ld   t0, 8(s0)
+    add  a7, a7, t0
+    slli t1, s4, 3
+    add  t1, t1, s0
+    ld   t2, 0(t1)
+    addi s4, s4, -1
+    li   t3, 1
+sift_down:
+    slli t4, t3, 1
+    bltu s4, t4, sift_done
+    slli t5, t4, 3
+    add  t5, t5, s0
+    ld   t6, 0(t5)
+    addi a0, t4, 1
+    bltu s4, a0, no_right
+    ld   a1, 8(t5)
+    bgeu a1, t6, no_right
+    mv   t6, a1
+    mv   t4, a0
+no_right:
+    bgeu t6, t2, sift_done
+    slli a2, t3, 3
+    add  a2, a2, s0
+    sd   t6, 0(a2)
+    mv   t3, t4
+    j    sift_down
+sift_done:
+    slli a2, t3, 3
+    add  a2, a2, s0
+    sd   t2, 0(a2)
+    mul  a4, t0, s6
+    srli a4, a4, 44
+    addi s4, s4, 1
+    mv   t3, s4
+sift_up:
+    li   a5, 1
+    beq  t3, a5, up_done
+    srli a0, t3, 1
+    slli a1, a0, 3
+    add  a1, a1, s0
+    ld   a2, 0(a1)
+    bgeu a4, a2, up_done
+    slli a6, t3, 3
+    add  a6, a6, s0
+    sd   a2, 0(a6)
+    mv   t3, a0
+    j    sift_up
+up_done:
+    slli a6, t3, 3
+    add  a6, a6, s0
+    sd   a4, 0(a6)
+    addi s5, s5, -1
+    bnez s5, op_loop
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, heap);
+    return p;
+}
+
+Program
+makeBstLookup(unsigned nodes, unsigned lookups)
+{
+    Rng rng(0x11cf0007);
+    // Balanced BST over sorted random keys; node i occupies 24 bytes
+    // {key, left, right}, index 0 is the null sentinel.
+    std::vector<uint64_t> keys(nodes);
+    for (auto &k : keys)
+        k = rng.next() >> 16;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    const unsigned n = static_cast<unsigned>(keys.size());
+
+    std::vector<uint64_t> node_words(3 * (n + 1), 0);
+    unsigned next_idx = 1;
+    // Recursive balanced build without recursion: explicit stack.
+    struct Range {
+        unsigned lo, hi, slot;
+    };
+    std::vector<Range> stack;
+    std::vector<unsigned> parent_slot(3 * (n + 1), 0);
+    unsigned root = 0;
+    // Build iteratively: allocate midpoints breadth-first.
+    std::vector<std::tuple<unsigned, unsigned, unsigned, bool>> work;
+    // (lo, hi, parent_idx, is_left)
+    work.push_back({0, n, 0, false});
+    while (!work.empty()) {
+        auto [lo, hi, parent, is_left] = work.back();
+        work.pop_back();
+        if (lo >= hi)
+            continue;
+        const unsigned mid = lo + (hi - lo) / 2;
+        const unsigned idx = next_idx++;
+        node_words[3 * idx] = keys[mid];
+        if (parent == 0 && root == 0)
+            root = idx;
+        else
+            node_words[3 * parent + (is_left ? 1 : 2)] = idx;
+        work.push_back({lo, mid, idx, true});
+        work.push_back({mid + 1, hi, idx, false});
+    }
+
+    std::vector<uint64_t> look(lookups);
+    for (unsigned i = 0; i < lookups; ++i) {
+        look[i] = (i % 2 == 0) ? keys[rng.nextBelow(n)]
+                               : (rng.next() >> 16) | 1;
+    }
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, )" << lookups << R"(
+    li   a7, 0
+look:
+    ld   a0, 0(s1)
+    li   t0, )" << root << R"(
+walk:
+    slli t1, t0, 3
+    slli t2, t0, 4
+    add  t1, t1, t2
+    add  t1, t1, s0
+    ld   t2, 0(t1)
+    beq  t2, a0, found
+    bltu a0, t2, go_left
+    ld   t0, 16(t1)
+    j    cont
+go_left:
+    ld   t0, 8(t1)
+cont:
+    bnez t0, walk
+    j    miss
+found:
+    addi a7, a7, 1
+miss:
+    addi s1, s1, 8
+    addi s2, s2, -1
+    bnez s2, look
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, node_words);
+    p.addData64(kBaseB, look);
+    return p;
+}
+
+Program
+makeStreamTriad(unsigned elems, unsigned passes)
+{
+    Rng rng(0x11cf0008);
+    std::vector<uint64_t> a(elems), b(elems);
+    for (auto &v : a)
+        v = rng.nextBelow(1 << 20);
+    for (auto &v : b)
+        v = rng.nextBelow(1 << 20);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, )" << kBaseC << R"(
+    li   s3, )" << passes << R"(
+    li   a7, 0
+pass:
+    li   s4, )" << elems << R"(
+    mv   t0, s0
+    mv   t1, s1
+    mv   t2, s2
+elem:
+    ld   t3, 0(t0)
+    ld   t4, 0(t1)
+    slli t5, t3, 1
+    add  t5, t5, t4
+    sd   t5, 0(t2)
+    add  a7, a7, t5
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 8
+    addi s4, s4, -1
+    bnez s4, elem
+    addi s3, s3, -1
+    bnez s3, pass
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, a);
+    p.addData64(kBaseB, b);
+    return p;
+}
+
+Program
+makeForceCompute(unsigned pairs, unsigned passes)
+{
+    Rng rng(0x11cf0009);
+    std::vector<uint64_t> x(pairs), y(pairs);
+    for (auto &v : x)
+        v = rng.nextBelow(1 << 24);
+    for (auto &v : y)
+        v = rng.nextBelow(1 << 24);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s3, )" << passes << R"(
+    li   s6, 0x5851f42d4c957f2d
+    li   a7, 0
+pass:
+    li   s4, )" << pairs << R"(
+    mv   t0, s0
+    mv   t1, s1
+pair:
+    ld   t2, 0(t0)
+    ld   t3, 0(t1)
+    sub  t4, t2, t3
+    mul  t5, t4, t4
+    addi t5, t5, 1
+    mul  t6, t5, s6
+    mulh a0, t5, s6
+    xor  a1, t6, a0
+    mul  a2, t4, a1
+    srai a3, a2, 12
+    add  a7, a7, a3
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi s4, s4, -1
+    bnez s4, pair
+    addi s3, s3, -1
+    bnez s3, pass
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, x);
+    p.addData64(kBaseB, y);
+    return p;
+}
+
+Program
+makeSpmv(unsigned rows, unsigned nnz_per_row, unsigned passes)
+{
+    Rng rng(0x11cf000a);
+    const unsigned nnz = rows * nnz_per_row;
+    std::vector<uint64_t> row_ptr(rows + 1);
+    std::vector<uint64_t> col_idx(nnz);
+    std::vector<uint64_t> vals(nnz);
+    std::vector<uint64_t> x(rows), z(rows);
+    for (unsigned r = 0; r <= rows; ++r)
+        row_ptr[r] = static_cast<uint64_t>(r) * nnz_per_row;
+    // Column indices are stored pre-scaled to byte offsets (a common
+    // real-world CSR optimization); the gather address is then a
+    // plain ADD of a loaded value, which SPT's backward untaint rule
+    // can invert (Section 6.6) — the behavior mcf exhibits in the
+    // paper.
+    for (auto &c : col_idx)
+        c = rng.nextBelow(rows) * 8;
+    for (auto &v : vals)
+        v = rng.nextBelow(1 << 12);
+    for (auto &v : x)
+        v = rng.nextBelow(1 << 12);
+    for (auto &v : z)
+        v = rng.nextBelow(1 << 12);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, )" << (kBaseB + 0x100000) << R"(
+    li   s3, )" << kBaseC << R"(
+    li   s4, )" << kBaseD << R"(
+    li   s8, )" << (kBaseC + 0x20000) << R"(
+    li   s7, )" << passes << R"(
+    li   a7, 0
+pass:
+    li   s5, 0
+row:
+    slli t0, s5, 3
+    add  t0, t0, s0
+    ld   t1, 0(t0)
+    ld   t2, 8(t0)
+    li   a0, 0
+nz:
+    bgeu t1, t2, row_done
+    slli t3, t1, 3
+    add  t4, t3, s1
+    ld   t5, 0(t4)          # pre-scaled column offset
+    add  t6, t3, s2
+    ld   a1, 0(t6)          # matrix value
+    add  a2, t5, s3
+    ld   a3, 0(a2)          # gather x[col]
+    add  a5, t5, s8
+    ld   a6, 0(a5)          # second gather z[col] off the same index
+    mul  a4, a1, a3
+    add  a4, a4, a6
+    add  a0, a0, a4
+    addi t1, t1, 1
+    j    nz
+row_done:
+    slli t0, s5, 3
+    add  t0, t0, s4
+    sd   a0, 0(t0)
+    add  a7, a7, a0
+    addi s5, s5, 1
+    li   t0, )" << rows << R"(
+    bltu s5, t0, row
+    addi s7, s7, -1
+    bnez s7, pass
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, row_ptr);
+    p.addData64(kBaseB, col_idx);
+    p.addData64(kBaseB + 0x100000, vals);
+    p.addData64(kBaseC, x);
+    p.addData64(kBaseC + 0x20000, z);
+    p.addData64(kBaseD, std::vector<uint64_t>(rows, 0));
+    return p;
+}
+
+Program
+makeStencil(unsigned elems, unsigned passes)
+{
+    Rng rng(0x11cf000b);
+    std::vector<uint64_t> a(elems);
+    for (auto &v : a)
+        v = rng.nextBelow(1 << 16);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s3, )" << passes << R"(
+    li   a7, 0
+pass:
+    li   s4, )" << (elems - 2) << R"(
+    mv   t0, s0
+    mv   t1, s1
+elem:
+    ld   t2, 0(t0)
+    ld   t3, 8(t0)
+    ld   t4, 16(t0)
+    slli t5, t3, 1
+    add  t5, t5, t2
+    add  t5, t5, t4
+    srli t5, t5, 2
+    sd   t5, 8(t1)
+    add  a7, a7, t5
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi s4, s4, -1
+    bnez s4, elem
+    # swap source and destination for the next pass
+    mv   t6, s0
+    mv   s0, s1
+    mv   s1, t6
+    addi s3, s3, -1
+    bnez s3, pass
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, a);
+    p.addData64(kBaseB, std::vector<uint64_t>(elems, 0));
+    return p;
+}
+
+Program
+makeMatmul(unsigned n)
+{
+    Rng rng(0x11cf000c);
+    std::vector<uint64_t> a(n * n), b(n * n);
+    for (auto &v : a)
+        v = rng.nextBelow(1 << 10);
+    for (auto &v : b)
+        v = rng.nextBelow(1 << 10);
+
+    std::ostringstream os;
+    os << R"(
+    .text
+    li   s0, )" << kBaseA << R"(
+    li   s1, )" << kBaseB << R"(
+    li   s2, )" << kBaseC << R"(
+    li   s6, )" << n << R"(
+    li   a7, 0
+    li   s3, 0
+i_loop:
+    li   s4, 0
+j_loop:
+    li   s5, 0
+    li   a0, 0
+k_loop:
+    mul  t0, s3, s6
+    add  t0, t0, s5
+    slli t0, t0, 3
+    add  t0, t0, s0
+    ld   t1, 0(t0)
+    mul  t2, s5, s6
+    add  t2, t2, s4
+    slli t2, t2, 3
+    add  t2, t2, s1
+    ld   t3, 0(t2)
+    mul  t4, t1, t3
+    add  a0, a0, t4
+    addi s5, s5, 1
+    bltu s5, s6, k_loop
+    mul  t0, s3, s6
+    add  t0, t0, s4
+    slli t0, t0, 3
+    add  t0, t0, s2
+    sd   a0, 0(t0)
+    add  a7, a7, a0
+    addi s4, s4, 1
+    bltu s4, s6, j_loop
+    addi s3, s3, 1
+    bltu s3, s6, i_loop
+    halt
+)";
+    Program p = assemble(os.str());
+    p.addData64(kBaseA, a);
+    p.addData64(kBaseB, b);
+    p.addData64(kBaseC, std::vector<uint64_t>(n * n, 0));
+    return p;
+}
+
+} // namespace spt

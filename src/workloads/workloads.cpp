@@ -1,0 +1,74 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> w;
+        w.push_back({"pchase", "spec-like", "mcf",
+                     makePointerChase()});
+        w.push_back({"interp", "spec-like", "perlbench",
+                     makeInterpreter()});
+        w.push_back({"hashtab", "spec-like", "gcc",
+                     makeHashTable()});
+        w.push_back({"treesearch", "spec-like", "deepsjeng",
+                     makeTreeSearch()});
+        w.push_back({"lzmatch", "spec-like", "xz", makeLzMatch()});
+        w.push_back({"eventheap", "spec-like", "omnetpp",
+                     makeEventHeap()});
+        w.push_back({"bstlookup", "spec-like", "xalancbmk",
+                     makeBstLookup()});
+        w.push_back({"stream", "spec-like", "lbm",
+                     makeStreamTriad()});
+        w.push_back({"force", "spec-like", "namd",
+                     makeForceCompute()});
+        w.push_back({"spmv", "spec-like", "parest", makeSpmv()});
+        w.push_back({"stencil", "spec-like", "fotonik3d",
+                     makeStencil()});
+        w.push_back({"matmul", "spec-like", "bwaves",
+                     makeMatmul()});
+        w.push_back({"ct-chacha20", "constant-time", "",
+                     makeChaCha20()});
+        w.push_back({"ct-aes-bitslice", "constant-time", "",
+                     makeBitsliceAes()});
+        w.push_back({"ct-djbsort", "constant-time", "",
+                     makeDjbsort(512)});
+        return w;
+    }();
+    return workloads;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    SPT_FATAL("unknown workload: " << name);
+}
+
+std::vector<std::string>
+specWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (w.category == "spec-like")
+            names.push_back(w.name);
+    return names;
+}
+
+std::vector<std::string>
+ctWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (w.category == "constant-time")
+            names.push_back(w.name);
+    return names;
+}
+
+} // namespace spt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload registry.
+ *
+ * The paper evaluates SPEC CPU2017 (licensed; not redistributable)
+ * plus three data-oblivious kernels. This suite substitutes twelve
+ * synthetic kernels spanning the behavior classes that drive the
+ * paper's per-benchmark variance — branch-MPKI, load-to-use
+ * criticality, memory-level parallelism, and working-set size — and
+ * reimplements the three constant-time kernels (bitslice-AES-style,
+ * ChaCha20, djbsort-style sorting network) in TRISC.
+ *
+ * Every workload leaves a checksum in a7 (x17) so functional
+ * correctness is verifiable, and uses fixed-seed inputs so results
+ * are reproducible bit-for-bit.
+ */
+
+#ifndef SPT_WORKLOADS_WORKLOADS_H
+#define SPT_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace spt {
+
+/** Register (x17 / a7) holding each workload's result checksum. */
+constexpr unsigned kChecksumReg = 17;
+
+struct Workload {
+    std::string name;
+    std::string category; ///< "spec-like" or "constant-time"
+    /** Which SPEC2017 benchmark's behavior class it substitutes
+     *  (empty for the constant-time kernels). */
+    std::string substitutes;
+    Program program;
+};
+
+/** All workloads (12 spec-like + 3 constant-time), built lazily once
+ *  with default sizes. */
+const std::vector<Workload> &allWorkloads();
+
+/** Lookup by name; throws FatalError if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** Name lists for iteration. */
+std::vector<std::string> specWorkloadNames();
+std::vector<std::string> ctWorkloadNames();
+
+// --- individual generators (sizes tunable for tests) -----------------
+
+/** mcf: pointer-chasing over a randomized linked list. */
+Program makePointerChase(unsigned nodes = 8192, unsigned passes = 4);
+/** perlbench: bytecode interpreter with indirect dispatch. */
+Program makeInterpreter(unsigned ops = 15000);
+/** gcc: open-addressing hash table insert/lookup. */
+Program makeHashTable(unsigned inserts = 4000, unsigned lookups = 4000);
+/** deepsjeng: recursive game-tree search (calls/returns). */
+Program makeTreeSearch(unsigned depth = 8, unsigned branch = 3);
+/** xz: LZ-style match finder over a byte stream. */
+Program makeLzMatch(unsigned positions = 8000);
+/** omnetpp: binary-heap event queue churn. */
+Program makeEventHeap(unsigned heap_size = 8192, unsigned ops = 1500);
+/** xalancbmk: binary-search-tree lookups. */
+Program makeBstLookup(unsigned nodes = 16384, unsigned lookups = 3000);
+/** lbm: streaming triad over large arrays. */
+Program makeStreamTriad(unsigned elems = 16384, unsigned passes = 2);
+/** namd: multiply-heavy fixed-point force computation. */
+Program makeForceCompute(unsigned pairs = 8192, unsigned passes = 2);
+/** parest: CSR sparse matrix-vector product. The gather vectors
+ *  exceed the L1D so shadow-L1 taint retention is partial, as in
+ *  the paper's SPEC-scale footprints. */
+Program makeSpmv(unsigned rows = 4096, unsigned nnz_per_row = 6,
+                 unsigned passes = 2);
+/** fotonik3d/bwaves: 3-point stencil sweeps. */
+Program makeStencil(unsigned elems = 16384, unsigned passes = 2);
+/** bwaves: blocked dense matrix multiply. */
+Program makeMatmul(unsigned n = 32);
+
+/** Constant-time kernels. */
+Program makeChaCha20(unsigned blocks = 120);
+Program makeBitsliceAes(unsigned blocks = 100, unsigned rounds = 10);
+Program makeDjbsort(unsigned elems = 256);
+
+} // namespace spt
+
+#endif // SPT_WORKLOADS_WORKLOADS_H

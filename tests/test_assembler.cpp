@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Assembler tests: labels, directives, pseudo-instructions, data
+ * fixups, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+#include "isa/functional_cpu.h"
+
+namespace spt {
+namespace {
+
+TEST(Assembler, BasicInstructionsAndLabels)
+{
+    const Program p = assemble(R"(
+start:
+    li   a0, 5
+    addi a0, a0, -1
+    bnez a0, start
+    halt
+)");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(0).op, Opcode::kLi);
+    EXPECT_EQ(p.at(2).op, Opcode::kBne);
+    EXPECT_EQ(p.at(2).imm, -2); // pc-relative back to start
+    EXPECT_EQ(p.symbol("start"), 0u);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(R"(
+    # full-line comment
+    li a0, 1   # trailing comment
+    ; semicolon comment
+    li a1, 2   // c++ style
+    halt
+)");
+    EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = assemble(R"(
+    .data
+words:
+    .quad 0x1122334455667788, 2
+half_word:
+    .half 0xabcd
+bytes:
+    .byte 1, 2, 3
+    .align 8
+aligned:
+    .zero 16
+    .text
+    halt
+)");
+    ByteMemory mem;
+    p.loadInto(mem);
+    const uint64_t base = p.symbol("words");
+    EXPECT_EQ(base, kDefaultDataBase);
+    EXPECT_EQ(mem.read(base, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(base + 8, 8), 2u);
+    EXPECT_EQ(mem.read(p.symbol("half_word"), 2), 0xabcdu);
+    EXPECT_EQ(mem.readByte(p.symbol("bytes") + 2), 3u);
+    EXPECT_EQ(p.symbol("aligned") % 8, 0u);
+}
+
+TEST(Assembler, DataBaseAddress)
+{
+    const Program p = assemble(R"(
+    .data 0x400000
+buf:
+    .quad 7
+    .text
+    halt
+)");
+    EXPECT_EQ(p.symbol("buf"), 0x400000u);
+}
+
+TEST(Assembler, SymbolInDataIsFixedUp)
+{
+    const Program p = assemble(R"(
+    .data
+table:
+    .quad handler_a, handler_b
+    .text
+handler_a:
+    nop
+handler_b:
+    halt
+)");
+    ByteMemory mem;
+    p.loadInto(mem);
+    EXPECT_EQ(mem.read(p.symbol("table"), 8), p.symbol("handler_a"));
+    EXPECT_EQ(mem.read(p.symbol("table") + 8, 8),
+              p.symbol("handler_b"));
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    const Program p = assemble(R"(
+    mv   a0, a1
+    j    skip
+    nop
+skip:
+    jr   ra
+    call skip
+    ret
+    la   t0, skip
+    beqz a0, skip
+    bnez a0, skip
+    seqz a1, a2
+    snez a1, a2
+    halt
+)");
+    EXPECT_EQ(p.at(0).op, Opcode::kMov);
+    EXPECT_EQ(p.at(1).op, Opcode::kJal);
+    EXPECT_EQ(p.at(1).rd, kRegZero);
+    EXPECT_EQ(p.at(1).imm, 2);
+    EXPECT_EQ(p.at(3).op, Opcode::kJalr);
+    EXPECT_EQ(p.at(4).rd, kRegRa); // call writes ra
+    EXPECT_EQ(p.at(5).op, Opcode::kJalr);
+    EXPECT_EQ(p.at(5).rs1, kRegRa);
+    EXPECT_EQ(p.at(6).op, Opcode::kLi);
+    EXPECT_EQ(p.at(6).imm, 3); // address of skip
+    EXPECT_EQ(p.at(7).op, Opcode::kBeq);
+    EXPECT_EQ(p.at(8).op, Opcode::kBne);
+    EXPECT_EQ(p.at(9).op, Opcode::kSltiu);
+    EXPECT_EQ(p.at(10).op, Opcode::kSltu);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    const Program p = assemble(R"(
+    .entry main
+    nop
+main:
+    halt
+)");
+    EXPECT_EQ(p.entry(), 1u);
+}
+
+TEST(Assembler, MultipleLabelsSameLine)
+{
+    const Program p = assemble(R"(
+a: b:   halt
+)");
+    EXPECT_EQ(p.symbol("a"), 0u);
+    EXPECT_EQ(p.symbol("b"), 0u);
+}
+
+TEST(Assembler, NegativeAndHexImmediates)
+{
+    const Program p = assemble(R"(
+    li   a0, -42
+    li   a1, 0xdeadBEEF
+    addi a2, a2, -0x10
+    halt
+)");
+    EXPECT_EQ(p.at(0).imm, -42);
+    EXPECT_EQ(p.at(1).imm, 0xdeadbeef);
+    EXPECT_EQ(p.at(2).imm, -16);
+}
+
+TEST(Assembler, MemOperandForms)
+{
+    const Program p = assemble(R"(
+    ld  a0, 8(sp)
+    ld  a1, (sp)
+    sb  a2, -1(t0)
+    halt
+)");
+    EXPECT_EQ(p.at(0).imm, 8);
+    EXPECT_EQ(p.at(1).imm, 0);
+    EXPECT_EQ(p.at(2).imm, -1);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus a0, a1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("add a0, a1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("j nowhere\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("dup:\ndup:\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble(".quad 1\nhalt\n"), FatalError); // not .data
+    EXPECT_THROW(assemble(".data\n.align 3\n.text\nhalt\n"),
+                 FatalError); // non power of two
+    EXPECT_THROW(assemble(""), FatalError); // empty program
+    EXPECT_THROW(assemble("ld a0, a1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("li a0\nhalt\n"), FatalError);
+}
+
+TEST(Assembler, ErrorsIncludeLineNumbers)
+{
+    try {
+        assemble("nop\nnop\nbogus\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, AssembledProgramRuns)
+{
+    // End-to-end: fibonacci via the functional CPU.
+    const Program p = assemble(R"(
+    li   a0, 10
+    li   t0, 0
+    li   t1, 1
+fib:
+    add  t2, t0, t1
+    mv   t0, t1
+    mv   t1, t2
+    addi a0, a0, -1
+    bnez a0, fib
+    mv   a7, t0
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(17), 55u); // fib(10)
+}
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, deterministic RNG,
+ * statistics, and the sparse byte memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bit_util.h"
+#include "common/byte_memory.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace spt {
+namespace {
+
+// --------------------------------------------------------------------
+// bit_util
+// --------------------------------------------------------------------
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(6));
+}
+
+TEST(BitUtil, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Floor(1ull << 50), 50u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(~uint64_t{0}, 63, 0), ~uint64_t{0});
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+    EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+}
+
+TEST(BitUtil, Align)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+}
+
+TEST(BitUtil, PopCountAndRotl)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xf0f0), 8u);
+    EXPECT_EQ(rotl32(0x80000001, 1), 0x00000003u);
+    EXPECT_EQ(rotl32(0x12345678, 0), 0x12345678u);
+    EXPECT_EQ(rotl32(0x12345678, 32), 0x12345678u);
+}
+
+// --------------------------------------------------------------------
+// rng
+// --------------------------------------------------------------------
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[r.nextBelow(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300); // roughly uniform
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+// --------------------------------------------------------------------
+// stats
+// --------------------------------------------------------------------
+
+TEST(Stats, CountersBasics)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.inc("a");
+    s.inc("a", 4);
+    s.set("b", 10);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_EQ(s.get("b"), 10u);
+    s.reset();
+    EXPECT_EQ(s.get("a"), 0u);
+}
+
+TEST(Stats, HistogramMeanAndCdf)
+{
+    Histogram h(8);
+    h.record(1);
+    h.record(1);
+    h.record(3);
+    h.record(100); // overflow bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (1 + 1 + 3 + 100) / 4.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cdfAt(3), 0.75);
+    EXPECT_DOUBLE_EQ(h.cdfAt(200), 1.0);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatSet s;
+    s.inc("zeta");
+    s.inc("alpha", 2);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "alpha 2\nzeta 1\n");
+}
+
+// --------------------------------------------------------------------
+// byte memory
+// --------------------------------------------------------------------
+
+TEST(ByteMemory, UninitializedReadsZero)
+{
+    ByteMemory m;
+    EXPECT_EQ(m.read(0x123456, 8), 0u);
+    EXPECT_EQ(m.residentPages(), 0u);
+}
+
+TEST(ByteMemory, LittleEndianRoundTrip)
+{
+    ByteMemory m;
+    m.write(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x1000, 1), 0x88u);
+    EXPECT_EQ(m.read(0x1000, 2), 0x7788u);
+    EXPECT_EQ(m.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(m.readByte(0x1007), 0x11u);
+}
+
+TEST(ByteMemory, PartialWriteMasksValue)
+{
+    ByteMemory m;
+    m.write(0x2000, 0xffffffffffffffffull, 8);
+    m.write(0x2000, 0xaabb, 2);
+    EXPECT_EQ(m.read(0x2000, 8), 0xffffffffffffaabbull);
+}
+
+TEST(ByteMemory, CrossPageAccess)
+{
+    ByteMemory m;
+    const uint64_t addr = ByteMemory::kPageBytes - 4;
+    m.write(addr, 0x0123456789abcdefull, 8);
+    EXPECT_EQ(m.read(addr, 8), 0x0123456789abcdefull);
+    EXPECT_EQ(m.residentPages(), 2u);
+}
+
+TEST(ByteMemory, BlockOps)
+{
+    ByteMemory m;
+    const uint8_t data[5] = {1, 2, 3, 4, 5};
+    m.writeBlock(0x3000, data, 5);
+    uint8_t out[5] = {};
+    m.readBlock(0x3000, out, 5);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], data[i]);
+}
+
+// --------------------------------------------------------------------
+// logging
+// --------------------------------------------------------------------
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(SPT_FATAL("boom"), FatalError);
+    EXPECT_THROW(SPT_PANIC("bug"), PanicError);
+    EXPECT_THROW(SPT_ASSERT(1 == 2, "nope"), PanicError);
+    EXPECT_NO_THROW(SPT_ASSERT(1 == 1, "fine"));
+}
+
+} // namespace
+} // namespace spt

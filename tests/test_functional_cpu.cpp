@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Functional reference CPU tests: step-level introspection, memory
+ * access widths, control flow, halting semantics, and initial state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+#include "isa/functional_cpu.h"
+
+namespace spt {
+namespace {
+
+TEST(FunctionalCpu, InitialState)
+{
+    const Program p = assemble("halt\n");
+    FunctionalCpu cpu(p);
+    EXPECT_EQ(cpu.pc(), 0u);
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(kRegSp), kDefaultStackTop);
+    EXPECT_FALSE(cpu.halted());
+}
+
+TEST(FunctionalCpu, StepInfoReportsWrites)
+{
+    const Program p = assemble(R"(
+    li   t0, 7
+    addi t1, t0, 3
+    halt
+)");
+    FunctionalCpu cpu(p);
+    auto s = cpu.step();
+    EXPECT_EQ(s.pc, 0u);
+    EXPECT_TRUE(s.wrote_reg);
+    EXPECT_EQ(s.dest, 5); // t0
+    EXPECT_EQ(s.dest_value, 7u);
+    s = cpu.step();
+    EXPECT_EQ(s.dest_value, 10u);
+    s = cpu.step();
+    EXPECT_TRUE(s.halted);
+    EXPECT_TRUE(cpu.halted());
+    // Steps after halt are no-ops.
+    s = cpu.step();
+    EXPECT_TRUE(s.halted);
+    EXPECT_EQ(cpu.instructionsRetired(), 3u);
+}
+
+TEST(FunctionalCpu, ZeroRegisterIsImmutable)
+{
+    const Program p = assemble(R"(
+    li   x0, 99
+    addi x0, x0, 5
+    mv   a7, x0
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(17), 0u);
+}
+
+TEST(FunctionalCpu, MemoryWidthsAndSignExtension)
+{
+    const Program p = assemble(R"(
+    li   t0, 0x200000
+    li   t1, -1
+    sd   t1, 0(t0)
+    li   t2, 0x1234
+    sh   t2, 8(t0)
+    lb   a0, 0(t0)      # -1
+    lbu  a1, 0(t0)      # 255
+    lh   a2, 8(t0)      # 0x1234
+    lw   a3, 0(t0)      # -1
+    lwu  a4, 0(t0)      # 0xffffffff
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(10), static_cast<uint64_t>(-1));
+    EXPECT_EQ(cpu.reg(11), 255u);
+    EXPECT_EQ(cpu.reg(12), 0x1234u);
+    EXPECT_EQ(cpu.reg(13), static_cast<uint64_t>(-1));
+    EXPECT_EQ(cpu.reg(14), 0xffffffffu);
+}
+
+TEST(FunctionalCpu, StepInfoReportsMemoryAddresses)
+{
+    const Program p = assemble(R"(
+    li   t0, 0x300000
+    sd   t0, 16(t0)
+    ld   t1, 16(t0)
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.step();
+    auto s = cpu.step(); // store
+    EXPECT_TRUE(s.is_mem);
+    EXPECT_EQ(s.mem_addr, 0x300010u);
+    s = cpu.step(); // load
+    EXPECT_TRUE(s.is_mem);
+    EXPECT_EQ(s.dest_value, 0x300000u);
+}
+
+TEST(FunctionalCpu, RunHonorsInstructionBudget)
+{
+    const Program p = assemble(R"(
+forever:
+    j forever
+)");
+    FunctionalCpu cpu(p);
+    const auto r = cpu.run(1000);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(FunctionalCpu, EntryPointRespected)
+{
+    const Program p = assemble(R"(
+    .entry main
+    li   a7, 1
+    halt
+main:
+    li   a7, 2
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(17), 2u);
+}
+
+TEST(FunctionalCpu, InvalidPcIsFatal)
+{
+    const Program p = assemble(R"(
+    j past_end
+past_end:
+)"
+                               "    nop\n");
+    // Jump lands on the last instruction; then pc runs off the end.
+    FunctionalCpu cpu(p);
+    EXPECT_THROW(cpu.run(10), FatalError);
+}
+
+TEST(FunctionalCpu, SetRegForTestHarnesses)
+{
+    const Program p = assemble(R"(
+    addi a0, a0, 1
+    mv   a7, a0
+    halt
+)");
+    FunctionalCpu cpu(p);
+    cpu.setReg(10, 41);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(17), 42u);
+    cpu.setReg(0, 77); // must be ignored
+    EXPECT_EQ(cpu.reg(0), 0u);
+}
+
+} // namespace
+} // namespace spt

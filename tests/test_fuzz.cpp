@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Differential fuzzing: constrained random programs run on the
+ * out-of-order core under every protection scheme and both attack
+ * models, with the architectural results (and, for a subset,
+ * every single commit) checked against the functional reference
+ * CPU. Catches squash/forwarding/taint-policy bugs that targeted
+ * tests miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/functional_cpu.h"
+#include "isa/program_fuzzer.h"
+#include "sim/simulator.h"
+
+namespace spt {
+namespace {
+
+void
+checkArchitecturalMatch(const Program &p, const EngineConfig &ec,
+                        AttackModel model, bool lockstep)
+{
+    SimConfig cfg;
+    cfg.engine = ec;
+    cfg.core.attack_model = model;
+    cfg.core.perfect_icache = true; // fuzzing targets the backend
+    cfg.lockstep_check = lockstep;
+    cfg.max_cycles = 3'000'000;
+    Simulator sim(p, cfg);
+    const SimResult r = sim.run();
+    ASSERT_TRUE(r.halted) << "fuzz program did not halt";
+
+    FunctionalCpu cpu(p);
+    const auto fr = cpu.run(5'000'000);
+    ASSERT_TRUE(fr.halted);
+    for (unsigned reg = 1; reg < kNumArchRegs; ++reg)
+        ASSERT_EQ(sim.core().archReg(reg), cpu.reg(reg))
+            << "x" << reg << " mismatch";
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzSeeds, AllSchemesMatchReference)
+{
+    const Program p = fuzzProgram(GetParam());
+    ASSERT_GT(p.size(), 50u);
+    for (const NamedConfig &nc : table2Configs()) {
+        for (AttackModel model :
+             {AttackModel::kSpectre, AttackModel::kFuturistic}) {
+            SCOPED_TRACE(nc.name);
+            // Full lockstep on the two most intricate schemes.
+            const bool lockstep =
+                nc.name == "SPT{Bwd,ShadowL1}" || nc.name == "STT";
+            checkArchitecturalMatch(p, nc.engine, model, lockstep);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8,
+                                           0xdead, 0xbeef));
+
+TEST(Fuzz, MemoryHeavyPrograms)
+{
+    FuzzConfig cfg;
+    cfg.mem_fraction = 0.7;
+    cfg.num_blocks = 10;
+    for (uint64_t seed : {100, 101, 102}) {
+        const Program p = fuzzProgram(seed, cfg);
+        EngineConfig ec;
+        ec.scheme = ProtectionScheme::kSpt;
+        checkArchitecturalMatch(p, ec, AttackModel::kFuturistic,
+                                true);
+    }
+}
+
+TEST(Fuzz, BranchHeavyPrograms)
+{
+    FuzzConfig cfg;
+    cfg.branch_fraction = 1.0;
+    cfg.loop_iterations = 8;
+    cfg.num_blocks = 16;
+    for (uint64_t seed : {200, 201, 202}) {
+        const Program p = fuzzProgram(seed, cfg);
+        EngineConfig ec;
+        ec.scheme = ProtectionScheme::kSpt;
+        checkArchitecturalMatch(p, ec, AttackModel::kSpectre, true);
+    }
+}
+
+TEST(Fuzz, TinyPipelineStressesResourceLimits)
+{
+    // A deliberately starved machine (tiny ROB/RS/LSQ) must still be
+    // architecturally correct.
+    const Program p = fuzzProgram(77);
+    SimConfig cfg;
+    cfg.engine.scheme = ProtectionScheme::kSpt;
+    cfg.core.rob_size = 8;
+    cfg.core.rs_size = 4;
+    cfg.core.lq_size = 2;
+    cfg.core.sq_size = 2;
+    cfg.core.num_phys_regs = 64;
+    cfg.core.perfect_icache = true;
+    cfg.lockstep_check = true;
+    cfg.max_cycles = 5'000'000;
+    Simulator sim(p, cfg);
+    const SimResult r = sim.run();
+    ASSERT_TRUE(r.halted);
+    FunctionalCpu cpu(p);
+    cpu.run(5'000'000);
+    EXPECT_EQ(sim.core().archReg(17), cpu.reg(17));
+}
+
+TEST(Fuzz, DeterministicGeneration)
+{
+    const Program a = fuzzProgram(42);
+    const Program b = fuzzProgram(42);
+    ASSERT_EQ(a.size(), b.size());
+    for (uint64_t pc = 0; pc < a.size(); ++pc)
+        EXPECT_EQ(a.at(pc), b.at(pc));
+    const Program c = fuzzProgram(43);
+    bool differs = a.size() != c.size();
+    for (uint64_t pc = 0; !differs && pc < a.size(); ++pc)
+        differs = !(a.at(pc) == c.at(pc));
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace spt

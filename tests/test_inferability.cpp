@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runs the attacker-knowledge auditor (Lemma 2 validation) against
+ * real workloads and fuzzed programs: every register SPT fully
+ * untaints must carry a value the attacker can reconstruct from
+ * declassified transmitter operands, program text, and instruction
+ * semantics — with the exact value matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine_factory.h"
+#include "core/inferability_auditor.h"
+#include "isa/assembler.h"
+#include "isa/program_fuzzer.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+struct AuditOutcome {
+    uint64_t violations;
+    uint64_t mismatches;
+    uint64_t audited;
+    std::vector<std::string> log;
+};
+
+AuditOutcome
+auditProgram(const Program &p, AttackModel model,
+             ShadowKind shadow = ShadowKind::kShadowMem,
+             uint64_t max_cycles = 1'000'000)
+{
+    EngineConfig ec;
+    ec.scheme = ProtectionScheme::kSpt;
+    ec.spt.method = UntaintMethod::kBackward;
+    ec.spt.shadow = shadow;
+    CoreParams cp;
+    cp.attack_model = model;
+    cp.perfect_icache = true;
+    Core core(p, cp, MemorySystemParams{}, makeEngine(ec));
+    auto &engine = dynamic_cast<SptEngine &>(core.engine());
+    InferabilityAuditor auditor(core, engine);
+    while (!core.halted() && core.cycle() < max_cycles) {
+        core.tick();
+        auditor.tick();
+    }
+    EXPECT_TRUE(core.halted());
+    auditor.finalize();
+    return {auditor.violations(), auditor.mismatches(),
+            auditor.auditedUntaints(), auditor.violationLog()};
+}
+
+void
+expectClean(const AuditOutcome &out, double tolerance = 0.025)
+{
+    // A value mismatch would mean an untaint rule inferred the
+    // wrong value — an outright soundness bug. Must never happen.
+    EXPECT_EQ(out.mismatches, 0u)
+        << (out.log.empty() ? "" : out.log.front());
+    // The auditor's knowledge base is all-or-nothing per register,
+    // while SPT tracks partial-access-mode (byte-lane) taint; a
+    // value public only lane-wise is beyond the auditor's reach.
+    // Tolerate a small underived residue from that gap.
+    EXPECT_LE(static_cast<double>(out.violations),
+              tolerance * static_cast<double>(out.audited) + 0.5)
+        << (out.log.empty() ? "" : out.log.front());
+    EXPECT_GT(out.audited, 0u) << "auditor never engaged";
+}
+
+TEST(Inferability, BackwardChainValuesCheckOut)
+{
+    // The Figure 4 pattern with real values: the auditor must be
+    // able to reconstruct r1 = r0 - r2 exactly.
+    const Program p = assemble(R"(
+    .data
+cell:
+    .quad 1234
+    .text
+    li   s0, 20
+    li   t0, 0x100000
+loop:
+    ld   s1, 0(t0)
+    li   s2, 8
+    add  s3, s1, s2
+    ld   s4, 0(s3)
+    add  a7, a7, s4
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+)");
+    for (AttackModel m :
+         {AttackModel::kSpectre, AttackModel::kFuturistic})
+        expectClean(auditProgram(p, m));
+}
+
+TEST(Inferability, WorkloadsAuditClean)
+{
+    for (const char *name : {"eventheap", "treesearch",
+                             "ct-djbsort"}) {
+        SCOPED_TRACE(name);
+        const Workload &w = workloadByName(name);
+        const AuditOutcome out = auditProgram(
+            w.program, AttackModel::kFuturistic,
+            ShadowKind::kShadowMem, 5'000'000);
+        expectClean(out);
+    }
+}
+
+TEST(Inferability, FuzzedProgramsAuditClean)
+{
+    for (uint64_t seed : {11, 12, 13, 14}) {
+        SCOPED_TRACE(seed);
+        const Program p = fuzzProgram(seed);
+        for (AttackModel m :
+             {AttackModel::kSpectre, AttackModel::kFuturistic}) {
+            // Fuzzed programs are dense in sub-width loads/stores,
+            // which exercise SPT's byte-lane taint precision; the
+            // all-or-nothing auditor cannot follow lane-partial
+            // knowledge, so allow a larger underived residue here.
+            // Mismatches (the soundness check) must still be zero.
+            expectClean(auditProgram(p, m), 0.10);
+        }
+    }
+}
+
+TEST(Inferability, ShadowL1VariantAuditsClean)
+{
+    const Workload &w = workloadByName("treesearch");
+    const AuditOutcome out =
+        auditProgram(w.program, AttackModel::kFuturistic,
+                     ShadowKind::kShadowL1, 5'000'000);
+    expectClean(out);
+}
+
+} // namespace
+} // namespace spt

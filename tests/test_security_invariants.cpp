@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Online security-invariant auditing over real workload runs
+ * (DESIGN.md Section 6): every cycle, for every protected
+ * configuration,
+ *
+ *  1. no load/store has performed its memory access while its
+ *     address operand is tainted unless the instruction had reached
+ *     the visibility point (delayed-execution policy; taint
+ *     monotonicity makes the post-hoc check sound),
+ *  2. no mispredicted branch's squash has been applied while its
+ *     predicate was tainted pre-VP (checked via the pending flag),
+ *  3. the VP flags form a prefix of the ROB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine_factory.h"
+#include "core/spt_engine.h"
+#include "isa/assembler.h"
+#include "uarch/core.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+/** Runs @p program under SPT and audits every cycle. */
+void
+auditRun(const Program &program, SptConfig cfg, AttackModel model,
+         uint64_t max_cycles = 2'000'000)
+{
+    EngineConfig ec;
+    ec.scheme = ProtectionScheme::kSpt;
+    ec.spt = cfg;
+    CoreParams cp;
+    cp.attack_model = model;
+    Core core(program, cp, MemorySystemParams{}, makeEngine(ec));
+    auto &engine = dynamic_cast<SptEngine &>(core.engine());
+
+    // Records whether an instruction was at the VP when first seen
+    // with access_done (at_vp is sticky, so >= is the right check).
+    std::map<SeqNum, bool> access_seen;
+    uint64_t audited_accesses = 0;
+
+    while (!core.halted() && core.cycle() < max_cycles) {
+        core.tick();
+        bool non_vp_seen = false;
+        for (const DynInstPtr &d : core.rob()) {
+            // (3) VP prefix property.
+            if (!d->at_vp) {
+                non_vp_seen = true;
+            } else {
+                ASSERT_FALSE(non_vp_seen) << "VP not prefix-ordered";
+            }
+
+            if (!d->isMem() || !d->access_done || d->squashed)
+                continue;
+            if (access_seen.count(d->seq))
+                continue;
+            access_seen[d->seq] = true;
+            ++audited_accesses;
+            // (1) The access was only legal if the address operand
+            // is untainted or the instruction reached the VP. Taint
+            // is monotone (tainted -> untainted only), so checking
+            // one cycle after the access is conservative in the
+            // right direction: if it is STILL tainted now, it was
+            // tainted at access time.
+            const auto *t = engine.instTaint(d->seq);
+            if (t && !d->at_vp) {
+                EXPECT_TRUE(t->src[0].nothing())
+                    << "transmitter executed with tainted address "
+                    << "operand at pc " << d->pc << " seq "
+                    << d->seq;
+            }
+        }
+        // (2) Squash-pending branches with tainted predicates must
+        // remain pending.
+        for (const DynInstPtr &d : core.rob()) {
+            if (!d->is_ctrl || !d->mispredicted || d->squashed)
+                continue;
+            const auto *t = engine.instTaint(d->seq);
+            if (!t || d->at_vp)
+                continue;
+            const bool predicate_tainted =
+                (d->num_srcs >= 1 && t->src[0].any()) ||
+                (d->num_srcs >= 2 && t->src[1].any());
+            if (predicate_tainted) {
+                EXPECT_TRUE(d->squash_pending)
+                    << "squash applied with tainted predicate at pc "
+                    << d->pc;
+            }
+        }
+    }
+    ASSERT_TRUE(core.halted());
+    EXPECT_GT(audited_accesses, 0u);
+}
+
+class InvariantTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, AttackModel>>
+{
+};
+
+TEST_P(InvariantTest, SptHoldsInvariants)
+{
+    const auto &[name, model] = GetParam();
+    const Workload &w = workloadByName(name);
+    SptConfig cfg;
+    cfg.method = UntaintMethod::kBackward;
+    cfg.shadow = ShadowKind::kShadowL1;
+    auditRun(w.program, cfg, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, InvariantTest,
+    ::testing::Combine(::testing::Values("eventheap", "hashtab",
+                                         "ct-djbsort",
+                                         "treesearch"),
+                       ::testing::Values(AttackModel::kSpectre,
+                                         AttackModel::kFuturistic)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param);
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n + (std::get<1>(info.param) == AttackModel::kSpectre
+                        ? "_Spectre"
+                        : "_Futuristic");
+    });
+
+TEST(InvariantTest, IdealConfigAlsoHolds)
+{
+    const Workload &w = workloadByName("eventheap");
+    SptConfig cfg;
+    cfg.method = UntaintMethod::kIdeal;
+    cfg.shadow = ShadowKind::kShadowMem;
+    auditRun(w.program, cfg, AttackModel::kFuturistic);
+}
+
+TEST(InvariantTest, NoneConfigAlsoHolds)
+{
+    const Workload &w = workloadByName("treesearch");
+    SptConfig cfg;
+    cfg.method = UntaintMethod::kNone;
+    cfg.shadow = ShadowKind::kNone;
+    auditRun(w.program, cfg, AttackModel::kSpectre);
+}
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * End-to-end smoke tests: small assembled programs run on every
+ * protection scheme and both attack models, with lockstep commit
+ * checking against the functional reference CPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace spt {
+namespace {
+
+const char *kSumLoop = R"(
+    .data
+arr:
+    .quad 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+    .text
+    la   a1, arr
+    li   a0, 10
+    li   a2, 0
+loop:
+    ld   t0, 0(a1)
+    add  a2, a2, t0
+    addi a1, a1, 8
+    addi a0, a0, -1
+    bnez a0, loop
+    halt
+)";
+
+const char *kStoreLoad = R"(
+    .data 0x200000
+buf:
+    .zero 256
+    .text
+    la   a0, buf
+    li   a1, 25
+    li   a3, 0
+outer:
+    slli t0, a1, 3
+    add  t1, a0, t0
+    sd   a1, 0(t1)
+    ld   t2, 0(t1)
+    add  a3, a3, t2
+    addi a1, a1, -1
+    bnez a1, outer
+    halt
+)";
+
+const char *kCallRet = R"(
+    .text
+    li   a0, 6
+    call fact
+    mv   s0, a0
+    halt
+fact:
+    li   t0, 1
+    ble_check:
+    li   t1, 2
+    blt  a0, t1, base
+    addi sp, sp, -16
+    sd   ra, 0(sp)
+    sd   a0, 8(sp)
+    addi a0, a0, -1
+    call fact
+    ld   t2, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    mul  a0, a0, t2
+    ret
+base:
+    li   a0, 1
+    ret
+)";
+
+class SmokeTest
+    : public ::testing::TestWithParam<std::tuple<int, AttackModel>>
+{
+  protected:
+    SimConfig
+    makeConfig()
+    {
+        SimConfig cfg;
+        const auto configs = table2Configs();
+        cfg.engine = configs[static_cast<size_t>(
+                                 std::get<0>(GetParam()))]
+                         .engine;
+        cfg.core.attack_model = std::get<1>(GetParam());
+        cfg.lockstep_check = true;
+        cfg.max_cycles = 2'000'000;
+        return cfg;
+    }
+};
+
+TEST_P(SmokeTest, SumLoop)
+{
+    const Program p = assemble(kSumLoop);
+    Simulator sim(p, makeConfig());
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(sim.core().archReg(12), 55u); // a2
+}
+
+TEST_P(SmokeTest, StoreLoadForwarding)
+{
+    const Program p = assemble(kStoreLoad);
+    Simulator sim(p, makeConfig());
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(sim.core().archReg(13), 325u); // a3 = sum 1..25
+}
+
+TEST_P(SmokeTest, RecursiveCalls)
+{
+    const Program p = assemble(kCallRet);
+    Simulator sim(p, makeConfig());
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(sim.core().archReg(8), 720u); // s0 = 6!
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SmokeTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(AttackModel::kSpectre,
+                                         AttackModel::kFuturistic)),
+    [](const auto &info) {
+        const auto configs = table2Configs();
+        std::string name =
+            configs[static_cast<size_t>(std::get<0>(info.param))]
+                .name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + (std::get<1>(info.param) ==
+                               AttackModel::kSpectre
+                           ? "_Spectre"
+                           : "_Futuristic");
+    });
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the partial-access-mode TaintMask (Section 7.2) and the
+ * instruction-level untaint rules (Sections 6.5-6.6), including an
+ * exhaustive byte-mask round-trip property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/taint_mask.h"
+#include "core/untaint_rules.h"
+
+namespace spt {
+namespace {
+
+TEST(TaintMask, Basics)
+{
+    EXPECT_TRUE(TaintMask::none().nothing());
+    EXPECT_TRUE(TaintMask::all().full());
+    EXPECT_TRUE(TaintMask::all().any());
+    EXPECT_FALSE(TaintMask::none().any());
+    EXPECT_TRUE(TaintMask::none().subsetOf(TaintMask::all()));
+    EXPECT_FALSE(TaintMask::all().subsetOf(TaintMask::none()));
+}
+
+TEST(TaintMask, GroupOfByteMapping)
+{
+    EXPECT_EQ(TaintMask::groupOfByte(0), 0u);
+    EXPECT_EQ(TaintMask::groupOfByte(1), 1u);
+    EXPECT_EQ(TaintMask::groupOfByte(2), 2u);
+    EXPECT_EQ(TaintMask::groupOfByte(3), 2u);
+    for (unsigned b = 4; b < 8; ++b)
+        EXPECT_EQ(TaintMask::groupOfByte(b), 3u);
+}
+
+TEST(TaintMask, ByteMaskRoundTripExhaustive)
+{
+    // fromByteMask is the conservative OR; toByteMask re-expands.
+    // Round-tripping through the group domain must be monotone
+    // (never lose taint) and idempotent.
+    for (unsigned bm = 0; bm < 256; ++bm) {
+        const TaintMask m =
+            TaintMask::fromByteMask(static_cast<uint8_t>(bm));
+        const uint8_t expanded = m.toByteMask();
+        // Expansion covers the original bytes.
+        EXPECT_EQ(expanded & bm, bm);
+        // Idempotence.
+        EXPECT_EQ(TaintMask::fromByteMask(expanded), m);
+    }
+}
+
+TEST(TaintMask, ForLoadZeroExtension)
+{
+    // A fully tainted single loaded byte taints only group 0; the
+    // zero-extended upper bytes are public.
+    const TaintMask m = TaintMask::forLoad(1, false, 0x01);
+    EXPECT_TRUE(m.group(0));
+    EXPECT_FALSE(m.group(1));
+    EXPECT_FALSE(m.group(2));
+    EXPECT_FALSE(m.group(3));
+}
+
+TEST(TaintMask, ForLoadSignExtensionSpreadsTopByte)
+{
+    // Signed byte load with a tainted byte: the sign bit replicates
+    // upward, tainting every group.
+    EXPECT_TRUE(TaintMask::forLoad(1, true, 0x01).full());
+    // Signed halfword whose low byte is tainted but top byte is
+    // public: sign is public, so only group 0 taints.
+    const TaintMask m = TaintMask::forLoad(2, true, 0x01);
+    EXPECT_TRUE(m.group(0));
+    EXPECT_FALSE(m.group(1));
+    EXPECT_FALSE(m.group(3));
+}
+
+TEST(TaintMask, ForLoadUntaintedData)
+{
+    EXPECT_TRUE(TaintMask::forLoad(8, false, 0x00).nothing());
+    EXPECT_TRUE(TaintMask::forLoad(4, true, 0x00).nothing());
+}
+
+TEST(TaintMask, ForLoadFullWidth)
+{
+    EXPECT_TRUE(TaintMask::forLoad(8, false, 0xff).full());
+    const TaintMask m = TaintMask::forLoad(8, false, 0xf0);
+    EXPECT_FALSE(m.group(0));
+    EXPECT_FALSE(m.group(1));
+    EXPECT_FALSE(m.group(2));
+    EXPECT_TRUE(m.group(3));
+}
+
+// --------------------------------------------------------------------
+// Instruction-level rules
+// --------------------------------------------------------------------
+
+TEST(UntaintRules, ForwardBasics)
+{
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    // Both public => public.
+    EXPECT_TRUE(propagateForward(Opcode::kAdd, n, n).nothing());
+    // Any tainted input taints a non-lane op fully.
+    EXPECT_TRUE(propagateForward(Opcode::kAdd, t, n).full());
+    EXPECT_TRUE(propagateForward(Opcode::kMul, n, t).full());
+    // Single-source ops ignore the second operand.
+    EXPECT_TRUE(propagateForward(Opcode::kAddi, n, t).nothing());
+    EXPECT_TRUE(propagateForward(Opcode::kMov, t, n).full());
+}
+
+TEST(UntaintRules, ImmediateClassAlwaysPublic)
+{
+    const TaintMask t = TaintMask::all();
+    EXPECT_TRUE(propagateForward(Opcode::kLi, t, t).nothing());
+    EXPECT_TRUE(propagateForward(Opcode::kJal, t, t).nothing());
+    EXPECT_TRUE(propagateForward(Opcode::kJalr, t, t).nothing());
+}
+
+TEST(UntaintRules, LaneOpsKeepGroupPrecision)
+{
+    const TaintMask low = TaintMask::fromByteMask(0x01); // group 0
+    const TaintMask high = TaintMask::fromByteMask(0xf0); // group 3
+    const TaintMask x =
+        propagateForward(Opcode::kXor, low, high);
+    EXPECT_TRUE(x.group(0));
+    EXPECT_FALSE(x.group(1));
+    EXPECT_FALSE(x.group(2));
+    EXPECT_TRUE(x.group(3));
+    // Non-lane op mixes everything.
+    EXPECT_TRUE(propagateForward(Opcode::kAdd, low, high).full());
+}
+
+TEST(UntaintRules, BackwardCopyClass)
+{
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    auto r = propagateBackward(Opcode::kMov, t, n, n);
+    EXPECT_TRUE(r.untaint_src0);
+    r = propagateBackward(Opcode::kNot, t, n, n);
+    EXPECT_TRUE(r.untaint_src0);
+    // Tainted output: nothing can be inferred.
+    r = propagateBackward(Opcode::kMov, t, n, t);
+    EXPECT_FALSE(r.untaint_src0);
+}
+
+TEST(UntaintRules, BackwardInvertibleTwoSource)
+{
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    // out = src0 + src1, out and src0 public => src1 inferable.
+    auto r = propagateBackward(Opcode::kAdd, n, t, n);
+    EXPECT_FALSE(r.untaint_src0);
+    EXPECT_TRUE(r.untaint_src1);
+    r = propagateBackward(Opcode::kSub, t, n, n);
+    EXPECT_TRUE(r.untaint_src0);
+    EXPECT_FALSE(r.untaint_src1);
+    r = propagateBackward(Opcode::kXor, t, n, n);
+    EXPECT_TRUE(r.untaint_src0);
+    // Both inputs tainted: x = a + b has many preimages.
+    r = propagateBackward(Opcode::kAdd, t, t, n);
+    EXPECT_FALSE(r.untaint_src0);
+    EXPECT_FALSE(r.untaint_src1);
+}
+
+TEST(UntaintRules, BackwardImmediateForms)
+{
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    // addi/xori: the immediate is public program text.
+    EXPECT_TRUE(propagateBackward(Opcode::kAddi, t, n, n)
+                    .untaint_src0);
+    EXPECT_TRUE(propagateBackward(Opcode::kXori, t, n, n)
+                    .untaint_src0);
+}
+
+TEST(UntaintRules, OpaqueOpsNeverBackward)
+{
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    for (Opcode op : {Opcode::kAnd, Opcode::kOr, Opcode::kSll,
+                      Opcode::kSrl, Opcode::kMul, Opcode::kDiv,
+                      Opcode::kSlt, Opcode::kMin, Opcode::kAndi,
+                      Opcode::kSlli}) {
+        const auto r = propagateBackward(op, t, n, n);
+        EXPECT_FALSE(r.untaint_src0) << mnemonic(op);
+        EXPECT_FALSE(r.untaint_src1) << mnemonic(op);
+    }
+}
+
+TEST(UntaintRules, PartialDestBlocksBackward)
+{
+    // Backward rules act at full-register granularity: a partially
+    // tainted output must not release inputs.
+    const TaintMask t = TaintMask::all();
+    const TaintMask n = TaintMask::none();
+    const TaintMask partial = TaintMask::fromByteMask(0x01);
+    const auto r = propagateBackward(Opcode::kAdd, n, t, partial);
+    EXPECT_FALSE(r.untaint_src1);
+}
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property tests for the gate-level untaint algebra of paper
+ * Section 5, exhaustive over every value/taint combination:
+ *
+ *  - Forward soundness: whenever the GLIFT-style forward rule marks
+ *    a gate output untainted, the output value is fully determined
+ *    by the untainted inputs alone (no tainted bit can influence
+ *    it).
+ *  - Backward soundness: whenever the backward rule declares an
+ *    input inferable from a declassified output, that input's value
+ *    is the unique value consistent with the output and the
+ *    untainted inputs.
+ *  - The paper's worked examples (Figure 2 truth table, Figure 3
+ *    composition).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/untaint_algebra.h"
+
+namespace spt {
+namespace {
+
+const GateOp kBinaryOps[] = {GateOp::kAnd, GateOp::kOr, GateOp::kXor};
+
+struct Combo {
+    GateOp op;
+    Wire a, b;
+};
+
+std::vector<Combo>
+allBinaryCombos()
+{
+    std::vector<Combo> combos;
+    for (GateOp op : kBinaryOps)
+        for (int av = 0; av < 2; ++av)
+            for (int at = 0; at < 2; ++at)
+                for (int bv = 0; bv < 2; ++bv)
+                    for (int bt = 0; bt < 2; ++bt)
+                        combos.push_back(
+                            {op,
+                             {av != 0, at != 0},
+                             {bv != 0, bt != 0}});
+    return combos;
+}
+
+class GateProperty : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(GateProperty, ForwardSoundness)
+{
+    const Combo c = GetParam();
+    const Wire out = gateForward(c.op, c.a, c.b);
+    EXPECT_EQ(out.value, gateEval(c.op, c.a.value, c.b.value));
+    if (out.tainted)
+        return;
+    // Untainted output must be invariant under every possible value
+    // of the tainted inputs.
+    for (int av = 0; av < 2; ++av) {
+        for (int bv = 0; bv < 2; ++bv) {
+            const bool a_val = c.a.tainted ? (av != 0) : c.a.value;
+            const bool b_val = c.b.tainted ? (bv != 0) : c.b.value;
+            EXPECT_EQ(gateEval(c.op, a_val, b_val), out.value)
+                << "tainted input influenced an untainted output";
+        }
+    }
+}
+
+TEST_P(GateProperty, BackwardSoundness)
+{
+    const Combo c = GetParam();
+    const bool out_value = gateEval(c.op, c.a.value, c.b.value);
+    const BackwardResult r =
+        gateBackward(c.op, c.a, c.b, out_value);
+    // The rule may only untaint inputs that were tainted.
+    EXPECT_LE(r.untaint_a, c.a.tainted);
+    EXPECT_LE(r.untaint_b, c.b.tainted);
+
+    // If input a is declared inferable, its value must be uniquely
+    // determined by (out_value, untainted inputs) across every
+    // consistent assignment of the tainted inputs.
+    auto check_unique = [&](bool check_a) {
+        int seen[2] = {0, 0};
+        for (int av = 0; av < 2; ++av) {
+            for (int bv = 0; bv < 2; ++bv) {
+                const bool a_val =
+                    c.a.tainted ? (av != 0) : c.a.value;
+                const bool b_val =
+                    c.b.tainted ? (bv != 0) : c.b.value;
+                if (gateEval(c.op, a_val, b_val) != out_value)
+                    continue; // inconsistent with observation
+                ++seen[(check_a ? a_val : b_val) ? 1 : 0];
+            }
+        }
+        // Exactly one value of the inferred input is consistent.
+        EXPECT_TRUE(seen[0] == 0 || seen[1] == 0)
+            << "backward rule untainted a non-inferable input";
+    };
+    if (r.untaint_a)
+        check_unique(true);
+    if (r.untaint_b)
+        check_unique(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exhaustive, GateProperty,
+                         ::testing::ValuesIn(allBinaryCombos()));
+
+// --------------------------------------------------------------------
+// The paper's worked examples
+// --------------------------------------------------------------------
+
+TEST(GateForward, Figure2AndGateRules)
+{
+    // Untainted 0 forces AND output untainted even with a tainted
+    // other input.
+    Wire zero{false, false}, one{true, false}, secret{true, true};
+    EXPECT_FALSE(gateForward(GateOp::kAnd, zero, secret).tainted);
+    EXPECT_TRUE(gateForward(GateOp::kAnd, one, secret).tainted);
+    EXPECT_TRUE(gateForward(GateOp::kAnd, secret, secret).tainted);
+    EXPECT_FALSE(gateForward(GateOp::kAnd, zero, one).tainted);
+}
+
+TEST(GateBackward, Figure2TruthTable)
+{
+    // out = 1 => both inputs were 1.
+    Wire s1{true, true}, s2{true, true};
+    auto r = gateBackward(GateOp::kAnd, s1, s2, true);
+    EXPECT_TRUE(r.untaint_a);
+    EXPECT_TRUE(r.untaint_b);
+    // out = 0 with both tainted: cannot deduce which input was 0.
+    Wire z1{false, true}, z2{true, true};
+    r = gateBackward(GateOp::kAnd, z1, z2, false);
+    EXPECT_FALSE(r.untaint_a);
+    EXPECT_FALSE(r.untaint_b);
+    // out = 0 and in2 = 1 untainted => in1 must be 0.
+    Wire pub_one{true, false};
+    r = gateBackward(GateOp::kAnd, z1, pub_one, false);
+    EXPECT_TRUE(r.untaint_a);
+}
+
+TEST(GateBackward, XorAlwaysInvertsWithOneKnownInput)
+{
+    Wire pub{true, false}, secret{false, true};
+    auto r = gateBackward(GateOp::kXor, pub, secret, true);
+    EXPECT_TRUE(r.untaint_b);
+    r = gateBackward(GateOp::kXor, secret, pub, false);
+    EXPECT_TRUE(r.untaint_a);
+    // Both tainted: XOR output reveals only the parity.
+    Wire s2{true, true};
+    r = gateBackward(GateOp::kXor, secret, s2, true);
+    EXPECT_FALSE(r.untaint_a);
+    EXPECT_FALSE(r.untaint_b);
+}
+
+TEST(GateGraph, Figure3Composition)
+{
+    // t0 = or_a | or_b (all tainted zeros), out = t0 & in2 with
+    // in2 = 1 public. Declassifying out=0 implies t0=0, which
+    // implies or_a = or_b = 0.
+    GateGraph g;
+    const int or_a = g.addInput(false, true);
+    const int or_b = g.addInput(false, true);
+    const int in2 = g.addInput(true, false);
+    const int t0 = g.addGate(GateOp::kOr, or_a, or_b);
+    const int out = g.addGate(GateOp::kAnd, t0, in2);
+    EXPECT_TRUE(g.tainted(t0));
+    EXPECT_TRUE(g.tainted(out));
+    g.declassify(out);
+    EXPECT_EQ(g.propagate(), 3u);
+    EXPECT_FALSE(g.tainted(t0));
+    EXPECT_FALSE(g.tainted(or_a));
+    EXPECT_FALSE(g.tainted(or_b));
+}
+
+TEST(GateGraph, NoDeclassificationNoRipple)
+{
+    GateGraph g;
+    const int a = g.addInput(true, true);
+    const int b = g.addInput(true, false);
+    const int out = g.addGate(GateOp::kAnd, a, b);
+    EXPECT_EQ(g.propagate(), 0u);
+    EXPECT_TRUE(g.tainted(a));
+    EXPECT_TRUE(g.tainted(out));
+}
+
+TEST(GateGraph, ForwardReevaluationAfterInputDeclassify)
+{
+    // Section 5.1: declassifying an input with a forcing value
+    // untaints the output dynamically.
+    GateGraph g;
+    const int a = g.addInput(false, true); // secret 0
+    const int b = g.addInput(true, true);  // secret 1
+    const int out = g.addGate(GateOp::kAnd, a, b);
+    EXPECT_TRUE(g.tainted(out));
+    g.declassify(a); // now a public 0 forces out = 0
+    EXPECT_GE(g.propagate(), 1u);
+    EXPECT_FALSE(g.tainted(out));
+    EXPECT_TRUE(g.tainted(b)); // b remains secret
+}
+
+TEST(GateGraph, UnaryGates)
+{
+    GateGraph g;
+    const int a = g.addInput(true, true);
+    const int n = g.addGate(GateOp::kNot, a);
+    const int buf = g.addGate(GateOp::kBuf, n);
+    EXPECT_FALSE(g.value(n));
+    EXPECT_TRUE(g.tainted(buf));
+    g.declassify(buf);
+    g.propagate();
+    EXPECT_FALSE(g.tainted(a)); // rippled back through NOT and BUF
+}
+
+TEST(GateGraph, TaintMonotonicity)
+{
+    // propagate() may only move wires from tainted to untainted.
+    GateGraph g;
+    std::vector<int> wires;
+    for (int i = 0; i < 6; ++i)
+        wires.push_back(g.addInput(i % 2 == 0, true));
+    for (int i = 0; i + 1 < 6; i += 2)
+        wires.push_back(
+            g.addGate(GateOp::kXor, wires[i], wires[i + 1]));
+    std::vector<bool> before;
+    for (size_t i = 0; i < g.numWires(); ++i)
+        before.push_back(g.tainted(static_cast<int>(i)));
+    g.declassify(static_cast<int>(g.numWires() - 1));
+    g.propagate();
+    for (size_t i = 0; i < g.numWires(); ++i)
+        EXPECT_LE(g.tainted(static_cast<int>(i)), before[i]);
+}
+
+} // namespace
+} // namespace spt

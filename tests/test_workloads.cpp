@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload validation: every kernel halts on the functional
+ * reference CPU with a nonzero checksum, and the out-of-order core
+ * commits the exact same architectural instruction stream (lockstep)
+ * under the insecure and full-SPT configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/functional_cpu.h"
+#include "sim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, FunctionalRunHaltsWithChecksum)
+{
+    const Workload &w = workloadByName(GetParam());
+    FunctionalCpu cpu(w.program);
+    const auto r = cpu.run(5'000'000);
+    EXPECT_TRUE(r.halted) << w.name << " did not halt within 5M "
+                          << "instructions";
+    EXPECT_NE(cpu.reg(kChecksumReg), 0u)
+        << w.name << " produced a zero checksum";
+    // Keep the suite fast: each workload should be a few hundred
+    // thousand dynamic instructions.
+    EXPECT_LT(r.instructions, 1'500'000u) << w.name;
+    EXPECT_GT(r.instructions, 50'000u) << w.name;
+}
+
+TEST_P(WorkloadTest, OooMatchesReferenceUnderUnsafe)
+{
+    const Workload &w = workloadByName(GetParam());
+    SimConfig cfg;
+    cfg.engine.scheme = ProtectionScheme::kUnsafeBaseline;
+    cfg.lockstep_check = true;
+    Simulator sim(w.program, cfg);
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.halted) << w.name;
+
+    FunctionalCpu cpu(w.program);
+    cpu.run(5'000'000);
+    EXPECT_EQ(sim.core().archReg(kChecksumReg),
+              cpu.reg(kChecksumReg))
+        << w.name;
+}
+
+TEST_P(WorkloadTest, OooMatchesReferenceUnderSpt)
+{
+    const Workload &w = workloadByName(GetParam());
+    SimConfig cfg;
+    cfg.engine.scheme = ProtectionScheme::kSpt;
+    cfg.core.attack_model = AttackModel::kFuturistic;
+    cfg.lockstep_check = true;
+    Simulator sim(w.program, cfg);
+    const SimResult r = sim.run();
+    EXPECT_TRUE(r.halted) << w.name;
+
+    FunctionalCpu cpu(w.program);
+    cpu.run(5'000'000);
+    EXPECT_EQ(sim.core().archReg(kChecksumReg),
+              cpu.reg(kChecksumReg))
+        << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest, ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const Workload &w : allWorkloads())
+            names.push_back(w.name);
+        return names;
+    }()),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Host-side simulator-throughput harness (not a paper figure).
+ *
+ * Runs a fixed workload set under each engine configuration and
+ * reports how fast the *simulator itself* executes on the host, in
+ * millions of simulated instructions per host second (Minstr/s).
+ * Results are written to BENCH_throughput.json (or the path given as
+ * argv[1]) so successive PRs can track the host-performance
+ * trajectory of the per-cycle SPT machinery.
+ *
+ * Set SPT_BENCH_QUICK=1 to run a reduced workload subset (CI).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine_factory.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+namespace {
+
+struct ConfigSpec {
+    std::string name;
+    EngineConfig engine;
+};
+
+std::vector<ConfigSpec>
+benchConfigs()
+{
+    std::vector<ConfigSpec> configs;
+
+    EngineConfig unsafe;
+    unsafe.scheme = ProtectionScheme::kUnsafeBaseline;
+    configs.push_back({"Unsafe", unsafe});
+
+    // Delay-of-memory style baseline: every load/store waits for the
+    // visibility point.
+    EngineConfig dom;
+    dom.scheme = ProtectionScheme::kSecureBaseline;
+    configs.push_back({"SecureBaseline", dom});
+
+    for (UntaintMethod m : {UntaintMethod::kNone, UntaintMethod::kForward,
+                            UntaintMethod::kBackward}) {
+        EngineConfig spt;
+        spt.scheme = ProtectionScheme::kSpt;
+        spt.spt.method = m;
+        spt.spt.shadow = ShadowKind::kShadowL1;
+        configs.push_back({engineConfigName(spt), spt});
+    }
+    return configs;
+}
+
+struct WorkloadResult {
+    std::string workload;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double host_seconds = 0.0;
+};
+
+double
+minstrPerSec(uint64_t instructions, double seconds)
+{
+    return seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(instructions) / seconds / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_throughput.json";
+    const bool quick = std::getenv("SPT_BENCH_QUICK") != nullptr;
+
+    std::vector<std::string> names = {"pchase",  "interp", "hashtab",
+                                      "stream",  "spmv",   "ct-chacha20"};
+    if (quick)
+        names = {"pchase", "hashtab", "ct-chacha20"};
+
+    const std::vector<ConfigSpec> configs = benchConfigs();
+
+    printf("=== Simulator host throughput (Minstr/s = simulated "
+           "Minstr per host second) ===\n\n");
+    printf("%-20s %-12s %12s %12s %10s\n", "config", "workload",
+           "sim-instrs", "host-ms", "Minstr/s");
+
+    FILE *json = fopen(out_path.c_str(), "w");
+    if (!json) {
+        fprintf(stderr, "cannot open %s for writing\n",
+                out_path.c_str());
+        return 1;
+    }
+    fprintf(json, "{\n  \"unit\": \"Minstr/s\",\n  \"configs\": [\n");
+
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+        const ConfigSpec &spec = configs[ci];
+        std::vector<WorkloadResult> results;
+        uint64_t total_instrs = 0;
+        double total_seconds = 0.0;
+
+        for (const std::string &name : names) {
+            const Workload &w = workloadByName(name);
+            SimConfig cfg;
+            cfg.engine = spec.engine;
+            cfg.core.attack_model = AttackModel::kFuturistic;
+            Simulator sim(w.program, cfg);
+            const auto t0 = std::chrono::steady_clock::now();
+            const SimResult res = sim.run();
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!res.halted)
+                SPT_FATAL("workload " << name
+                                      << " did not halt under "
+                                      << spec.name);
+
+            WorkloadResult wr;
+            wr.workload = name;
+            wr.instructions = res.instructions;
+            wr.cycles = res.cycles;
+            wr.host_seconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            total_instrs += wr.instructions;
+            total_seconds += wr.host_seconds;
+            results.push_back(wr);
+
+            printf("%-20s %-12s %12llu %12.1f %10.3f\n",
+                   spec.name.c_str(), name.c_str(),
+                   static_cast<unsigned long long>(wr.instructions),
+                   wr.host_seconds * 1e3,
+                   minstrPerSec(wr.instructions, wr.host_seconds));
+            fflush(stdout);
+        }
+
+        const double agg = minstrPerSec(total_instrs, total_seconds);
+        printf("%-20s %-12s %12llu %12.1f %10.3f\n\n",
+               spec.name.c_str(), "TOTAL",
+               static_cast<unsigned long long>(total_instrs),
+               total_seconds * 1e3, agg);
+
+        fprintf(json, "    {\n      \"name\": \"%s\",\n",
+                spec.name.c_str());
+        fprintf(json, "      \"minstr_per_sec\": %.4f,\n", agg);
+        fprintf(json, "      \"workloads\": [\n");
+        for (size_t wi = 0; wi < results.size(); ++wi) {
+            const WorkloadResult &wr = results[wi];
+            fprintf(json,
+                    "        {\"name\": \"%s\", \"instructions\": "
+                    "%llu, \"cycles\": %llu, \"host_seconds\": %.6f, "
+                    "\"minstr_per_sec\": %.4f}%s\n",
+                    wr.workload.c_str(),
+                    static_cast<unsigned long long>(wr.instructions),
+                    static_cast<unsigned long long>(wr.cycles),
+                    wr.host_seconds,
+                    minstrPerSec(wr.instructions, wr.host_seconds),
+                    wi + 1 < results.size() ? "," : "");
+        }
+        fprintf(json, "      ]\n    }%s\n",
+                ci + 1 < configs.size() ? "," : "");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+    printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

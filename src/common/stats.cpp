@@ -13,12 +13,16 @@ Histogram::Histogram(size_t num_buckets)
 void
 Histogram::record(uint64_t value, uint64_t count)
 {
+    // Bucket i < N-1 holds exactly value i; the last bucket
+    // overflows, holding every value >= N-1.
     const size_t idx =
-        value >= buckets_.size() ? buckets_.size() - 1
-                                 : static_cast<size_t>(value);
+        value >= buckets_.size() - 1 ? buckets_.size() - 1
+                                     : static_cast<size_t>(value);
     buckets_[idx] += count;
     samples_ += count;
     sum_ += value * count;
+    if (value > max_)
+        max_ = value;
 }
 
 double
@@ -35,11 +39,21 @@ Histogram::cdfAt(uint64_t v) const
     if (samples_ == 0)
         return 0.0;
     uint64_t below = 0;
-    const size_t limit =
-        v >= buckets_.size() ? buckets_.size()
-                             : static_cast<size_t>(v) + 1;
-    for (size_t i = 0; i < limit; ++i)
-        below += buckets_[i];
+    if (v < buckets_.size() - 1) {
+        // Exact: bucket i holds only samples of value i.
+        for (size_t i = 0; i <= static_cast<size_t>(v); ++i)
+            below += buckets_[i];
+    } else {
+        // The overflow bucket mixes values >= N-1; counting it for
+        // any v it only partially covers would overcount (the old
+        // off-by-one: cdfAt(N-1) returned 1.0 even with samples
+        // beyond N-1). Include it only once v covers the largest
+        // recorded sample.
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            below += buckets_[i];
+        if (v < max_)
+            below -= buckets_.back();
+    }
     return static_cast<double>(below) / static_cast<double>(samples_);
 }
 
@@ -49,6 +63,7 @@ Histogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     samples_ = 0;
     sum_ = 0;
+    max_ = 0;
 }
 
 void

@@ -20,8 +20,9 @@ namespace spt {
 class Histogram
 {
   public:
-    /** @param num_buckets values >= num_buckets-1 land in the last
-     *  ("overflow") bucket. */
+    /** @param num_buckets bucket i < num_buckets-1 holds exactly the
+     *  samples of value i; the last bucket is the overflow bucket,
+     *  holding every sample of value >= num_buckets-1. */
     explicit Histogram(size_t num_buckets = 16);
 
     void record(uint64_t value, uint64_t count = 1);
@@ -29,9 +30,16 @@ class Histogram
     uint64_t samples() const { return samples_; }
     uint64_t bucket(size_t i) const { return buckets_.at(i); }
     size_t numBuckets() const { return buckets_.size(); }
+    /** Largest value recorded so far (0 if no samples). */
+    uint64_t maxSample() const { return max_; }
     double mean() const;
 
-    /** Fraction of samples with value <= v (cumulative). */
+    /** Fraction of samples with value <= v (cumulative). Exact for
+     *  v < num_buckets-1. In the overflow range the per-value
+     *  information is gone: the overflow bucket is included only
+     *  once v covers every recorded sample (v >= maxSample()), so
+     *  the result is exact at both ends and a lower bound in
+     *  between — never an overcount. */
     double cdfAt(uint64_t v) const;
 
     void reset();
@@ -40,6 +48,7 @@ class Histogram
     std::vector<uint64_t> buckets_;
     uint64_t samples_ = 0;
     uint64_t sum_ = 0;
+    uint64_t max_ = 0;
 };
 
 /** Flat registry of named counters and histograms. */

@@ -1,5 +1,7 @@
 #include "core/spt_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "core/untaint_rules.h"
 #include "uarch/core.h"
@@ -53,6 +55,18 @@ SptEngine::attach(Core &core)
         taint_store_ = std::make_unique<ShadowMemory>();
         break;
     }
+
+    uint64_t cap = 1;
+    while (cap < core.params().rob_size)
+        cap <<= 1;
+    entries_.assign(cap, Entry{});
+    idx_mask_ = cap - 1;
+    head_ = tail_ = vp_cursor_ = 0;
+    local_queue_.clear();
+    pending_flags_.clear();
+    reg_slots_.assign(core.physRegs().numRegs(), {});
+    stl_candidates_ = 0;
+    shadow_candidates_ = 0;
 }
 
 TaintMask
@@ -61,11 +75,119 @@ SptEngine::masterTaint(PhysReg reg) const
     return reg == kNoPhysReg ? TaintMask::none() : master_[reg];
 }
 
+// --------------------------------------------------------------------
+// Taint storage
+// --------------------------------------------------------------------
+
+SptEngine::Entry *
+SptEngine::entryOf(const DynInst &d)
+{
+    if (d.taint_idx == kNoTaintIdx)
+        return nullptr;
+    Entry &e = entries_[d.taint_idx];
+    return (e.live && e.seq == d.seq) ? &e : nullptr;
+}
+
+const SptEngine::Entry *
+SptEngine::entryOf(const DynInst &d) const
+{
+    return const_cast<SptEngine *>(this)->entryOf(d);
+}
+
+SptEngine::Entry *
+SptEngine::entryBySeq(SeqNum seq)
+{
+    // Live positions [head_, tail_) hold strictly increasing seqs
+    // (ROB order), so a binary search over ring positions suffices.
+    uint64_t lo = head_, hi = tail_;
+    while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (entryAt(mid).seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo == tail_)
+        return nullptr;
+    Entry &e = entryAt(lo);
+    return (e.live && e.seq == seq) ? &e : nullptr;
+}
+
+const SptEngine::Entry *
+SptEngine::entryBySeq(SeqNum seq) const
+{
+    return const_cast<SptEngine *>(this)->entryBySeq(seq);
+}
+
 const SptEngine::InstTaint *
 SptEngine::instTaint(SeqNum seq) const
 {
-    auto it = tab_.find(seq);
-    return it == tab_.end() ? nullptr : &it->second;
+    const Entry *e = entryBySeq(seq);
+    return e ? &e->it : nullptr;
+}
+
+void
+SptEngine::markLocalDirty(Entry &e)
+{
+    if (cfg_.method == UntaintMethod::kNone)
+        return; // the local-rules phase never runs
+    if (e.in_local_queue)
+        return;
+    e.in_local_queue = true;
+    local_queue_.push_back(
+        {static_cast<uint32_t>(&e - entries_.data()), e.seq});
+}
+
+void
+SptEngine::raiseFlag(Entry &e, int slot)
+{
+    // Key layout: seq in the high bits, slot in the low two, so set
+    // order is (older inst, dest-before-src) — the arbitration order.
+    if (!slotFlag(e.it, slot))
+        pending_flags_.insert((e.seq << 2) | uint64_t(slot));
+    slotFlag(e.it, slot) = true;
+}
+
+void
+SptEngine::clearFlag(Entry &e, int slot)
+{
+    if (slotFlag(e.it, slot))
+        pending_flags_.erase((e.seq << 2) | uint64_t(slot));
+    slotFlag(e.it, slot) = false;
+}
+
+void
+SptEngine::freeEntry(Entry &e)
+{
+    for (int slot = 0; slot < 3; ++slot)
+        clearFlag(e, slot);
+    if (e.stl_candidate)
+        --stl_candidates_;
+    if (e.shadow_candidate)
+        --shadow_candidates_;
+    e.live = false;
+    e.inst = nullptr;
+}
+
+void
+SptEngine::registerRegSlots(const DynInst &d, uint32_t idx)
+{
+    for (int slot = 0; slot < 3; ++slot) {
+        const PhysReg reg = slotReg(d, slot);
+        if (reg == kNoPhysReg || reg == PhysRegFile::kZeroReg)
+            continue; // never the target of a broadcast
+        auto &refs = reg_slots_[reg];
+        // Drop stale references before forcing a reallocation; live
+        // ones are bounded by the ROB, so this keeps each list small
+        // at amortized O(1) per insert.
+        if (refs.size() >= 16 && refs.size() == refs.capacity()) {
+            std::erase_if(refs, [this](const RegSlotRef &r) {
+                const Entry &e = entries_[r.idx];
+                return !e.live || e.seq != r.seq;
+            });
+        }
+        refs.push_back({idx, d.seq, static_cast<uint8_t>(slot)});
+    }
 }
 
 void
@@ -115,7 +237,19 @@ SptEngine::slotFlag(InstTaint &it, int slot) const
 void
 SptEngine::onRename(DynInst &d)
 {
-    InstTaint it;
+    SPT_ASSERT(tail_ - head_ < entries_.size(),
+               "taint ring overflow: ROB grew past attach-time size");
+    const uint32_t idx = static_cast<uint32_t>(tail_ & idx_mask_);
+    Entry &e = entries_[idx];
+    SPT_ASSERT(!e.live, "taint ring slot still live at rename");
+    e = Entry{};
+    e.seq = d.seq;
+    e.inst = &d;
+    e.live = true;
+    d.taint_idx = idx;
+    ++tail_;
+
+    InstTaint &it = e.it;
     if (d.num_srcs >= 1)
         it.src[0] = master_[d.prs1];
     if (d.num_srcs >= 2)
@@ -130,48 +264,77 @@ SptEngine::onRename(DynInst &d)
         }
         master_[d.prd] = it.dest;
     }
-    tab_[d.seq] = it;
+    registerRegSlots(d, idx);
+    // The backward rule may already apply to the rename-time masks.
+    markLocalDirty(e);
 }
 
 void
 SptEngine::onSquash(const DynInst &d)
 {
-    tab_.erase(d.seq);
+    if (d.taint_idx == kNoTaintIdx)
+        return; // squashed before rename (fetch queue)
+    Entry &e = entries_[d.taint_idx];
+    if (!e.live || e.seq != d.seq)
+        return;
+    // The core squashes the ROB suffix youngest-first, so frees pop
+    // the ring tail.
+    SPT_ASSERT(tail_ > head_ &&
+                   ((tail_ - 1) & idx_mask_) == d.taint_idx,
+               "out-of-order squash");
+    freeEntry(e);
+    --tail_;
+    if (vp_cursor_ > tail_)
+        vp_cursor_ = tail_;
 }
 
 void
 SptEngine::onRetire(const DynInst &d)
 {
+    Entry *e = entryOf(d);
+    if (!e)
+        return;
+    SPT_ASSERT((head_ & idx_mask_) == d.taint_idx,
+               "out-of-order retire");
     // A retiring instruction's slot frees; push any still-pending
     // untaint information into the master copy so it is not lost
     // (newly renamed consumers read the master).
     flushFlagsToMaster(d);
-    tab_.erase(d.seq);
+    freeEntry(*e);
+    ++head_;
+    if (vp_cursor_ < head_)
+        vp_cursor_ = head_;
 }
 
 void
 SptEngine::flushFlagsToMaster(const DynInst &d)
 {
-    auto it = tab_.find(d.seq);
-    if (it == tab_.end())
+    Entry *e = entryOf(d);
+    if (!e)
         return;
     for (int slot = 0; slot < 3; ++slot) {
-        if (!slotFlag(it->second, slot))
+        if (!slotFlag(e->it, slot))
             continue;
         const PhysReg reg = slotReg(d, slot);
         if (reg != kNoPhysReg && reg != PhysRegFile::kZeroReg)
-            master_[reg] &= slotMask(it->second, slot);
+            master_[reg] &= slotMask(e->it, slot);
     }
 }
 
 void
 SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
 {
-    auto iter = tab_.find(d.seq);
-    if (iter == tab_.end())
+    Entry *e = entryOf(d);
+    if (!e)
         return;
-    InstTaint &it = iter->second;
+    InstTaint &it = e->it;
     it.load_data_seen = true;
+    if (forwarded && !e->stl_candidate) {
+        // Either direction of the STL rule may fire later, whatever
+        // the current masks (Section 6.7).
+        e->stl_candidate = true;
+        ++stl_candidates_;
+    }
 
     if (it.dest.nothing()) {
         // Section 6.8 load rule: the output register was already
@@ -194,17 +357,24 @@ SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
         d.mem_bytes, opTraits(d.si.op).load_signed, byte_taint);
     if (m != it.dest && m.subsetOf(it.dest)) {
         it.dest = m;
-        it.dest_flag = true;
+        raiseFlag(*e, 0);
         countUntaint(UntaintReason::kShadowData);
+        markLocalDirty(*e);
+    }
+    if (cfg_.shadow != ShadowKind::kNone && !it.shadow_cleared) {
+        // May retroactively clear the read bytes once the output
+        // untaints (shadowClearPhase).
+        e->shadow_candidate = true;
+        ++shadow_candidates_;
     }
 }
 
 void
 SptEngine::onStoreCommit(const DynInst &d)
 {
-    auto iter = tab_.find(d.seq);
+    const Entry *e = entryOf(d);
     const TaintMask data_mask =
-        iter == tab_.end() ? TaintMask::all() : iter->second.src[1];
+        e ? e->it.src[1] : TaintMask::all();
     // The data operand's taint overwrites the written bytes' taint
     // (Sections 6.8 / 7.5).
     taint_store_->writeTaint(d.eff_addr, d.mem_bytes,
@@ -220,10 +390,10 @@ SptEngine::addrOperandPublic(const DynInst &d) const
 {
     if (d.at_vp)
         return true;
-    auto it = tab_.find(d.seq);
-    if (it == tab_.end())
+    const Entry *e = entryOf(d);
+    if (!e)
         return true; // retired
-    return it->second.src[0].nothing();
+    return e->it.src[0].nothing();
 }
 
 bool
@@ -231,12 +401,12 @@ SptEngine::operandsPublic(const DynInst &d) const
 {
     if (d.at_vp)
         return true;
-    auto it = tab_.find(d.seq);
-    if (it == tab_.end())
+    const Entry *e = entryOf(d);
+    if (!e)
         return true;
-    if (d.num_srcs >= 1 && it->second.src[0].any())
+    if (d.num_srcs >= 1 && e->it.src[0].any())
         return false;
-    if (d.num_srcs >= 2 && it->second.src[1].any())
+    if (d.num_srcs >= 2 && e->it.src[1].any())
         return false;
     return true;
 }
@@ -262,10 +432,10 @@ SptEngine::storeAddrPublic(const DynInst &store) const
 {
     if (store.at_vp)
         return true;
-    auto it = tab_.find(store.seq);
-    if (it == tab_.end())
+    const Entry *e = entryOf(store);
+    if (!e)
         return true;
-    return it->second.src[0].nothing();
+    return e->it.src[0].nothing();
 }
 
 bool
@@ -320,115 +490,142 @@ SptEngine::maySquashMemViolation(const DynInst &load) const
 void
 SptEngine::declassifyPhase()
 {
-    for (const DynInstPtr &d : core_->rob()) {
-        if (d->squashed || !d->at_vp)
+    // at_vp spreads as a monotone, contiguous ROB prefix (it is set
+    // front-to-back and squashes only remove the suffix), so a
+    // cursor visits each instruction exactly once.
+    while (vp_cursor_ < tail_) {
+        Entry &e = entryAt(vp_cursor_);
+        if (!e.inst->at_vp)
+            break;
+        ++vp_cursor_;
+        if (e.it.declassified)
             continue;
-        auto iter = tab_.find(d->seq);
-        if (iter == tab_.end() || iter->second.declassified)
-            continue;
-        InstTaint &it = iter->second;
-        it.declassified = true;
+        e.it.declassified = true;
+        const DynInst &d = *e.inst;
         // Leaked operands: the address of a load/store; the source
         // operands of a branch/indirect jump.
         bool src0 = false, src1 = false;
-        if (d->isMem())
+        if (d.isMem())
             src0 = true;
-        else if (d->is_ctrl) {
-            src0 = d->num_srcs >= 1;
-            src1 = d->num_srcs >= 2;
+        else if (d.is_ctrl) {
+            src0 = d.num_srcs >= 1;
+            src1 = d.num_srcs >= 2;
         }
-        if (src0 && it.src[0].any()) {
-            it.src[0] = TaintMask::none();
-            it.src_flag[0] = true;
+        if (src0 && e.it.src[0].any()) {
+            e.it.src[0] = TaintMask::none();
+            raiseFlag(e, 1);
             countUntaint(UntaintReason::kVpDeclassify);
+            markLocalDirty(e);
         }
-        if (src1 && it.src[1].any()) {
-            it.src[1] = TaintMask::none();
-            it.src_flag[1] = true;
+        if (src1 && e.it.src[1].any()) {
+            e.it.src[1] = TaintMask::none();
+            raiseFlag(e, 2);
             countUntaint(UntaintReason::kVpDeclassify);
+            markLocalDirty(e);
         }
     }
 }
 
 bool
-SptEngine::localRulesPhase()
+SptEngine::evalLocalRules(Entry &e)
 {
+    const DynInst &d = *e.inst;
+    InstTaint &it = e.it;
     bool changed = false;
-    const bool backward = cfg_.method == UntaintMethod::kBackward ||
-                          cfg_.method == UntaintMethod::kIdeal;
-    for (const DynInstPtr &d : core_->rob()) {
-        if (d->squashed)
-            continue;
-        auto iter = tab_.find(d->seq);
-        if (iter == tab_.end())
-            continue;
-        InstTaint &it = iter->second;
 
-        // Forward rule: outputs that are pure functions of their
-        // operands (never loads).
-        if (d->has_dest && !d->is_load && it.dest.any()) {
-            const TaintMask m =
-                propagateForward(d->si.op, it.src[0], it.src[1]);
-            if (m != it.dest && m.subsetOf(it.dest)) {
-                it.dest = m;
-                it.dest_flag = true;
-                countUntaint(UntaintReason::kForward);
-                changed = true;
-            }
+    // Forward rule: outputs that are pure functions of their
+    // operands (never loads).
+    if (d.has_dest && !d.is_load && it.dest.any()) {
+        const TaintMask m =
+            propagateForward(d.si.op, it.src[0], it.src[1]);
+        if (m != it.dest && m.subsetOf(it.dest)) {
+            it.dest = m;
+            raiseFlag(e, 0);
+            countUntaint(UntaintReason::kForward);
+            changed = true;
         }
+    }
 
-        if (backward) {
-            const BackwardUntaint b = propagateBackward(
-                d->si.op, it.src[0], it.src[1], it.dest);
-            if (b.untaint_src0) {
-                it.src[0] = TaintMask::none();
-                it.src_flag[0] = true;
-                countUntaint(UntaintReason::kBackward);
-                changed = true;
-            }
-            if (b.untaint_src1) {
-                it.src[1] = TaintMask::none();
-                it.src_flag[1] = true;
-                countUntaint(UntaintReason::kBackward);
-                changed = true;
-            }
+    if (cfg_.method == UntaintMethod::kBackward ||
+        cfg_.method == UntaintMethod::kIdeal) {
+        const BackwardUntaint b = propagateBackward(
+            d.si.op, it.src[0], it.src[1], it.dest);
+        if (b.untaint_src0) {
+            it.src[0] = TaintMask::none();
+            raiseFlag(e, 1);
+            countUntaint(UntaintReason::kBackward);
+            changed = true;
+        }
+        if (b.untaint_src1) {
+            it.src[1] = TaintMask::none();
+            raiseFlag(e, 2);
+            countUntaint(UntaintReason::kBackward);
+            changed = true;
         }
     }
     return changed;
 }
 
 bool
+SptEngine::localRulesPhase()
+{
+    // The rules are pure functions of an instruction's own masks:
+    // re-evaluating one whose inputs did not change is a no-op, so
+    // only queued (changed) instructions need a visit. Entries
+    // queued during this drain — including self-requeues when a rule
+    // fires — are seen by the *next* drain, matching the old
+    // scan-per-cycle behavior of one visit per instruction per call.
+    bool changed = false;
+    const size_t n = local_queue_.size();
+    for (size_t i = 0; i < n; ++i) {
+        const EntryRef ref = local_queue_[i];
+        Entry &e = entries_[ref.idx];
+        if (!e.live || e.seq != ref.seq)
+            continue; // slot recycled since queueing
+        e.in_local_queue = false;
+        if (evalLocalRules(e)) {
+            markLocalDirty(e);
+            changed = true;
+        }
+    }
+    local_queue_.erase(local_queue_.begin(),
+                       local_queue_.begin() + n);
+    return changed;
+}
+
+bool
 SptEngine::stlPhase()
 {
+    if (stl_candidates_ == 0)
+        return false; // no forwarded load in flight
     bool changed = false;
     for (const DynInstPtr &ld : core_->loadQueue()) {
         if (ld->squashed || !ld->forwarded)
             continue;
-        auto liter = tab_.find(ld->seq);
-        if (liter == tab_.end() || !liter->second.load_data_seen)
+        Entry *le = entryOf(*ld);
+        if (!le || !le->it.load_data_seen)
             continue;
-        const DynInstPtr st = core_->findInst(ld->forwarding_store);
-        if (!st)
+        Entry *se = entryBySeq(ld->forwarding_store);
+        if (!se)
             continue; // store retired before the pair went public
-        auto siter = tab_.find(st->seq);
-        if (siter == tab_.end())
+        if (!stlPublic(*ld, *se->inst))
             continue;
-        if (!stlPublic(*ld, *st))
-            continue;
-        InstTaint &lt = liter->second;
-        InstTaint &stt = siter->second;
+        InstTaint &lt = le->it;
+        InstTaint &stt = se->it;
         // Forward: store data -> load output.
         if (stt.src[1].nothing() && lt.dest.any()) {
             lt.dest = TaintMask::none();
-            lt.dest_flag = true;
+            raiseFlag(*le, 0);
             countUntaint(UntaintReason::kStlForward);
+            markLocalDirty(*le);
             changed = true;
         }
         // Backward: load output -> store data.
         if (lt.dest.nothing() && stt.src[1].any()) {
             stt.src[1] = TaintMask::none();
-            stt.src_flag[1] = true;
+            raiseFlag(*se, 2);
             countUntaint(UntaintReason::kStlForward);
+            markLocalDirty(*se);
             changed = true;
         }
     }
@@ -440,6 +637,8 @@ SptEngine::shadowClearPhase()
 {
     if (cfg_.shadow == ShadowKind::kNone)
         return; // no taint-tracking structure to update
+    if (shadow_candidates_ == 0)
+        return; // no load that could still clear anything
 
     // Section 6.8 load rule, retroactive form: a non-speculative
     // load whose output register became untainted (e.g., backward-
@@ -451,14 +650,18 @@ SptEngine::shadowClearPhase()
         if (ld->squashed || !ld->at_vp || ld->forwarded ||
             !ld->access_done)
             continue;
-        auto iter = tab_.find(ld->seq);
-        if (iter == tab_.end())
+        Entry *e = entryOf(*ld);
+        if (!e)
             continue;
-        InstTaint &it = iter->second;
+        InstTaint &it = e->it;
         if (!it.load_data_seen || it.shadow_cleared ||
             it.dest.any())
             continue;
         it.shadow_cleared = true;
+        if (e->shadow_candidate) {
+            e->shadow_candidate = false;
+            --shadow_candidates_;
+        }
         taint_store_->clearTaint(ld->eff_addr, ld->mem_bytes);
         stats_.inc("shadow.load_clears");
     }
@@ -467,64 +670,69 @@ SptEngine::shadowClearPhase()
 void
 SptEngine::applyBroadcast(PhysReg reg, TaintMask mask)
 {
-    if (!mask.subsetOf(master_[reg]))
-        return;
+    // The broadcast may carry information the master copy already
+    // has (or lost to a retirement flush in between): intersecting
+    // is monotone and sound either way. Dropping a non-subset mask
+    // here would lose the untaint forever, since broadcastPhase has
+    // already cleared the slot flag.
     if ((master_[reg] & mask) != master_[reg])
         ++untainted_regs_this_cycle_;
     master_[reg] &= mask;
-    for (const DynInstPtr &d : core_->rob()) {
-        if (d->squashed)
+    // Only the in-flight slots naming `reg` can observe the
+    // broadcast; walk the reverse index instead of the ROB,
+    // compacting out slots that were recycled since registration.
+    auto &refs = reg_slots_[reg];
+    size_t w = 0;
+    for (size_t r = 0; r < refs.size(); ++r) {
+        const RegSlotRef ref = refs[r];
+        Entry &e = entries_[ref.idx];
+        if (!e.live || e.seq != ref.seq)
             continue;
-        auto iter = tab_.find(d->seq);
-        if (iter == tab_.end())
-            continue;
-        for (int slot = 0; slot < 3; ++slot) {
-            if (slotReg(*d, slot) != reg)
-                continue;
-            TaintMask &m = slotMask(iter->second, slot);
-            m &= mask;
-            // The slot's information is fully conveyed once it
-            // matches the broadcast value.
-            if (m == mask)
-                slotFlag(iter->second, slot) = false;
-        }
+        refs[w++] = ref;
+        TaintMask &m = slotMask(e.it, ref.slot);
+        const TaintMask before = m;
+        m &= mask;
+        // The slot's information is fully conveyed once it
+        // matches the broadcast value.
+        if (m == mask)
+            clearFlag(e, ref.slot);
+        if (m != before)
+            markLocalDirty(e);
     }
+    refs.resize(w);
     stats_.inc("untaint.broadcasts");
 }
 
 void
 SptEngine::broadcastPhase()
 {
+    // Drain raised flags in arbitration order (the set's key order:
+    // older instruction first, destination before sources) up to
+    // the structural width.
     std::vector<Broadcast> chosen;
     chosen.reserve(cfg_.broadcast_width);
-    for (const DynInstPtr &d : core_->rob()) {
-        if (chosen.size() >= cfg_.broadcast_width)
-            break;
-        if (d->squashed)
+    while (!pending_flags_.empty() &&
+           chosen.size() < cfg_.broadcast_width) {
+        const uint64_t key = *pending_flags_.begin();
+        Entry *e = entryBySeq(key >> 2);
+        SPT_ASSERT(e, "pending flag references a freed slot");
+        const int slot = static_cast<int>(key & 3);
+        clearFlag(*e, slot);
+        const PhysReg reg = slotReg(*e->inst, slot);
+        if (reg == kNoPhysReg || reg == PhysRegFile::kZeroReg)
             continue;
-        auto iter = tab_.find(d->seq);
-        if (iter == tab_.end())
+        Broadcast *dup = nullptr;
+        for (Broadcast &b : chosen)
+            if (b.reg == reg)
+                dup = &b;
+        if (dup) {
+            // A second slot naming an already-chosen register
+            // rides along on the same broadcast: merge its mask
+            // instead of burning a slot (and a cycle) on it.
+            dup->mask &= slotMask(e->it, slot);
             continue;
-        // Destination before sources, older before younger
-        // (Section 7.3).
-        for (int slot = 0; slot < 3; ++slot) {
-            if (chosen.size() >= cfg_.broadcast_width)
-                break;
-            if (!slotFlag(iter->second, slot))
-                continue;
-            const PhysReg reg = slotReg(*d, slot);
-            if (reg == kNoPhysReg || reg == PhysRegFile::kZeroReg) {
-                slotFlag(iter->second, slot) = false;
-                continue;
-            }
-            bool dup = false;
-            for (const Broadcast &b : chosen)
-                dup = dup || b.reg == reg;
-            if (dup)
-                continue;
-            chosen.push_back({reg, slotMask(iter->second, slot)});
-            slotFlag(iter->second, slot) = false;
         }
+        chosen.push_back({reg, slotMask(e->it, slot)});
     }
     for (const Broadcast &b : chosen)
         applyBroadcast(b.reg, b.mask);
@@ -540,24 +748,20 @@ SptEngine::idealPropagate()
         changed = false;
         changed |= localRulesPhase();
         changed |= stlPhase();
-        // Flush every flag as an immediate broadcast.
-        for (const DynInstPtr &d : core_->rob()) {
-            if (d->squashed)
-                continue;
-            auto iter = tab_.find(d->seq);
-            if (iter == tab_.end())
-                continue;
-            for (int slot = 0; slot < 3; ++slot) {
-                if (!slotFlag(iter->second, slot))
-                    continue;
-                slotFlag(iter->second, slot) = false;
-                const PhysReg reg = slotReg(*d, slot);
-                if (reg != kNoPhysReg &&
-                    reg != PhysRegFile::kZeroReg) {
-                    applyBroadcast(reg,
-                                   slotMask(iter->second, slot));
-                    changed = true;
-                }
+        // Flush every flag as an immediate broadcast. A broadcast
+        // may clear other pending flags; popping the set's head each
+        // time handles that safely and keeps arbitration order.
+        while (!pending_flags_.empty()) {
+            const uint64_t key = *pending_flags_.begin();
+            Entry *e = entryBySeq(key >> 2);
+            SPT_ASSERT(e, "pending flag references a freed slot");
+            const int slot = static_cast<int>(key & 3);
+            clearFlag(*e, slot);
+            const PhysReg reg = slotReg(*e->inst, slot);
+            if (reg != kNoPhysReg &&
+                reg != PhysRegFile::kZeroReg) {
+                applyBroadcast(reg, slotMask(e->it, slot));
+                changed = true;
             }
         }
     }

@@ -8,7 +8,8 @@
  *    rename reads it),
  *  - per in-flight instruction local taint copies of its source and
  *    destination registers with untaint-broadcast flags (the RS/LSQ
- *    slot taint bits of Section 7.2),
+ *    slot taint bits of Section 7.2), held in a ring buffer indexed
+ *    parallel to the ROB,
  *  - a byte-granularity data taint store (shadow L1 / shadow memory
  *    / none, Section 7.5).
  *
@@ -27,13 +28,32 @@
  * address operand is tainted may not access memory until the operand
  * untaints or the instruction reaches the VP, and branch-resolution
  * effects are deferred while the predicate is tainted.
+ *
+ * Implementation notes (this file models the paper's *hardware*
+ * structures rather than scanning the ROB every cycle):
+ *  - Taint records live in `entries_`, a power-of-two ring buffer
+ *    allocated in ROB order: a slot is claimed at rename (`tail_`),
+ *    freed at retire (`head_`) or squash (`tail_`, reverse order).
+ *    `DynInst::taint_idx` makes every per-instruction lookup O(1).
+ *  - The phases are change-driven. `local_queue_` holds the
+ *    instructions whose input masks changed since their last local
+ *    rule evaluation (the rules are pure functions of an
+ *    instruction's own masks, so re-evaluating an unchanged
+ *    instruction is a no-op — visiting only changed ones is
+ *    behavior-preserving). `pending_flags_` is an ordered set of
+ *    raised untaint-broadcast flags keyed so that iteration order
+ *    equals the paper's arbitration order; the broadcast phase
+ *    drains it instead of rescanning the ROB. `vp_cursor_` tracks
+ *    the ROB prefix already declassified (at_vp spreads as a
+ *    contiguous, monotone prefix), so declassification visits each
+ *    instruction exactly once.
  */
 
 #ifndef SPT_CORE_SPT_ENGINE_H
 #define SPT_CORE_SPT_ENGINE_H
 
 #include <memory>
-#include <unordered_map>
+#include <set>
 #include <vector>
 
 #include "core/taint_mask.h"
@@ -98,11 +118,71 @@ class SptEngine : public SecurityEngine
     const SptConfig &config() const { return cfg_; }
     DataTaintStore &taintStore() { return *taint_store_; }
 
+    /** Test hook: apply an untaint broadcast for @p reg as if the
+     *  broadcast phase had selected it this cycle. */
+    void injectBroadcast(PhysReg reg, TaintMask mask)
+    {
+        applyBroadcast(reg, mask);
+    }
+
   private:
+    /** One taint-storage slot, ring-buffer-parallel to a ROB slot. */
+    struct Entry {
+        InstTaint it;
+        SeqNum seq = 0;
+        /** Owning instruction; stable while `live` (freed before the
+         *  core drops its DynInstPtr at retire/squash). */
+        const DynInst *inst = nullptr;
+        bool live = false;
+        bool in_local_queue = false;    ///< queued for local rules
+        bool stl_candidate = false;     ///< forwarded load (STL phase)
+        bool shadow_candidate = false;  ///< may clear shadow taint
+    };
+
+    /** A work-list reference; stale once the slot is recycled. */
+    struct EntryRef {
+        uint32_t idx;
+        SeqNum seq;
+    };
+    struct RegSlotRef {
+        uint32_t idx;
+        SeqNum seq;
+        uint8_t slot;
+    };
+
     SptConfig cfg_;
-    std::unordered_map<SeqNum, InstTaint> tab_;
     std::vector<TaintMask> master_;
     std::unique_ptr<DataTaintStore> taint_store_;
+
+    // Ring buffer of taint records, ROB-parallel. Logical positions
+    // grow monotonically; position -> slot via `& idx_mask_`.
+    // Invariant: head_ <= vp_cursor_ <= tail_; every position in
+    // [head_, tail_) holds a live entry, in increasing seq order.
+    std::vector<Entry> entries_;
+    uint64_t idx_mask_ = 0;
+    uint64_t head_ = 0;
+    uint64_t tail_ = 0;
+    /** Positions below this are declassified (at_vp prefix). */
+    uint64_t vp_cursor_ = 0;
+
+    /** Instructions whose local-rule inputs changed since their last
+     *  evaluation (drained by localRulesPhase). */
+    std::vector<EntryRef> local_queue_;
+
+    /** Raised untaint-broadcast flags, keyed `(seq << 2) | slot` so
+     *  set order == broadcast arbitration order: older instruction
+     *  first, destination (slot 0) before sources (Section 7.3). */
+    std::set<uint64_t> pending_flags_;
+
+    /** Per physical register: the in-flight slots naming it (built
+     *  at rename, compacted lazily), so a broadcast touches only the
+     *  consumers of that register instead of the whole ROB. */
+    std::vector<std::vector<RegSlotRef>> reg_slots_;
+
+    /** Live entries with stl_candidate / shadow_candidate set; the
+     *  LSQ-walking phases are skipped while zero. */
+    unsigned stl_candidates_ = 0;
+    unsigned shadow_candidates_ = 0;
 
     // Scratch for the per-cycle broadcast phase.
     struct Broadcast {
@@ -113,9 +193,22 @@ class SptEngine : public SecurityEngine
     /** Registers whose master taint shrank this cycle (Figure 9). */
     unsigned untainted_regs_this_cycle_ = 0;
 
+    Entry &entryAt(uint64_t pos) { return entries_[pos & idx_mask_]; }
+    Entry *entryOf(const DynInst &d);
+    const Entry *entryOf(const DynInst &d) const;
+    Entry *entryBySeq(SeqNum seq);
+    const Entry *entryBySeq(SeqNum seq) const;
+
+    void markLocalDirty(Entry &e);
+    void raiseFlag(Entry &e, int slot);
+    void clearFlag(Entry &e, int slot);
+    void freeEntry(Entry &e);
+    void registerRegSlots(const DynInst &d, uint32_t idx);
+
     void countUntaint(UntaintReason reason);
     void declassifyPhase();
     bool localRulesPhase();
+    bool evalLocalRules(Entry &e);
     bool stlPhase();
     void shadowClearPhase();
     void broadcastPhase();

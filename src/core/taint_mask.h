@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace spt {
 
 class TaintMask
@@ -107,10 +109,16 @@ class TaintMask
      * extension produces untainted (known-zero) upper bytes;
      * sign-extension replicates the top loaded byte's taint upward.
      */
-    static constexpr TaintMask
+    // Not constexpr: the guard's throw machinery needs non-literal
+    // locals, which constexpr functions only allow from C++23 on.
+    static TaintMask
     forLoad(unsigned bytes, bool sign_extend,
             uint8_t loaded_byte_taint)
     {
+        // bytes == 0 would shift by (unsigned)-1 below — undefined
+        // behavior, not a meaningful access width.
+        SPT_ASSERT(bytes >= 1 && bytes <= 8,
+                   "load width must be 1-8 bytes, got " << bytes);
         uint8_t byte_mask =
             loaded_byte_taint &
             static_cast<uint8_t>((1u << (bytes < 8 ? bytes : 8)) - 1);

@@ -81,6 +81,11 @@ struct DynInst {
     // --- security ---------------------------------------------------------
     /** Reached the visibility point (monotone until squash). */
     bool at_vp = false;
+    /** Slot of this instruction's taint record in the security
+     *  engine's ROB-parallel taint storage; assigned at rename,
+     *  kNoTaintIdx while not renamed (or under engines that keep no
+     *  per-instruction state). */
+    uint32_t taint_idx = kNoTaintIdx;
 
     bool isMem() const { return is_load || is_store; }
 };

@@ -19,6 +19,9 @@ using PhysReg = uint16_t;
 
 constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
 
+/** "No taint-storage slot assigned" sentinel for DynInst::taint_idx. */
+constexpr uint32_t kNoTaintIdx = std::numeric_limits<uint32_t>::max();
+
 /**
  * Attack models from the paper (Section 2.2.1): they define the
  * visibility point (VP), the moment an instruction is considered

@@ -1,0 +1,41 @@
+#include "workloads/golden_suite.h"
+
+#include "workloads/workloads.h"
+
+namespace spt {
+
+const std::vector<GoldenCase> &
+goldenSuite()
+{
+    static const std::vector<GoldenCase> cases = [] {
+        std::vector<GoldenCase> v;
+        const auto add = [&v](const std::string &name, Program p,
+                              AttackModel m) {
+            v.push_back({name + (m == AttackModel::kSpectre
+                                     ? "/spectre"
+                                     : "/futuristic"),
+                         std::move(p), m});
+        };
+        // Reduced-size kernels: pointer chasing (backward untaint on
+        // address chains), interpreter (branchy declassification),
+        // hash table (mixed loads/stores, STL forwarding), sparse
+        // matrix-vector (tainted gather addresses + shadow L1
+        // reuse), ChaCha20 (constant-time: pins the all-counters-
+        // zero property the paper's security argument rests on).
+        add("pchase", makePointerChase(1024, 2),
+            AttackModel::kFuturistic);
+        add("pchase", makePointerChase(1024, 2),
+            AttackModel::kSpectre);
+        add("interp", makeInterpreter(2500),
+            AttackModel::kFuturistic);
+        add("interp", makeInterpreter(2500), AttackModel::kSpectre);
+        add("hashtab", makeHashTable(600, 600),
+            AttackModel::kFuturistic);
+        add("spmv", makeSpmv(1024, 4, 1), AttackModel::kFuturistic);
+        add("chacha20", makeChaCha20(16), AttackModel::kFuturistic);
+        return v;
+    }();
+    return cases;
+}
+
+} // namespace spt

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The fixed workload/model matrix behind the untaint golden-stats
+ * invariance test.
+ *
+ * The SPT engine's untaint-event counters are the numbers the
+ * paper's Figures 8-9 are built from, so performance reworks of the
+ * per-cycle taint machinery must not change them. This suite pins a
+ * set of reduced-size workloads (small enough for the test tier, big
+ * enough to exercise declassification, forward/backward rules, STL
+ * forwarding, and the shadow L1) under SPT{Bwd,ShadowL1}.
+ *
+ * `tools/record_golden_stats` regenerates
+ * `tests/golden_untaint_stats.inc`; `tests/test_golden_stats.cpp`
+ * asserts against it. Re-record only when a semantic change is
+ * intended, and justify the delta in the PR description.
+ */
+
+#ifndef SPT_WORKLOADS_GOLDEN_SUITE_H
+#define SPT_WORKLOADS_GOLDEN_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+struct GoldenCase {
+    std::string name;      ///< stable id, "<workload>/<model>"
+    Program program;
+    AttackModel model;
+};
+
+/** The fixed case matrix (built once, deterministic programs). */
+const std::vector<GoldenCase> &goldenSuite();
+
+} // namespace spt
+
+#endif // SPT_WORKLOADS_GOLDEN_SUITE_H

@@ -167,6 +167,47 @@ TEST(Stats, HistogramMeanAndCdf)
     EXPECT_DOUBLE_EQ(h.cdfAt(200), 1.0);
 }
 
+TEST(Stats, HistogramOverflowBucketBoundary)
+{
+    // An 8-bucket histogram: buckets 0-6 are exact, bucket 7 holds
+    // everything >= 7.
+    Histogram h(8);
+    h.record(6);   // last exact bucket
+    h.record(7);   // smallest overflow value
+    h.record(100); // deep overflow
+    EXPECT_EQ(h.bucket(6), 1u);
+    EXPECT_EQ(h.bucket(7), 2u);
+    EXPECT_EQ(h.maxSample(), 100u);
+
+    // Exact below the overflow bucket.
+    EXPECT_DOUBLE_EQ(h.cdfAt(5), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(6), 1.0 / 3.0);
+    // v = 7 does not cover the sample at 100, so the overflow bucket
+    // must not be counted (the off-by-one reported cdfAt(7) == 1.0).
+    EXPECT_DOUBLE_EQ(h.cdfAt(7), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(99), 1.0 / 3.0);
+    // From the largest recorded sample on, the cdf is exact again.
+    EXPECT_DOUBLE_EQ(h.cdfAt(100), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(101), 1.0);
+}
+
+TEST(Stats, HistogramOverflowExactWhenNoDeepOverflow)
+{
+    // When every overflow sample sits exactly at N-1, cdfAt(N-1)
+    // covers them all and must be 1.0.
+    Histogram h(8);
+    h.record(2);
+    h.record(7);
+    h.record(7);
+    EXPECT_EQ(h.maxSample(), 7u);
+    EXPECT_DOUBLE_EQ(h.cdfAt(6), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(7), 1.0);
+
+    h.reset();
+    EXPECT_EQ(h.maxSample(), 0u);
+    EXPECT_DOUBLE_EQ(h.cdfAt(7), 0.0);
+}
+
 TEST(Stats, DumpFormat)
 {
     StatSet s;

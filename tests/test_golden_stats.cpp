@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Golden-stats invariance: the untaint.* counters of the golden
+ * workload suite under SPT{Backward,ShadowL1} must match the
+ * recorded baseline exactly. The SPT untaint machinery is specified
+ * cycle-accurately (Section 7.3's phase ordering and arbitration),
+ * so any implementation or performance change that shifts these
+ * counters changed observable behavior — either a bug or a semantic
+ * change that must be justified and re-recorded
+ * (tools/record_golden_stats, see golden_untaint_stats.inc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workloads/golden_suite.h"
+
+namespace spt {
+namespace {
+
+using CounterMap = std::map<std::string, uint64_t>;
+
+const std::vector<std::pair<std::string, CounterMap>> &
+goldenCounters()
+{
+    static const std::vector<std::pair<std::string, CounterMap>> g = {
+#include "golden_untaint_stats.inc"
+    };
+    return g;
+}
+
+CounterMap
+runCase(const GoldenCase &c)
+{
+    SimConfig cfg;
+    cfg.engine.scheme = ProtectionScheme::kSpt;
+    cfg.engine.spt.method = UntaintMethod::kBackward;
+    cfg.engine.spt.shadow = ShadowKind::kShadowL1;
+    cfg.core.attack_model = c.model;
+    Simulator sim(c.program, cfg);
+    const SimResult res = sim.run();
+    EXPECT_TRUE(res.halted) << c.name;
+    CounterMap out;
+    for (const auto &[name, value] :
+         sim.core().engine().stats().counters()) {
+        if (name.rfind("untaint.", 0) == 0)
+            out[name] = value;
+    }
+    return out;
+}
+
+class GoldenStatsTest : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(GoldenStatsTest, UntaintCountersMatchBaseline)
+{
+    const GoldenCase &c = goldenSuite().at(GetParam());
+    const auto &expected = goldenCounters().at(GetParam());
+    ASSERT_EQ(expected.first, c.name)
+        << "golden_untaint_stats.inc is out of sync with the suite; "
+           "regenerate with tools/record_golden_stats";
+    const CounterMap actual = runCase(c);
+    // Compare complete maps: a counter appearing or disappearing is
+    // as much a divergence as a changed value.
+    EXPECT_EQ(actual, expected.second) << c.name;
+}
+
+std::string
+caseName(const testing::TestParamInfo<size_t> &info)
+{
+    std::string n = goldenSuite().at(info.param).name;
+    for (char &ch : n)
+        if (ch == '/' || ch == '-')
+            ch = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, GoldenStatsTest,
+    testing::Range<size_t>(0, goldenSuite().size()), caseName);
+
+TEST(GoldenStats, BaselineCoversWholeSuite)
+{
+    ASSERT_EQ(goldenCounters().size(), goldenSuite().size());
+}
+
+} // namespace
+} // namespace spt

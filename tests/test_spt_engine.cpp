@@ -130,6 +130,50 @@ boxes:
               0u);
 }
 
+TEST(SptEngine, BroadcastIntersectsPartialOverlap)
+{
+    // Regression: applyBroadcast used to drop any broadcast whose
+    // mask was not a subset of the master copy. With the slot flag
+    // already cleared by the broadcast phase, the overlapping part
+    // of the untaint was lost forever. The correct merge is an
+    // intersection (both masks are sound over-approximations).
+    const Program p = assemble("halt\n");
+    Rig rig = makeRig(p);
+    const PhysReg reg = 5;
+    ASSERT_TRUE(rig.engine->masterTaint(reg).full());
+    // Bytes 0-1 public elsewhere: groups 2,3 clear -> master 0b0011.
+    rig.engine->injectBroadcast(reg, TaintMask::fromByteMask(0x03));
+    EXPECT_EQ(rig.engine->masterTaint(reg).raw(), 0b0011);
+    // Second broadcast 0b0110 is NOT a subset of 0b0011; the old
+    // code returned early and left the master at 0b0011.
+    rig.engine->injectBroadcast(reg, TaintMask::fromByteMask(0x06));
+    EXPECT_EQ(rig.engine->masterTaint(reg).raw(), 0b0010);
+}
+
+TEST(SptEngine, DuplicateSlotsMergeIntoOneBroadcast)
+{
+    // Two loads off the same tainted base register reach the VP in
+    // the same cycle under the Spectre model, so two source slots
+    // raise flags for one physical register. Regression: the second
+    // slot must merge into the first slot's broadcast instead of
+    // consuming another of the `broadcast_width` slots.
+    const Program p = assemble(R"(
+    ld   s1, 0(s0)
+    ld   s2, 8(s0)
+    halt
+)");
+    Rig rig = makeRig(p, SptConfig{}, AttackModel::kSpectre);
+    while (!rig.core->halted() && rig.core->cycle() < 100'000)
+        rig.core->tick();
+    ASSERT_TRUE(rig.core->halted());
+    const StatSet &stats = rig.core->engine().stats();
+    EXPECT_EQ(stats.get("untaint.vp_declassify"), 2u);
+    EXPECT_EQ(stats.get("untaint.broadcasts"), 1u);
+    // s0 = x8 maps to phys 8 initially and is never rewritten; the
+    // merged broadcast must have cleared its master taint.
+    EXPECT_TRUE(rig.engine->masterTaint(8).nothing());
+}
+
 TEST(SptEngine, ShadowL1RemembersDeclassifiedData)
 {
     // Two passes over the same pointer cell. In pass 1 the loaded

@@ -89,6 +89,15 @@ TEST(TaintMask, ForLoadFullWidth)
     EXPECT_TRUE(m.group(3));
 }
 
+TEST(TaintMask, ForLoadRejectsZeroWidth)
+{
+    // bytes == 0 used to shift by (unsigned)-1 (undefined behavior)
+    // on the sign-extension path; it must trap instead.
+    EXPECT_THROW(TaintMask::forLoad(0, true, 0x01), PanicError);
+    EXPECT_THROW(TaintMask::forLoad(0, false, 0x00), PanicError);
+    EXPECT_THROW(TaintMask::forLoad(9, false, 0x00), PanicError);
+}
+
 // --------------------------------------------------------------------
 // Instruction-level rules
 // --------------------------------------------------------------------

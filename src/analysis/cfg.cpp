@@ -1,0 +1,235 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/logging.h"
+#include "isa/introspect.h"
+
+namespace spt {
+
+Cfg::Cfg(const Program &program) : program_(program)
+{
+    SPT_ASSERT(program.size() > 0, "Cfg over an empty program");
+    buildBlocks();
+    buildEdges();
+    computeDominators();
+    findLoops();
+}
+
+void
+Cfg::buildBlocks()
+{
+    const auto &code = program_.code();
+    std::set<uint64_t> leaders;
+    leaders.insert(program_.entry());
+    for (uint64_t pc = 0; pc < code.size(); ++pc) {
+        const Instruction &si = code[pc];
+        if (auto tgt = directTarget(si, pc); tgt && program_.validPc(*tgt))
+            leaders.insert(*tgt);
+        if (isBlockTerminator(si.op) && program_.validPc(pc + 1))
+            leaders.insert(pc + 1);
+    }
+    // Any symbol naming a text pc could be a JALR target (loaded via
+    // `li rX, symbol`); force those pcs to be leaders so the
+    // "unresolved JALR -> all leaders" edge policy covers them.
+    for (const auto &[name, value] : program_.symbols())
+        if (program_.validPc(value))
+            leaders.insert(value);
+
+    block_of_.assign(code.size(), 0);
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        BasicBlock bb;
+        bb.first = *it;
+        bb.last = (next == leaders.end() ? code.size() : *next) - 1;
+        const uint32_t id = static_cast<uint32_t>(blocks_.size());
+        for (uint64_t pc = bb.first; pc <= bb.last; ++pc)
+            block_of_[pc] = id;
+        blocks_.push_back(std::move(bb));
+    }
+    entry_block_ = block_of_[program_.entry()];
+}
+
+void
+Cfg::buildEdges()
+{
+    const auto &code = program_.code();
+
+    // ra-discipline check: x1 written only by JAL link values.
+    ra_disciplined_ = true;
+    for (const Instruction &si : code)
+        if (writesReg(si) && si.rd == kRegRa && si.op != Opcode::kJal)
+            ra_disciplined_ = false;
+
+    // Return sites: pc+1 of every link-producing JAL.
+    std::vector<uint32_t> return_sites;
+    for (uint64_t pc = 0; pc < code.size(); ++pc)
+        if (code[pc].op == Opcode::kJal && code[pc].rd != kRegZero &&
+            program_.validPc(pc + 1))
+            return_sites.push_back(block_of_[pc + 1]);
+
+    auto addEdge = [this](uint32_t from, uint32_t to) {
+        auto &succs = blocks_[from].succs;
+        if (std::find(succs.begin(), succs.end(), to) == succs.end()) {
+            succs.push_back(to);
+            blocks_[to].preds.push_back(from);
+        }
+    };
+
+    for (uint32_t id = 0; id < blocks_.size(); ++id) {
+        const uint64_t last = blocks_[id].last;
+        const Instruction &si = code[last];
+        const bool ret_like = si.op == Opcode::kJalr &&
+                              si.rs1 == kRegRa && si.imm == 0 &&
+                              ra_disciplined_;
+        if (si.op == Opcode::kJalr) {
+            if (ret_like) {
+                for (uint32_t site : return_sites)
+                    addEdge(id, site);
+            } else {
+                for (uint32_t tgt = 0; tgt < blocks_.size(); ++tgt)
+                    addEdge(id, tgt);
+            }
+            continue;
+        }
+        if (auto tgt = directTarget(si, last); tgt && program_.validPc(*tgt))
+            addEdge(id, block_of_[*tgt]);
+        if (canFallThrough(si.op) && program_.validPc(last + 1))
+            addEdge(id, block_of_[last + 1]);
+    }
+
+    // Reachability from the entry block.
+    std::deque<uint32_t> work{entry_block_};
+    blocks_[entry_block_].reachable = true;
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        for (uint32_t s : blocks_[id].succs)
+            if (!blocks_[s].reachable) {
+                blocks_[s].reachable = true;
+                work.push_back(s);
+            }
+    }
+}
+
+void
+Cfg::computeDominators()
+{
+    // Iterative dataflow formulation (Cooper/Harvey/Kennedy) over a
+    // reverse-postorder traversal from the entry block.
+    const uint32_t n = static_cast<uint32_t>(blocks_.size());
+    constexpr uint32_t kUndef = UINT32_MAX;
+    std::vector<uint32_t> idom(n, kUndef);
+    idom[entry_block_] = entry_block_;
+
+    std::vector<uint32_t> rpo;
+    rpo.reserve(n);
+    {
+        std::vector<uint8_t> state(n, 0); // 0=new 1=open 2=done
+        std::vector<std::pair<uint32_t, size_t>> stack;
+        stack.emplace_back(entry_block_, 0);
+        state[entry_block_] = 1;
+        while (!stack.empty()) {
+            auto &[id, next] = stack.back();
+            if (next < blocks_[id].succs.size()) {
+                const uint32_t s = blocks_[id].succs[next++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                state[id] = 2;
+                rpo.push_back(id);
+                stack.pop_back();
+            }
+        }
+        std::reverse(rpo.begin(), rpo.end());
+    }
+
+    std::vector<uint32_t> rpo_index(n, kUndef);
+    for (uint32_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = i;
+
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t id : rpo) {
+            if (id == entry_block_)
+                continue;
+            uint32_t new_idom = kUndef;
+            for (uint32_t p : blocks_[id].preds) {
+                if (idom[p] == kUndef)
+                    continue; // not yet processed / unreachable
+                new_idom = new_idom == kUndef ? p
+                                              : intersect(p, new_idom);
+            }
+            if (new_idom != kUndef && idom[id] != new_idom) {
+                idom[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (uint32_t id = 0; id < n; ++id)
+        blocks_[id].idom = idom[id] == kUndef ? id : idom[id];
+}
+
+bool
+Cfg::dominates(uint32_t a, uint32_t b) const
+{
+    // Walk b's idom chain up to the entry block.
+    uint32_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (!blocks_[cur].reachable || cur == entry_block_)
+            return false;
+        const uint32_t up = blocks_[cur].idom;
+        if (up == cur)
+            return false;
+        cur = up;
+    }
+}
+
+void
+Cfg::findLoops()
+{
+    for (uint32_t src = 0; src < blocks_.size(); ++src) {
+        if (!blocks_[src].reachable)
+            continue;
+        for (uint32_t header : blocks_[src].succs) {
+            if (!dominates(header, src))
+                continue;
+            NaturalLoop loop;
+            loop.header = header;
+            loop.back_edge_src = src;
+            std::set<uint32_t> body{header};
+            std::deque<uint32_t> work;
+            if (body.insert(src).second || src != header)
+                work.push_back(src);
+            while (!work.empty()) {
+                const uint32_t id = work.front();
+                work.pop_front();
+                for (uint32_t p : blocks_[id].preds)
+                    if (body.insert(p).second)
+                        work.push_back(p);
+            }
+            loop.body.assign(body.begin(), body.end());
+            loops_.push_back(std::move(loop));
+        }
+    }
+}
+
+} // namespace spt

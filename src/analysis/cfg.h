@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Control-flow graph over an assembled TRISC Program: basic blocks,
+ * successor/predecessor edges, immediate dominators, and natural
+ * loops. This is the substrate for the static knowledge-propagation
+ * pass and the constant-time lint (Declassiflow/Spectector-style
+ * analyses run over exactly this graph).
+ *
+ * Edge policy (must over-approximate every architectural control
+ * transfer, or the analyses built on top become unsound):
+ *  - conditional branch: taken target and fall-through;
+ *  - JAL: the direct target;
+ *  - JALR `ret` idiom (`jalr x0, ra, 0`), *if* the program is
+ *    ra-disciplined (x1 is only ever written by JAL link values):
+ *    every instruction following a JAL-with-link — i.e. all return
+ *    sites. ra-discipline guarantees ra always holds some JAL's
+ *    link value, so this covers every architectural target;
+ *  - any other JALR: all block leaders (the target register may
+ *    hold any code address a symbol or link value can reach; every
+ *    symbol that names a text pc is forced to be a leader so the
+ *    over-approximation stays sound for symbol-derived targets).
+ *    A computed target that lands mid-block with no symbol naming
+ *    it is outside this over-approximation — none of the bundled
+ *    programs or the fuzzer generate such code;
+ *  - HALT: no successors.
+ */
+
+#ifndef SPT_ANALYSIS_CFG_H
+#define SPT_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace spt {
+
+struct BasicBlock {
+    uint64_t first = 0; ///< pc of the first instruction
+    uint64_t last = 0;  ///< pc of the last instruction (inclusive)
+    std::vector<uint32_t> succs;
+    std::vector<uint32_t> preds;
+    /** Immediate dominator block id; the entry block (and any block
+     *  unreachable from it) is its own idom. */
+    uint32_t idom = 0;
+    bool reachable = false; ///< reachable from the entry block
+
+    uint64_t size() const { return last - first + 1; }
+};
+
+/** A natural loop: the target of a back edge (an edge whose source
+ *  is dominated by its target) plus every block that can reach the
+ *  back-edge source without passing through the header. */
+struct NaturalLoop {
+    uint32_t header = 0;
+    uint32_t back_edge_src = 0;
+    std::vector<uint32_t> body; ///< includes the header; sorted
+};
+
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &program);
+
+    const Program &program() const { return program_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const std::vector<NaturalLoop> &loops() const { return loops_; }
+
+    /** Id of the block containing @p pc. */
+    uint32_t blockOf(uint64_t pc) const
+    {
+        return block_of_[pc];
+    }
+
+    uint32_t entryBlock() const { return entry_block_; }
+
+    /** True iff block @p a dominates block @p b (reflexive). Blocks
+     *  unreachable from the entry are dominated by nothing but
+     *  themselves. */
+    bool dominates(uint32_t a, uint32_t b) const;
+
+    /** True iff x1 (ra) is written only by JAL link values, the
+     *  precondition for precise `ret` edges. */
+    bool raDisciplined() const { return ra_disciplined_; }
+
+  private:
+    const Program &program_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<uint32_t> block_of_; ///< pc -> block id
+    std::vector<NaturalLoop> loops_;
+    uint32_t entry_block_ = 0;
+    bool ra_disciplined_ = false;
+
+    void buildBlocks();
+    void buildEdges();
+    void computeDominators();
+    void findLoops();
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_CFG_H

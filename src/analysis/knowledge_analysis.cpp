@@ -1,0 +1,301 @@
+#include "analysis/knowledge_analysis.h"
+
+#include <deque>
+
+#include "common/logging.h"
+#include "core/untaint_rules.h"
+#include "isa/introspect.h"
+
+namespace spt {
+
+namespace {
+
+constexpr uint8_t kUnknown = 0;
+constexpr uint8_t kWindowed = 1;
+constexpr uint8_t kRobust = 2;
+
+/** All-or-nothing taint mask for querying the shared rule tables at
+ *  register granularity: a source known at >= @p threshold reads as
+ *  fully untainted, anything else as fully tainted. */
+TaintMask
+maskAt(const KnowledgeState &st, uint8_t reg, uint8_t threshold)
+{
+    return st.level[reg] >= threshold ? TaintMask::none()
+                                      : TaintMask::all();
+}
+
+void
+raise(KnowledgeState &st, uint8_t reg, uint8_t level)
+{
+    if (reg != kRegZero && st.level[reg] < level)
+        st.level[reg] = level;
+}
+
+/** Knowledge level of a non-load destination, per the shared forward
+ *  rule: robust if the output is untainted given robust inputs,
+ *  windowed if untainted given windowed inputs. */
+uint8_t
+forwardLevel(const Instruction &si, const KnowledgeState &st)
+{
+    const SrcRegs s = srcRegs(si);
+    for (uint8_t threshold : {kRobust, kWindowed}) {
+        const TaintMask a = s.count >= 1
+                                ? maskAt(st, s.reg[0], threshold)
+                                : TaintMask::none();
+        const TaintMask b = s.count >= 2
+                                ? maskAt(st, s.reg[1], threshold)
+                                : TaintMask::none();
+        if (propagateForward(si.op, a, b).nothing())
+            return threshold;
+    }
+    return kUnknown;
+}
+
+/** Whether the value produced by @p si is worth a def record: the
+ *  Section 6.6 rules (and deferred forward re-evaluation) can only
+ *  relate register sources to a register destination. Loads are
+ *  excluded (their data comes from memory, which this pass does not
+ *  model), as are immediate-class ops (already public) and
+ *  self-referential defs (the rule would relate the overwritten
+ *  value). */
+bool
+recordableDef(const Instruction &si)
+{
+    const OpTraits &t = opTraits(si.op);
+    if (!t.has_dest || si.rd == kRegZero || t.is_load)
+        return false;
+    const UntaintRule &r = untaintRule(si.op);
+    if (r.output_public || r.num_srcs == 0)
+        return false;
+    const SrcRegs s = srcRegs(si);
+    for (uint8_t i = 0; i < s.count; ++i)
+        if (s.reg[i] == si.rd)
+            return false; // self-referential
+    return true;
+}
+
+/**
+ * Fires the Section 6.6 inference rules to a local fixpoint:
+ *  - deferred forward: once every source of a recorded def is
+ *    known, the destination value is inferable;
+ *  - backward: once a recorded def's destination is known, the
+ *    shared backward rule may make sources inferable.
+ * Both directions involve a declassifier that can be younger than
+ * the producing instruction, so every fact derived here is capped
+ * at kWindowed (see the header's robust/windowed split).
+ */
+void
+inferenceClosure(KnowledgeState &st)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            const DefRecord &d = st.def[r];
+            if (!d.valid)
+                continue;
+            const Instruction &si = d.si;
+            const SrcRegs s = srcRegs(si);
+            // Deferred forward re-evaluation.
+            if (st.level[r] < kWindowed) {
+                const TaintMask a =
+                    s.count >= 1 ? maskAt(st, s.reg[0], kWindowed)
+                                 : TaintMask::none();
+                const TaintMask b =
+                    s.count >= 2 ? maskAt(st, s.reg[1], kWindowed)
+                                 : TaintMask::none();
+                if (propagateForward(si.op, a, b).nothing()) {
+                    st.level[r] = kWindowed;
+                    changed = true;
+                }
+            }
+            // Backward inference from a known destination.
+            if (st.level[r] >= kWindowed) {
+                const TaintMask src0 =
+                    s.count >= 1 ? maskAt(st, s.reg[0], kWindowed)
+                                 : TaintMask::none();
+                const TaintMask src1 =
+                    s.count >= 2 ? maskAt(st, s.reg[1], kWindowed)
+                                 : TaintMask::none();
+                const BackwardUntaint bu = propagateBackward(
+                    si.op, src0, src1, TaintMask::none());
+                if (bu.untaint_src0 &&
+                    st.level[s.reg[0]] < kWindowed) {
+                    raise(st, s.reg[0], kWindowed);
+                    changed = true;
+                }
+                if (bu.untaint_src1 &&
+                    st.level[s.reg[1]] < kWindowed) {
+                    raise(st, s.reg[1], kWindowed);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+const char *
+toString(Knowledge k)
+{
+    switch (k) {
+      case Knowledge::kUnknown:
+        return "unknown";
+      case Knowledge::kWindowed:
+        return "windowed";
+      case Knowledge::kRobust:
+        return "robust";
+    }
+    return "?";
+}
+
+bool
+KnowledgeState::meetWith(const KnowledgeState &o)
+{
+    bool changed = false;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        if (o.level[r] < level[r]) {
+            level[r] = o.level[r];
+            changed = true;
+        }
+        if (def[r].valid && !(def[r] == o.def[r])) {
+            def[r].valid = false;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+KnowledgeAnalysis::transfer(const Instruction &si, uint64_t pc,
+                            KnowledgeState &st)
+{
+    const OpTraits &t = opTraits(si.op);
+
+    // Visibility-point self-declassification: exactly the operands
+    // the dynamic engine's declassify phase releases (transmitter
+    // addresses, branch/JALR inputs). These declassifiers are older
+    // than every later reader, hence robust.
+    if (t.is_load || t.is_store || si.op == Opcode::kJalr)
+        raise(st, si.rs1, kRobust);
+    if (t.is_cond_branch) {
+        raise(st, si.rs1, kRobust);
+        raise(st, si.rs2, kRobust);
+    }
+    inferenceClosure(st);
+
+    if (writesReg(si)) {
+        // Kill records whose rule inputs this write invalidates.
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            DefRecord &d = st.def[r];
+            if (!d.valid)
+                continue;
+            const SrcRegs s = srcRegs(d.si);
+            for (uint8_t i = 0; i < s.count; ++i)
+                if (s.reg[i] == si.rd)
+                    d.valid = false;
+        }
+        st.level[si.rd] =
+            t.is_load ? kUnknown : forwardLevel(si, st);
+        st.def[si.rd] = recordableDef(si)
+                            ? DefRecord{true, pc, si}
+                            : DefRecord{};
+        inferenceClosure(st);
+    }
+}
+
+KnowledgeAnalysis::KnowledgeAnalysis(const Cfg &cfg) : cfg_(cfg)
+{
+    block_in_.resize(cfg_.blocks().size());
+    block_visited_.assign(cfg_.blocks().size(), 0);
+    pc_in_.resize(cfg_.program().size());
+    pc_valid_.assign(cfg_.program().size(), 0);
+    solve();
+}
+
+void
+KnowledgeAnalysis::solve()
+{
+    KnowledgeState entry;
+    entry.level[kRegZero] = kRobust;
+    block_in_[cfg_.entryBlock()] = entry;
+    block_visited_[cfg_.entryBlock()] = 1;
+
+    std::deque<uint32_t> work{cfg_.entryBlock()};
+    std::vector<uint8_t> queued(cfg_.blocks().size(), 0);
+    queued[cfg_.entryBlock()] = 1;
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = 0;
+        const KnowledgeState out = transferBlock(id, false);
+        for (uint32_t s : cfg_.blocks()[id].succs) {
+            bool changed;
+            if (!block_visited_[s]) {
+                block_in_[s] = out;
+                block_visited_[s] = 1;
+                changed = true;
+            } else {
+                changed = block_in_[s].meetWith(out);
+            }
+            if (changed && !queued[s]) {
+                queued[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+
+    for (uint32_t id = 0; id < cfg_.blocks().size(); ++id)
+        if (block_visited_[id])
+            transferBlock(id, true);
+}
+
+KnowledgeState
+KnowledgeAnalysis::transferBlock(uint32_t block, bool record_states)
+{
+    const BasicBlock &bb = cfg_.blocks()[block];
+    KnowledgeState st = block_in_[block];
+    for (uint64_t pc = bb.first; pc <= bb.last; ++pc) {
+        if (record_states) {
+            pc_in_[pc] = st;
+            pc_valid_[pc] = 1;
+        }
+        transfer(cfg_.program().at(pc), pc, st);
+    }
+    return st;
+}
+
+const KnowledgeState *
+KnowledgeAnalysis::inState(uint64_t pc) const
+{
+    SPT_ASSERT(cfg_.program().validPc(pc),
+               "inState: pc out of range: " << pc);
+    return pc_valid_[pc] ? &pc_in_[pc] : nullptr;
+}
+
+std::vector<SlotClaim>
+KnowledgeAnalysis::claimsAt(uint64_t pc) const
+{
+    std::vector<SlotClaim> claims;
+    const KnowledgeState *st = inState(pc);
+    if (!st)
+        return claims;
+    const SrcRegs s = srcRegs(cfg_.program().at(pc));
+    for (uint8_t i = 0; i < s.count; ++i)
+        claims.push_back({pc, i, st->of(s.reg[i])});
+    return claims;
+}
+
+std::vector<SlotClaim>
+KnowledgeAnalysis::allClaims(Knowledge at_least) const
+{
+    std::vector<SlotClaim> claims;
+    for (uint64_t pc = 0; pc < cfg_.program().size(); ++pc)
+        for (const SlotClaim &c : claimsAt(pc))
+            if (c.level >= at_least)
+                claims.push_back(c);
+    return claims;
+}
+
+} // namespace spt

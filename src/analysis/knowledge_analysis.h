@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Forward knowledge-propagation dataflow analysis: an abstract
+ * interpretation of the SPT untaint algebra (paper Sections 5-6)
+ * over the program CFG. Where the dynamic engine tracks *taint*
+ * (what the attacker must not learn), this pass tracks *knowledge*
+ * (what the attacker provably learns on every path) — the
+ * Declassiflow view of the same algebra. Both consume the shared
+ * rule tables in `src/core/untaint_rules.h`, so the static and
+ * dynamic semantics cannot drift.
+ *
+ * Lattice: each architectural register carries a knowledge level
+ *
+ *     kUnknown (0)  ⊑  kWindowed (1)  ⊑  kRobust (2)
+ *
+ * joined at merge points by min (knowledge must hold on *all*
+ * incoming paths). kRobust facts are those whose justifying
+ * declassifications are all performed by program-order-older
+ * instructions reaching their visibility point: under
+ * `UntaintMethod::kIdeal` the dynamic engine is guaranteed to have
+ * untainted the value by the time the reader retires (VP grants
+ * precede in-order retire). kWindowed facts additionally use the
+ * backward inference rules and deferred forward re-evaluation
+ * (Section 6.6), whose justifying declassifier can be *younger*
+ * than the value's producer — the dynamic untaint then only lands
+ * while the producer is still in flight, so the fact holds only
+ * within a bounded instruction window and is never asserted against
+ * the dynamic engine's retire-time state.
+ *
+ * The fixpoint is the MFP solution of the monotone framework
+ * (optimistic ⊤ initialisation, descending worklist); MFP ⊑ MOP, so
+ * every reported fact under-approximates true attacker knowledge —
+ * the sound direction for the differential harness.
+ */
+
+#ifndef SPT_ANALYSIS_KNOWLEDGE_ANALYSIS_H
+#define SPT_ANALYSIS_KNOWLEDGE_ANALYSIS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/instruction.h"
+
+namespace spt {
+
+enum class Knowledge : uint8_t {
+    kUnknown = 0,
+    kWindowed = 1,
+    kRobust = 2,
+};
+
+const char *toString(Knowledge k);
+
+/** The instruction that produced a register's current value, carried
+ *  in the abstract state so the backward rules and deferred forward
+ *  re-evaluation of Section 6.6 can fire when operands become known
+ *  later. A record dies when any of its source registers is
+ *  redefined (the rule would then relate stale values). */
+struct DefRecord {
+    bool valid = false;
+    uint64_t pc = 0;
+    Instruction si;
+
+    bool operator==(const DefRecord &) const = default;
+};
+
+/** Abstract state: per-register knowledge level + def records. */
+struct KnowledgeState {
+    std::array<uint8_t, kNumArchRegs> level{}; ///< Knowledge values
+    std::array<DefRecord, kNumArchRegs> def{};
+
+    Knowledge of(unsigned reg) const
+    {
+        return static_cast<Knowledge>(level[reg]);
+    }
+
+    /** Lattice meet (min levels; def records kept only when
+     *  structurally identical). Returns true iff *this changed. */
+    bool meetWith(const KnowledgeState &o);
+};
+
+/** A static claim about one source-operand slot of an instruction:
+ *  at the moment the instruction at `pc` reads slot `slot`, the
+ *  value is known at `level` on every architectural path. */
+struct SlotClaim {
+    uint64_t pc = 0;
+    uint8_t slot = 0;
+    Knowledge level = Knowledge::kUnknown;
+};
+
+class KnowledgeAnalysis
+{
+  public:
+    explicit KnowledgeAnalysis(const Cfg &cfg);
+
+    const Cfg &cfg() const { return cfg_; }
+
+    /** Abstract state just before the instruction at @p pc, or null
+     *  if the pc is unreachable from the entry (no facts hold). */
+    const KnowledgeState *inState(uint64_t pc) const;
+
+    /** Claims for every source slot of the instruction at @p pc
+     *  (empty for unreachable pcs). Slot order matches the dynamic
+     *  engine (slot 0 = rs1, slot 1 = rs2). */
+    std::vector<SlotClaim> claimsAt(uint64_t pc) const;
+
+    /** All claims with level >= @p at_least, in pc order. */
+    std::vector<SlotClaim> allClaims(Knowledge at_least) const;
+
+    /** Applies one instruction's transfer function to @p st:
+     *  visibility-point self-declassification, forward propagation
+     *  to the destination, and the Section 6.6 inference closure.
+     *  Exposed for tests and for the secret-flow lint. */
+    static void transfer(const Instruction &si, uint64_t pc,
+                         KnowledgeState &st);
+
+  private:
+    const Cfg &cfg_;
+    std::vector<KnowledgeState> block_in_;
+    std::vector<uint8_t> block_visited_;
+    std::vector<KnowledgeState> pc_in_;
+    std::vector<uint8_t> pc_valid_;
+
+    void solve();
+    KnowledgeState transferBlock(uint32_t block,
+                                 bool record_states);
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_KNOWLEDGE_ANALYSIS_H

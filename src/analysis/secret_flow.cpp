@@ -1,0 +1,493 @@
+#include "analysis/secret_flow.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "isa/introspect.h"
+#include "isa/semantics.h"
+
+namespace spt {
+
+namespace {
+
+/** Constants below this are treated as scalars, not pointer bases
+ *  (loop bounds, masks, shift counts all live well under it; every
+ *  bundled data segment lives well above it). */
+constexpr uint64_t kPtrBaseMin = 0x1000;
+
+/** Abstract value of one register. */
+struct AbsVal {
+    bool secret = false;              ///< may derive from a secret
+    std::optional<uint64_t> konst;    ///< exact value, if known
+    std::optional<uint64_t> base;     ///< pointer base, offset unknown
+};
+
+struct RegState {
+    std::array<AbsVal, kNumArchRegs> reg;
+};
+
+/** Half-open address interval; the last region extends to +inf. */
+struct Region {
+    uint64_t lo = 0;
+    uint64_t hi = UINT64_MAX; // exclusive (UINT64_MAX ~ unbounded)
+};
+
+struct FindingKey {
+    LintKind kind;
+    uint64_t pc;
+    auto operator<=>(const FindingKey &) const = default;
+};
+
+} // namespace
+
+const char *
+toString(LintKind k)
+{
+    switch (k) {
+      case LintKind::kSecretAddress:
+        return "secret-dependent address";
+      case LintKind::kSecretBranch:
+        return "secret-dependent branch";
+    }
+    return "?";
+}
+
+struct SecretFlowLint::Impl {
+    const Cfg &cfg;
+    const Program &prog;
+    LintOptions opts;
+
+    std::vector<Region> regions;
+    std::vector<uint8_t> region_secret;
+
+    std::vector<RegState> block_in;
+    std::vector<uint8_t> block_visited;
+    std::vector<RegState> pc_in; ///< recorded architectural states
+    std::vector<uint8_t> pc_valid;
+
+    std::set<FindingKey> arch_keys;
+    std::set<FindingKey> all_keys;
+    std::vector<LintFinding> findings;
+
+    Impl(const Cfg &c, LintOptions o)
+        : cfg(c), prog(c.program()), opts(o)
+    {
+    }
+
+    void buildRegions();
+    std::vector<uint32_t> regionsOver(uint64_t lo, uint64_t hi) const;
+    std::vector<uint32_t> addressRegions(const AbsVal &addr,
+                                         int64_t imm, unsigned bytes,
+                                         bool confined) const;
+    bool regionsSecret(const std::vector<uint32_t> &rs) const;
+    std::optional<std::pair<uint64_t, uint64_t>>
+    segmentContaining(uint64_t addr) const;
+
+    /** Executes one instruction on @p st. In recording mode emits
+     *  findings; in poisoning mode (@p poison) secret stores taint
+     *  regions. Returns true iff a region bit changed. */
+    bool step(const Instruction &si, uint64_t pc, RegState &st,
+              bool confined, bool poison, bool record,
+              bool transient);
+
+    bool joinVal(AbsVal &dst, const AbsVal &src) const;
+    bool joinState(RegState &dst, const RegState &src) const;
+
+    bool runArchPass(bool record);
+    void runSpecPass();
+    void emit(LintKind kind, uint64_t pc, const Instruction &si,
+              bool transient, const std::string &detail);
+};
+
+void
+SecretFlowLint::Impl::buildRegions()
+{
+    std::set<uint64_t> bounds{0};
+    for (const auto &[addr, bytes] : prog.dataSegments()) {
+        bounds.insert(addr);
+        bounds.insert(addr + bytes.size());
+    }
+    for (const SecretRange &sr : prog.secretRanges()) {
+        bounds.insert(sr.base);
+        bounds.insert(sr.base + sr.len);
+    }
+    for (const Instruction &si : prog.code())
+        if (si.op == Opcode::kLi &&
+            static_cast<uint64_t>(si.imm) >= kPtrBaseMin)
+            bounds.insert(static_cast<uint64_t>(si.imm));
+
+    for (auto it = bounds.begin(); it != bounds.end(); ++it) {
+        auto next = std::next(it);
+        regions.push_back(
+            {*it, next == bounds.end() ? UINT64_MAX : *next});
+    }
+    region_secret.assign(regions.size(), 0);
+    for (uint32_t i = 0; i < regions.size(); ++i)
+        for (const SecretRange &sr : prog.secretRanges())
+            if (sr.overlaps(regions[i].lo, regions[i].hi))
+                region_secret[i] = 1;
+}
+
+std::vector<uint32_t>
+SecretFlowLint::Impl::regionsOver(uint64_t lo, uint64_t hi) const
+{
+    std::vector<uint32_t> out;
+    for (uint32_t i = 0; i < regions.size(); ++i)
+        if (lo < regions[i].hi && regions[i].lo < hi)
+            out.push_back(i);
+    return out;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+SecretFlowLint::Impl::segmentContaining(uint64_t addr) const
+{
+    for (const auto &[base, bytes] : prog.dataSegments())
+        if (addr >= base && addr < base + bytes.size())
+            return std::make_pair(base, base + bytes.size());
+    return std::nullopt;
+}
+
+/** Lattice join at a control-flow merge. Secrecy is ORed. A value
+ *  that is a different constant (or differently-based pointer) on
+ *  each path degrades to a pointer base when both candidates sit in
+ *  the same data segment — a loop-carried walking pointer keeps its
+ *  anchor — and to fully-unknown otherwise. */
+bool
+SecretFlowLint::Impl::joinVal(AbsVal &dst, const AbsVal &src) const
+{
+    bool changed = false;
+    if (src.secret && !dst.secret) {
+        dst.secret = true;
+        changed = true;
+    }
+    if (dst.konst && dst.konst == src.konst)
+        return changed;
+
+    auto baseOf = [](const AbsVal &v) -> std::optional<uint64_t> {
+        if (v.base)
+            return v.base;
+        if (v.konst && *v.konst >= kPtrBaseMin)
+            return v.konst;
+        return std::nullopt;
+    };
+    const auto b1 = baseOf(dst);
+    const auto b2 = baseOf(src);
+    std::optional<uint64_t> joined;
+    if (b1 && b2) {
+        if (*b1 == *b2) {
+            joined = b1;
+        } else {
+            const auto s1 = segmentContaining(*b1);
+            const auto s2 = segmentContaining(*b2);
+            if (s1 && s2 && s1->first == s2->first)
+                joined = std::min(*b1, *b2);
+        }
+    }
+    if (dst.konst) {
+        dst.konst.reset();
+        changed = true;
+    }
+    if (dst.base != joined) {
+        dst.base = joined;
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+SecretFlowLint::Impl::joinState(RegState &dst,
+                                const RegState &src) const
+{
+    bool changed = false;
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        changed |= joinVal(dst.reg[r], src.reg[r]);
+    return changed;
+}
+
+std::vector<uint32_t>
+SecretFlowLint::Impl::addressRegions(const AbsVal &addr, int64_t imm,
+                                     unsigned bytes,
+                                     bool confined) const
+{
+    if (addr.konst) {
+        const uint64_t a = *addr.konst + static_cast<uint64_t>(imm);
+        return regionsOver(a, a + bytes);
+    }
+    if (addr.base) {
+        if (confined) {
+            // Architectural in-bounds access: confine to the data
+            // segment holding the base.
+            if (auto seg = segmentContaining(*addr.base))
+                return regionsOver(seg->first, seg->second);
+        }
+        return regionsOver(*addr.base, UINT64_MAX);
+    }
+    return regionsOver(0, UINT64_MAX);
+}
+
+bool
+SecretFlowLint::Impl::regionsSecret(
+    const std::vector<uint32_t> &rs) const
+{
+    for (uint32_t i : rs)
+        if (region_secret[i])
+            return true;
+    return false;
+}
+
+void
+SecretFlowLint::Impl::emit(LintKind kind, uint64_t pc,
+                           const Instruction &si, bool transient,
+                           const std::string &detail)
+{
+    const FindingKey key{kind, pc};
+    if (!transient)
+        arch_keys.insert(key);
+    if (!all_keys.insert(key).second)
+        return;
+    LintFinding f;
+    f.kind = kind;
+    f.pc = pc;
+    f.si = si;
+    f.transient_only = transient;
+    f.detail = detail;
+    findings.push_back(std::move(f));
+}
+
+bool
+SecretFlowLint::Impl::step(const Instruction &si, uint64_t pc,
+                           RegState &st, bool confined, bool poison,
+                           bool record, bool transient)
+{
+    const OpTraits &t = opTraits(si.op);
+    bool region_changed = false;
+
+    auto operandDetail = [&](uint8_t reg) {
+        std::ostringstream os;
+        os << registerName(reg) << " may carry secret-derived data";
+        return os.str();
+    };
+
+    if (t.is_load || t.is_store) {
+        const AbsVal &addr = st.reg[si.rs1];
+        if (record && addr.secret)
+            emit(LintKind::kSecretAddress, pc, si, transient,
+                 operandDetail(si.rs1));
+        const auto rs =
+            addressRegions(addr, si.imm, t.mem_bytes, confined);
+        if (t.is_load && writesReg(si)) {
+            AbsVal out;
+            out.secret = addr.secret || regionsSecret(rs);
+            st.reg[si.rd] = out;
+        }
+        if (t.is_store && poison && st.reg[si.rs2].secret) {
+            for (uint32_t i : rs)
+                if (!region_secret[i]) {
+                    region_secret[i] = 1;
+                    region_changed = true;
+                }
+        }
+        return region_changed;
+    }
+
+    if (t.is_cond_branch) {
+        if (record && (st.reg[si.rs1].secret || st.reg[si.rs2].secret))
+            emit(LintKind::kSecretBranch, pc, si, transient,
+                 operandDetail(st.reg[si.rs1].secret ? si.rs1
+                                                     : si.rs2));
+        return false;
+    }
+    if (si.op == Opcode::kJalr && record && st.reg[si.rs1].secret)
+        emit(LintKind::kSecretBranch, pc, si, transient,
+             operandDetail(si.rs1));
+
+    if (!t.has_dest || si.rd == kRegZero)
+        return false;
+
+    const SrcRegs s = srcRegs(si);
+    AbsVal out;
+    for (uint8_t i = 0; i < s.count; ++i)
+        out.secret |= st.reg[s.reg[i]].secret;
+
+    bool all_const = true;
+    uint64_t v0 = 0, v1 = 0;
+    if (s.count >= 1) {
+        if (st.reg[s.reg[0]].konst)
+            v0 = *st.reg[s.reg[0]].konst;
+        else
+            all_const = false;
+    }
+    if (s.count >= 2) {
+        if (st.reg[s.reg[1]].konst)
+            v1 = *st.reg[s.reg[1]].konst;
+        else
+            all_const = false;
+    }
+    if (all_const) {
+        out.konst = evaluateOp(si, pc, v0, v1).value;
+    } else if (si.op == Opcode::kAdd) {
+        // Pointer-base tracking: base + unknown offset.
+        const AbsVal &a = st.reg[si.rs1];
+        const AbsVal &b = st.reg[si.rs2];
+        if (a.konst && *a.konst >= kPtrBaseMin)
+            out.base = a.konst;
+        else if (b.konst && *b.konst >= kPtrBaseMin)
+            out.base = b.konst;
+        else if (a.base)
+            out.base = a.base;
+        else if (b.base)
+            out.base = b.base;
+    } else if (si.op == Opcode::kAddi) {
+        // Offset shifts stay anchored to the same base.
+        if (st.reg[si.rs1].base)
+            out.base = st.reg[si.rs1].base;
+    }
+    st.reg[si.rd] = out;
+    return false;
+}
+
+bool
+SecretFlowLint::Impl::runArchPass(bool record)
+{
+    RegState entry;
+    entry.reg[kRegZero].konst = 0;
+    entry.reg[kRegSp].konst = kDefaultStackTop;
+
+    const uint32_t nblocks =
+        static_cast<uint32_t>(cfg.blocks().size());
+    block_in.assign(nblocks, RegState{});
+    block_visited.assign(nblocks, 0);
+    block_in[cfg.entryBlock()] = entry;
+    block_visited[cfg.entryBlock()] = 1;
+
+    bool region_changed = false;
+    std::deque<uint32_t> work{cfg.entryBlock()};
+    std::vector<uint8_t> queued(nblocks, 0);
+    queued[cfg.entryBlock()] = 1;
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = 0;
+        const BasicBlock &bb = cfg.blocks()[id];
+        RegState st = block_in[id];
+        for (uint64_t pc = bb.first; pc <= bb.last; ++pc) {
+            if (record) {
+                pc_in[pc] = st;
+                pc_valid[pc] = 1;
+            }
+            region_changed |=
+                step(prog.at(pc), pc, st, /*confined=*/true,
+                     /*poison=*/true, record, /*transient=*/false);
+        }
+        for (uint32_t sidx : bb.succs) {
+            bool changed;
+            if (!block_visited[sidx]) {
+                block_in[sidx] = st;
+                block_visited[sidx] = 1;
+                changed = true;
+            } else {
+                changed = joinState(block_in[sidx], st);
+            }
+            if (changed && !queued[sidx]) {
+                queued[sidx] = 1;
+                work.push_back(sidx);
+            }
+        }
+    }
+    return region_changed;
+}
+
+void
+SecretFlowLint::Impl::runSpecPass()
+{
+    // Join of architectural states at every mispredictable source:
+    // the register file a transient window can start from.
+    RegState seed;
+    bool have_source = false;
+    for (uint64_t pc = 0; pc < prog.size(); ++pc) {
+        const Instruction &si = prog.at(pc);
+        if (!opTraits(si.op).is_cond_branch &&
+            si.op != Opcode::kJalr)
+            continue;
+        if (!pc_valid[pc])
+            continue;
+        if (!have_source) {
+            seed = pc_in[pc];
+            have_source = true;
+        } else {
+            joinState(seed, pc_in[pc]);
+        }
+    }
+    if (!have_source || opts.speculation_window == 0)
+        return;
+
+    const uint32_t nblocks =
+        static_cast<uint32_t>(cfg.blocks().size());
+    std::vector<RegState> in(nblocks, seed);
+    std::vector<unsigned> budget(nblocks, opts.speculation_window);
+    std::deque<uint32_t> work;
+    std::vector<uint8_t> queued(nblocks, 1);
+    for (uint32_t b = 0; b < nblocks; ++b)
+        work.push_back(b);
+
+    while (!work.empty()) {
+        const uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = 0;
+        const BasicBlock &bb = cfg.blocks()[id];
+        RegState st = in[id];
+        unsigned fuel = budget[id];
+        for (uint64_t pc = bb.first; pc <= bb.last && fuel > 0;
+             ++pc, --fuel)
+            step(prog.at(pc), pc, st, /*confined=*/false,
+                 /*poison=*/false, /*record=*/true,
+                 /*transient=*/true);
+        if (fuel == 0)
+            continue;
+        for (uint32_t sidx : bb.succs) {
+            bool changed = joinState(in[sidx], st);
+            if (budget[sidx] < fuel) {
+                budget[sidx] = fuel;
+                changed = true;
+            }
+            if (changed && !queued[sidx]) {
+                queued[sidx] = 1;
+                work.push_back(sidx);
+            }
+        }
+    }
+}
+
+SecretFlowLint::SecretFlowLint(const Cfg &cfg, LintOptions opts)
+{
+    Impl impl(cfg, opts);
+    if (cfg.program().secretRanges().empty())
+        return;
+    impl.pc_in.resize(cfg.program().size());
+    impl.pc_valid.assign(cfg.program().size(), 0);
+    impl.buildRegions();
+
+    // Architectural pass: iterate until the store-poisoning reaches
+    // its (monotone, hence finite) region fixpoint, then record. A
+    // run whose store-poisoning changed a region bit may have read
+    // the stale bit earlier in the same run, so rerun from scratch.
+    while (impl.runArchPass(/*record=*/false)) {
+    }
+    impl.runArchPass(/*record=*/true);
+
+    // Speculative pass reuses the architectural region bits.
+    impl.runSpecPass();
+
+    findings_ = std::move(impl.findings);
+    std::sort(findings_.begin(), findings_.end(),
+              [](const LintFinding &a, const LintFinding &b) {
+                  return std::tie(a.pc, a.kind) <
+                         std::tie(b.pc, b.kind);
+              });
+}
+
+} // namespace spt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Constant-time leakage lint, Spectector-style: flags every
+ * transmitter (load/store) whose address value, and every branch or
+ * JALR whose predicate/target operand, may carry data derived from a
+ * `.secret`-annotated input — architecturally, or transiently within
+ * a configurable speculation window after a mispredictable control
+ * transfer.
+ *
+ * Abstract domain: per-register { may-be-secret bit, constant value,
+ * pointer base }, plus a global partition of data memory into regions
+ * whose boundaries are the data-segment bounds, secret-range
+ * endpoints, and every constant pointer base observed in the program.
+ * Each region carries one may-hold-secret bit.
+ *
+ * Two passes:
+ *  - Pass A (architectural): fixpoint over the full CFG (including
+ *    the over-approximate JALR edges). A based pointer with unknown
+ *    offset is *confined* to the data segment containing its base —
+ *    the in-bounds behavior of architecturally executed code. Stores
+ *    of secret data poison the regions they can reach (an outer
+ *    fixpoint re-runs the pass until the region bits stabilize).
+ *  - Pass B (speculative): every block is assumed reachable
+ *    transiently from any mispredictable source (conditional branch
+ *    or JALR), seeded with the join of the architectural states at
+ *    all such sources and bounded by a speculation-window budget of
+ *    W instructions. Based pointers are *unconfined* (out-of-bounds
+ *    transient accesses, the Spectre v1 pattern) but region secrecy
+ *    is read from Pass A — transient stores do not poison (their
+ *    effects are squashed).
+ *
+ * A finding present only under Pass B is `transient_only`: safe on a
+ * processor with SPT's protection scope, leaking on an unprotected
+ * speculative core.
+ */
+
+#ifndef SPT_ANALYSIS_SECRET_FLOW_H
+#define SPT_ANALYSIS_SECRET_FLOW_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/instruction.h"
+
+namespace spt {
+
+enum class LintKind : uint8_t {
+    kSecretAddress, ///< load/store address value may be secret
+    kSecretBranch,  ///< branch predicate / JALR target may be secret
+};
+
+const char *toString(LintKind k);
+
+struct LintFinding {
+    LintKind kind = LintKind::kSecretAddress;
+    uint64_t pc = 0;
+    Instruction si;
+    /** Only reachable with a secret operand transiently (Pass B). */
+    bool transient_only = false;
+    std::string detail;
+};
+
+struct LintOptions {
+    /** Transient instruction budget past a mispredictable source. */
+    unsigned speculation_window = 100;
+};
+
+class SecretFlowLint
+{
+  public:
+    explicit SecretFlowLint(const Cfg &cfg, LintOptions opts = {});
+
+    /** Findings in (pc, kind) order, deduplicated. Empty when the
+     *  program declares no `.secret` ranges. */
+    const std::vector<LintFinding> &findings() const
+    {
+        return findings_;
+    }
+
+  private:
+    struct Impl;
+    std::vector<LintFinding> findings_;
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_SECRET_FLOW_H

@@ -287,6 +287,14 @@ InferabilityAuditor::auditUntaints()
         const auto *t = engine_.instTaint(d->seq);
         if (!t)
             continue;
+        // Untaints through store-to-load forwarding are out of the
+        // auditor's model (it has no STLPublic reasoning); account
+        // for the skip instead of dropping the event silently.
+        if (t->stl_untaint && skip_seq_.insert(d->seq).second) {
+            ++stl_skipped_;
+            ++observed_;
+            engine_.stats().inc("audit.stl_skipped");
+        }
         if (skip_seq_.count(d->seq))
             continue;
         // Queue the destination slot once it is fully untainted and
@@ -297,6 +305,7 @@ InferabilityAuditor::auditUntaints()
         if (audited_slots_.count(d->seq))
             continue;
         audited_slots_.insert(d->seq);
+        ++observed_;
         pending_.push_back({d->seq, d->pc, d->si, d->prd,
                             prf.value(d->prd),
                             core_.cycle() + 200});

@@ -52,6 +52,13 @@ class InferabilityAuditor
     uint64_t mismatches() const { return mismatches_; }
     uint64_t windowClosed() const { return window_closed_; }
     uint64_t auditedUntaints() const { return audited_; }
+    /** Untaints skipped because they arrived via store-to-load
+     *  forwarding (the auditor does not model STLPublic); also
+     *  counted in the engine stat "audit.stl_skipped". */
+    uint64_t stlSkipped() const { return stl_skipped_; }
+    /** Every destination untaint the auditor saw. After finalize():
+     *  observed == audited + windowClosed + stlSkipped. */
+    uint64_t observedUntaints() const { return observed_; }
     const std::vector<std::string> &violationLog() const
     {
         return log_;
@@ -100,6 +107,8 @@ class InferabilityAuditor
      *  reported separately, not as violations. */
     uint64_t window_closed_ = 0;
     uint64_t audited_ = 0;
+    uint64_t stl_skipped_ = 0;
+    uint64_t observed_ = 0;
     std::vector<std::string> log_;
 
     void seedKnowledge();

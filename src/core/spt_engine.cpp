@@ -615,6 +615,7 @@ SptEngine::stlPhase()
         // Forward: store data -> load output.
         if (stt.src[1].nothing() && lt.dest.any()) {
             lt.dest = TaintMask::none();
+            lt.stl_untaint = true;
             raiseFlag(*le, 0);
             countUntaint(UntaintReason::kStlForward);
             markLocalDirty(*le);

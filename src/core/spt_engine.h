@@ -113,6 +113,12 @@ class SptEngine : public SecurityEngine
         bool declassified = false;
         bool load_data_seen = false;
         bool shadow_cleared = false;
+        /** Destination untainted via store-to-load forwarding
+         *  (Section 6.7). Consumers that re-derive untaint events —
+         *  the InferabilityAuditor — cannot model the LSQ's
+         *  STLPublic reasoning and use this to account for the
+         *  skip explicitly. */
+        bool stl_untaint = false;
     };
     const InstTaint *instTaint(SeqNum seq) const;
     const SptConfig &config() const { return cfg_; }

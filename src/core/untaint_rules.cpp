@@ -1,9 +1,15 @@
 #include "core/untaint_rules.h"
 
+#include <array>
+
+#include "common/logging.h"
+
 namespace spt {
 
+namespace {
+
 bool
-isLaneOp(Opcode op)
+opcodeIsLaneOp(Opcode op)
 {
     switch (op) {
       case Opcode::kAnd:
@@ -20,55 +26,96 @@ isLaneOp(Opcode op)
     }
 }
 
+UntaintRule
+deriveRule(Opcode op)
+{
+    const OpTraits &t = opTraits(op);
+    UntaintRule r;
+    r.cls = t.untaint_class;
+    r.num_srcs = t.num_srcs;
+    r.lane_op = opcodeIsLaneOp(op);
+    r.output_public = t.untaint_class == UntaintClass::kImmediate;
+    // MOV/NOT/NEG are bijections of their single source; invertible
+    // ops with one register source carry a public immediate as the
+    // other operand (ADDI/XORI), so dest alone determines the source.
+    r.invert_single =
+        t.untaint_class == UntaintClass::kCopy ||
+        (t.untaint_class == UntaintClass::kInvertible &&
+         t.num_srcs == 1);
+    r.invert_pair = t.untaint_class == UntaintClass::kInvertible &&
+                    t.num_srcs == 2;
+    return r;
+}
+
+using RuleTable =
+    std::array<UntaintRule, static_cast<size_t>(Opcode::kNumOpcodes)>;
+
+const RuleTable &
+ruleTable()
+{
+    static const RuleTable table = [] {
+        RuleTable t;
+        for (size_t i = 0;
+             i < static_cast<size_t>(Opcode::kNumOpcodes); ++i)
+            t[i] = deriveRule(static_cast<Opcode>(i));
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+const UntaintRule &
+untaintRule(Opcode op)
+{
+    const auto idx = static_cast<size_t>(op);
+    SPT_ASSERT(idx < static_cast<size_t>(Opcode::kNumOpcodes),
+               "untaintRule: bad opcode " << idx);
+    return ruleTable()[idx];
+}
+
+bool
+isLaneOp(Opcode op)
+{
+    return untaintRule(op).lane_op;
+}
+
 TaintMask
 propagateForward(Opcode op, TaintMask a, TaintMask b)
 {
-    const OpTraits &t = opTraits(op);
-    if (t.untaint_class == UntaintClass::kImmediate)
+    const UntaintRule &r = untaintRule(op);
+    if (r.output_public)
         return TaintMask::none();
     TaintMask combined = TaintMask::none();
-    if (t.num_srcs >= 1)
+    if (r.num_srcs >= 1)
         combined |= a;
-    if (t.num_srcs >= 2)
+    if (r.num_srcs >= 2)
         combined |= b;
     if (combined.nothing())
         return TaintMask::none();
     // Lane-preserving bitwise ops keep per-group precision; all
     // other operations mix bits across groups.
-    return isLaneOp(op) ? combined : TaintMask::all();
+    return r.lane_op ? combined : TaintMask::all();
 }
 
 BackwardUntaint
 propagateBackward(Opcode op, TaintMask src0, TaintMask src1,
                   TaintMask dest)
 {
-    BackwardUntaint r;
+    BackwardUntaint out;
     if (dest.any())
-        return r; // output not (fully) declassified
-    const OpTraits &t = opTraits(op);
-    switch (t.untaint_class) {
-      case UntaintClass::kCopy:
-        // MOV/NOT/NEG: the input is a bijection of the output.
-        r.untaint_src0 = src0.any();
-        break;
-      case UntaintClass::kInvertible:
-        if (t.num_srcs == 1) {
-            // ADDI/XORI: the immediate is public program text.
-            r.untaint_src0 = src0.any();
-        } else {
-            // ADD/SUB/XOR: output plus one input determines the
-            // other input.
-            if (src0.nothing() && src1.any())
-                r.untaint_src1 = true;
-            else if (src1.nothing() && src0.any())
-                r.untaint_src0 = true;
-        }
-        break;
-      case UntaintClass::kOpaque:
-      case UntaintClass::kImmediate:
-        break;
+        return out; // output not (fully) declassified
+    const UntaintRule &r = untaintRule(op);
+    if (r.invert_single) {
+        out.untaint_src0 = src0.any();
+    } else if (r.invert_pair) {
+        // ADD/SUB/XOR: output plus one input determines the other.
+        if (src0.nothing() && src1.any())
+            out.untaint_src1 = true;
+        else if (src1.nothing() && src0.any())
+            out.untaint_src0 = true;
     }
-    return r;
+    return out;
 }
 
 } // namespace spt

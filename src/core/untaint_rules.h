@@ -15,6 +15,14 @@
  * arithmetic (ADD/SUB/XOR and their immediate forms) untaints the
  * remaining tainted input when the output and all other inputs are
  * untainted. Backward rules act at full-register granularity.
+ *
+ * The per-opcode classification is exposed as a pure, queryable
+ * table (`untaintRule`) so that every consumer of the algebra — the
+ * dynamic `SptEngine` and the static knowledge-propagation pass in
+ * `src/analysis` — reads the *same* rule data and cannot drift.
+ * `propagateForward`/`propagateBackward` below are thin functions
+ * over that table; `tests/test_rule_tables.cpp` pins the table,
+ * the opcode traits, and both consumers against each other.
  */
 
 #ifndef SPT_CORE_UNTAINT_RULES_H
@@ -24,6 +32,32 @@
 #include "isa/opcode.h"
 
 namespace spt {
+
+/**
+ * Pure classification of one opcode under the untaint algebra.
+ * Derived once from the opcode traits table; contains no state and
+ * performs no side effects — safe to consult from static analysis.
+ */
+struct UntaintRule {
+    UntaintClass cls = UntaintClass::kOpaque;
+    uint8_t num_srcs = 0;
+    /** Output bytes depend only on the same byte lanes of the
+     *  inputs: forward propagation keeps per-group precision. */
+    bool lane_op = false;
+    /** Output is determined by ROB contents alone (Section 6.5):
+     *  always untainted / statically known. */
+    bool output_public = false;
+    /** Backward rule: dest untainted => the single source is
+     *  inferable (MOV class, and invertible ops whose second
+     *  operand is a public immediate). */
+    bool invert_single = false;
+    /** Backward rule: dest + one source untainted => the other
+     *  source is inferable (two-source invertible arithmetic). */
+    bool invert_pair = false;
+};
+
+/** Rule-table lookup; aborts on out-of-range opcode. */
+const UntaintRule &untaintRule(Opcode op);
 
 /** True for ops whose output bytes depend only on the same byte
  *  lanes of the inputs (group-precise taint propagation). */

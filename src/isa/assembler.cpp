@@ -35,6 +35,15 @@ struct DataFixup {
     int line;
 };
 
+/** A `.secret symbol_or_addr, len` annotation, resolved in pass 2
+ *  so it may name labels defined later in the file. */
+struct SecretFixup {
+    std::string symbol; ///< empty if `addr` already holds the base
+    uint64_t addr = 0;
+    uint64_t len = 0;
+    int line = 0;
+};
+
 struct SourceError {
     int line;
     std::string message;
@@ -191,6 +200,7 @@ class AssemblerImpl
     Program prog_;
     std::vector<PendingInst> pending_;
     std::vector<DataFixup> data_fixups_;
+    std::vector<SecretFixup> secret_fixups_;
     uint64_t data_cursor_ = kDefaultDataBase;
     bool in_data_ = false;
     std::string entry_symbol_;
@@ -330,6 +340,28 @@ AssemblerImpl::handleDirective(int line, const std::string &mnem,
             fail(line, ".entry needs one label operand");
         entry_symbol_ = ops[0];
         entry_line_ = line;
+    } else if (mnem == ".secret") {
+        // `.secret base, len`: marks len bytes at base (a data label
+        // or a byte address) as secret input for the static
+        // constant-time lint.
+        if (ops.size() != 2)
+            fail(line, ".secret needs base and length operands");
+        auto len = parseNumber(ops[1]);
+        if (!len || *len <= 0)
+            fail(line, "bad .secret length '" + ops[1] + "'");
+        SecretFixup fx;
+        fx.len = static_cast<uint64_t>(*len);
+        fx.line = line;
+        if (auto base = parseNumber(ops[0])) {
+            if (*base < 0)
+                fail(line, "bad .secret base '" + ops[0] + "'");
+            fx.addr = static_cast<uint64_t>(*base);
+        } else if (isIdentifier(ops[0])) {
+            fx.symbol = ops[0];
+        } else {
+            fail(line, "bad .secret base '" + ops[0] + "'");
+        }
+        secret_fixups_.push_back(fx);
     } else {
         fail(line, "unknown directive '" + mnem + "'");
     }
@@ -580,6 +612,16 @@ AssemblerImpl::resolve()
         if (!prog_.hasSymbol(fx.symbol))
             fail(fx.line, "undefined symbol '" + fx.symbol + "'");
         prog_.patchData(fx.addr, prog_.symbol(fx.symbol), fx.bytes);
+    }
+    for (const SecretFixup &fx : secret_fixups_) {
+        uint64_t base = fx.addr;
+        if (!fx.symbol.empty()) {
+            if (!prog_.hasSymbol(fx.symbol))
+                fail(fx.line,
+                     "undefined symbol '" + fx.symbol + "'");
+            base = prog_.symbol(fx.symbol);
+        }
+        prog_.markSecret(base, fx.len);
     }
     if (!entry_symbol_.empty()) {
         if (!prog_.hasSymbol(entry_symbol_))

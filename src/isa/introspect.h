@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Static introspection over decoded instructions: which architectural
+ * registers an instruction reads and writes, whether it terminates a
+ * basic block, and its direct control-flow target. These are the
+ * operand-level facts the static analyses in `src/analysis` need,
+ * factored out of the assembler/core so every consumer agrees on
+ * operand roles (notably the store's rs1 = address, rs2 = data
+ * convention that mirrors `DynInst`'s slot layout).
+ */
+
+#ifndef SPT_ISA_INTROSPECT_H
+#define SPT_ISA_INTROSPECT_H
+
+#include <optional>
+
+#include "isa/instruction.h"
+#include "isa/opcode.h"
+
+namespace spt {
+
+/** Architectural source registers of an instruction, in the same
+ *  slot order as the dynamic engine (slot 0 = rs1, slot 1 = rs2). */
+struct SrcRegs {
+    uint8_t count = 0;
+    uint8_t reg[2] = {0, 0};
+};
+
+inline SrcRegs
+srcRegs(const Instruction &si)
+{
+    SrcRegs s;
+    s.count = opTraits(si.op).num_srcs;
+    if (s.count >= 1)
+        s.reg[0] = si.rs1;
+    if (s.count >= 2)
+        s.reg[1] = si.rs2;
+    return s;
+}
+
+/** Architectural destination register, or -1 if the instruction
+ *  writes none. A destination of x0 is reported as written here
+ *  (the write is architecturally discarded; callers that care —
+ *  e.g. dataflow transfer functions — must treat x0 specially). */
+inline int
+destReg(const Instruction &si)
+{
+    return opTraits(si.op).has_dest ? si.rd : -1;
+}
+
+/** True iff the instruction writes a register with architectural
+ *  effect (has a destination and it is not the zero register). */
+inline bool
+writesReg(const Instruction &si)
+{
+    return opTraits(si.op).has_dest && si.rd != kRegZero;
+}
+
+/** True iff control cannot simply fall through past this opcode:
+ *  conditional branches, jumps (JAL/JALR), and HALT end a basic
+ *  block. */
+inline bool
+isBlockTerminator(Opcode op)
+{
+    const OpTraits &t = opTraits(op);
+    return t.is_cond_branch || t.is_jump || t.is_halt;
+}
+
+/** The statically known control-flow target of the instruction at
+ *  @p pc: the taken target of a conditional branch or the target of
+ *  a JAL. JALR targets are data-dependent (nullopt), as is
+ *  everything that only falls through. */
+inline std::optional<uint64_t>
+directTarget(const Instruction &si, uint64_t pc)
+{
+    const OpTraits &t = opTraits(si.op);
+    if (t.is_cond_branch || si.op == Opcode::kJal)
+        return static_cast<uint64_t>(static_cast<int64_t>(pc) +
+                                     si.imm);
+    return std::nullopt;
+}
+
+/** True iff execution can continue at pc+1 after this instruction
+ *  (not-taken branch path, or any non-control-flow op). */
+inline bool
+canFallThrough(Opcode op)
+{
+    const OpTraits &t = opTraits(op);
+    return !t.is_jump && !t.is_halt;
+}
+
+} // namespace spt
+
+#endif // SPT_ISA_INTROSPECT_H

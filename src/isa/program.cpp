@@ -75,6 +75,13 @@ Program::patchData(uint64_t addr, uint64_t value, unsigned bytes)
 }
 
 void
+Program::markSecret(uint64_t addr, uint64_t len)
+{
+    SPT_ASSERT(len > 0, "markSecret: empty range at " << addr);
+    secrets_.push_back({addr, len});
+}
+
+void
 Program::loadInto(ByteMemory &mem) const
 {
     for (const auto &[addr, bytes] : data_)

@@ -23,6 +23,25 @@ constexpr uint64_t kDefaultDataBase = 0x100000;
 /** Default initial stack pointer (stack grows down). */
 constexpr uint64_t kDefaultStackTop = 0x7ff0000;
 
+/** A byte range of simulated memory holding secret data, annotated
+ *  on a program for the static constant-time lint (`src/analysis`).
+ *  The dynamic engines ignore these: under SPT *all* memory starts
+ *  tainted; the annotation marks which subset a lint finding about
+ *  would be a real leak. */
+struct SecretRange {
+    uint64_t base = 0;
+    uint64_t len = 0;
+
+    bool contains(uint64_t addr) const
+    {
+        return addr >= base && addr - base < len;
+    }
+    bool overlaps(uint64_t lo, uint64_t hi) const // [lo, hi)
+    {
+        return lo < base + len && base < hi;
+    }
+};
+
 class Program
 {
   public:
@@ -65,10 +84,26 @@ class Program
         return data_;
     }
 
+    /** Full symbol table (labels -> pc or byte address). */
+    const std::map<std::string, uint64_t> &symbols() const
+    {
+        return symbols_;
+    }
+
+    /** Annotates @p len bytes at @p addr as secret input data (for
+     *  the static constant-time lint; no dynamic effect). */
+    void markSecret(uint64_t addr, uint64_t len);
+
+    const std::vector<SecretRange> &secretRanges() const
+    {
+        return secrets_;
+    }
+
   private:
     std::vector<Instruction> code_;
     std::map<uint64_t, std::vector<uint8_t>> data_;
     std::map<std::string, uint64_t> symbols_;
+    std::vector<SecretRange> secrets_;
     uint64_t entry_ = 0;
 };
 

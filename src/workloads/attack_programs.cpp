@@ -83,6 +83,9 @@ oob:
         data.push_back(kTrained); // array1 contents
     ap.program.addData(kVictimData, data);
     ap.program.addData(kVictimData + 0x100, {kSecret});
+    // Only the out-of-bounds byte is secret; array1 and its size
+    // are attacker-visible.
+    ap.program.markSecret(kVictimData + 0x100, 1);
     ap.probe_base = kProbeBase;
     ap.probe_stride = kProbeStride;
     ap.secret = kSecret;
@@ -142,6 +145,7 @@ benign:
     ap.program.addData(kVictimData, std::vector<uint8_t>(8, 0));
     ap.program.addData(kVictimData + 8,
                        {kSecret, 0, 0, 0, 0, 0, 0, 0});
+    ap.program.markSecret(kVictimData + 8, 8);
     ap.probe_base = kProbeBase;
     ap.probe_stride = kProbeStride;
     ap.secret = kSecret;

@@ -131,6 +131,9 @@ makeChaCha20(unsigned blocks)
 
     Program p = assemble(os.str());
     p.addData64(kBaseA, init);
+    // The key (state words 4..11, one 64-bit slot each) is the
+    // secret input; constants, counter, and nonce are public.
+    p.markSecret(kBaseA + 4 * 8, 8 * 8);
     return p;
 }
 
@@ -202,6 +205,8 @@ makeBitsliceAes(unsigned blocks, unsigned rounds)
     for (auto &w : input)
         w = rng.next();
     p.addData64(kBaseA, input);
+    // The whole plaintext/state ring is secret input.
+    p.markSecret(kBaseA, input.size() * 8);
     return p;
 }
 
@@ -271,6 +276,9 @@ sum:
     Program p = assemble(os.str());
     p.addData64(kBaseA, values);
     p.addData64(kBaseB, pairs);
+    // The values being sorted are secret; the compare-exchange
+    // offset table is a public function of the array size.
+    p.markSecret(kBaseA, elems * 8);
     return p;
 }
 

@@ -123,6 +123,85 @@ TEST(Inferability, FuzzedProgramsAuditClean)
     }
 }
 
+TEST(Inferability, StlSkipsAccountForEveryUntaint)
+{
+    // Forwarding-heavy victim: each iteration stores public data and
+    // immediately reloads it, so the load's untaint arrives via
+    // store-to-load forwarding (Section 6.7) — outside the auditor's
+    // model and skipped, but it must still be *counted*.
+    const Program p = assemble(R"(
+    .text
+    li   t0, 0x100000
+    li   t1, 42
+    li   s0, 50
+loop:
+    sd   t1, 0(t0)
+    ld   t2, 0(t0)
+    add  a7, a7, t2
+    addi t1, t1, 3
+    addi s0, s0, -1
+    bnez s0, loop
+    halt
+)");
+    EngineConfig ec;
+    ec.scheme = ProtectionScheme::kSpt;
+    ec.spt.method = UntaintMethod::kBackward;
+    ec.spt.shadow = ShadowKind::kShadowMem;
+    CoreParams cp;
+    cp.attack_model = AttackModel::kFuturistic;
+    cp.perfect_icache = true;
+    Core core(p, cp, MemorySystemParams{}, makeEngine(ec));
+    auto &engine = dynamic_cast<SptEngine &>(core.engine());
+    InferabilityAuditor auditor(core, engine);
+    while (!core.halted() && core.cycle() < 1'000'000) {
+        core.tick();
+        auditor.tick();
+    }
+    ASSERT_TRUE(core.halted());
+    auditor.finalize();
+
+    EXPECT_GT(auditor.stlSkipped(), 0u)
+        << "store-to-load forwarding never engaged";
+    // Conservation: every destination untaint the auditor observed
+    // is either audited, expired unresolved, or an STL skip —
+    // nothing silently falls through.
+    EXPECT_EQ(auditor.observedUntaints(),
+              auditor.auditedUntaints() + auditor.windowClosed() +
+                  auditor.stlSkipped());
+    EXPECT_EQ(engine.stats().get("audit.stl_skipped"),
+              auditor.stlSkipped());
+    EXPECT_EQ(auditor.mismatches(), 0u);
+}
+
+TEST(Inferability, AccountingHoldsOnWorkloads)
+{
+    for (const char *name : {"eventheap", "ct-djbsort"}) {
+        SCOPED_TRACE(name);
+        const Workload &w = workloadByName(name);
+        EngineConfig ec;
+        ec.scheme = ProtectionScheme::kSpt;
+        ec.spt.method = UntaintMethod::kBackward;
+        ec.spt.shadow = ShadowKind::kShadowMem;
+        CoreParams cp;
+        cp.attack_model = AttackModel::kFuturistic;
+        cp.perfect_icache = true;
+        Core core(w.program, cp, MemorySystemParams{},
+                  makeEngine(ec));
+        auto &engine = dynamic_cast<SptEngine &>(core.engine());
+        InferabilityAuditor auditor(core, engine);
+        while (!core.halted() && core.cycle() < 5'000'000) {
+            core.tick();
+            auditor.tick();
+        }
+        ASSERT_TRUE(core.halted());
+        auditor.finalize();
+        EXPECT_EQ(auditor.observedUntaints(),
+                  auditor.auditedUntaints() +
+                      auditor.windowClosed() +
+                      auditor.stlSkipped());
+    }
+}
+
 TEST(Inferability, ShadowL1VariantAuditsClean)
 {
     const Workload &w = workloadByName("treesearch");

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Pins the shared untaint-rule table (`src/core/untaint_rules.h`)
+ * against the opcode traits and against an explicit golden
+ * classification, and checks that `propagateForward` /
+ * `propagateBackward` are pure functions of the table across every
+ * taint-mask combination. The dynamic `SptEngine` and the static
+ * knowledge pass both consume this table, so these tests are the
+ * drift barrier between the two semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/untaint_rules.h"
+#include "isa/opcode.h"
+
+namespace spt {
+namespace {
+
+constexpr size_t kNumOps = static_cast<size_t>(Opcode::kNumOpcodes);
+
+/** Builds a TaintMask with exactly the group bits of @p groups
+ *  (0..15) set, via the byte-mask constructor. */
+TaintMask
+maskFromGroups(unsigned groups)
+{
+    uint8_t byte_mask = 0;
+    if (groups & 1)
+        byte_mask |= 0x01; // byte 0 -> group 0
+    if (groups & 2)
+        byte_mask |= 0x02; // byte 1 -> group 1
+    if (groups & 4)
+        byte_mask |= 0x04; // byte 2 -> group 2
+    if (groups & 8)
+        byte_mask |= 0x10; // byte 4 -> group 3
+    return TaintMask::fromByteMask(byte_mask);
+}
+
+/** The paper's classification (Sections 6.5-6.6), written out
+ *  explicitly so neither the traits table nor the rule table can
+ *  silently reclassify an opcode. */
+UntaintClass
+goldenClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::kMov:
+      case Opcode::kNot:
+      case Opcode::kNeg:
+        return UntaintClass::kCopy;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kXor:
+      case Opcode::kAddi:
+      case Opcode::kXori:
+        return UntaintClass::kInvertible;
+      case Opcode::kLi:
+      case Opcode::kJal:
+      case Opcode::kJalr:
+        return UntaintClass::kImmediate;
+      default:
+        return UntaintClass::kOpaque;
+    }
+}
+
+/** Ops whose output bytes depend only on the same byte lanes of the
+ *  inputs — the group-precise forward-propagation set. */
+bool
+goldenLaneOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+      case Opcode::kXori:
+      case Opcode::kMov:
+      case Opcode::kNot:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TEST(RuleTables, MatchesOpTraitsForEveryOpcode)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpTraits &t = opTraits(op);
+        const UntaintRule &r = untaintRule(op);
+        EXPECT_EQ(r.cls, t.untaint_class) << mnemonic(op);
+        EXPECT_EQ(r.num_srcs, t.num_srcs) << mnemonic(op);
+    }
+}
+
+TEST(RuleTables, MatchesGoldenClassification)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(untaintRule(op).cls, goldenClass(op))
+            << mnemonic(op);
+        EXPECT_EQ(untaintRule(op).lane_op, goldenLaneOp(op))
+            << mnemonic(op);
+        EXPECT_EQ(isLaneOp(op), goldenLaneOp(op)) << mnemonic(op);
+    }
+}
+
+TEST(RuleTables, DerivedFlagsAreConsistent)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const UntaintRule &r = untaintRule(op);
+        EXPECT_EQ(r.output_public,
+                  r.cls == UntaintClass::kImmediate)
+            << mnemonic(op);
+        EXPECT_EQ(r.invert_single,
+                  r.cls == UntaintClass::kCopy ||
+                      (r.cls == UntaintClass::kInvertible &&
+                       r.num_srcs == 1))
+            << mnemonic(op);
+        EXPECT_EQ(r.invert_pair,
+                  r.cls == UntaintClass::kInvertible &&
+                      r.num_srcs == 2)
+            << mnemonic(op);
+        // A backward rule needs at least one source to untaint, and
+        // public-output ops have nothing to infer backwards from.
+        if (r.invert_single || r.invert_pair) {
+            EXPECT_GE(r.num_srcs, 1u) << mnemonic(op);
+            EXPECT_FALSE(r.output_public) << mnemonic(op);
+        }
+    }
+}
+
+TEST(RuleTables, ForwardIsPureFunctionOfTable)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const UntaintRule &r = untaintRule(op);
+        for (unsigned a = 0; a < 16; ++a) {
+            for (unsigned b = 0; b < 16; ++b) {
+                const TaintMask ma = maskFromGroups(a);
+                const TaintMask mb = maskFromGroups(b);
+                // Re-derive the expected result from the rule fields
+                // alone (Section 6.5 forward semantics).
+                TaintMask expected = TaintMask::none();
+                if (!r.output_public) {
+                    TaintMask combined = TaintMask::none();
+                    if (r.num_srcs >= 1)
+                        combined |= ma;
+                    if (r.num_srcs >= 2)
+                        combined |= mb;
+                    if (combined.any())
+                        expected = r.lane_op ? combined
+                                             : TaintMask::all();
+                }
+                EXPECT_EQ(propagateForward(op, ma, mb), expected)
+                    << mnemonic(op) << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(RuleTables, BackwardIsPureFunctionOfTable)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const UntaintRule &r = untaintRule(op);
+        for (unsigned s0 = 0; s0 < 16; ++s0) {
+            for (unsigned s1 = 0; s1 < 16; ++s1) {
+                for (unsigned d = 0; d < 16; ++d) {
+                    const TaintMask m0 = maskFromGroups(s0);
+                    const TaintMask m1 = maskFromGroups(s1);
+                    const TaintMask md = maskFromGroups(d);
+                    const BackwardUntaint got =
+                        propagateBackward(op, m0, m1, md);
+                    // Section 6.6: fires only on a fully untainted
+                    // destination, at full-register granularity.
+                    BackwardUntaint expected;
+                    if (md.nothing()) {
+                        if (r.invert_single) {
+                            expected.untaint_src0 = m0.any();
+                        } else if (r.invert_pair) {
+                            if (m0.nothing() && m1.any())
+                                expected.untaint_src1 = true;
+                            else if (m1.nothing() && m0.any())
+                                expected.untaint_src0 = true;
+                        }
+                    }
+                    EXPECT_EQ(got.untaint_src0,
+                              expected.untaint_src0)
+                        << mnemonic(op) << " s0=" << s0
+                        << " s1=" << s1 << " d=" << d;
+                    EXPECT_EQ(got.untaint_src1,
+                              expected.untaint_src1)
+                        << mnemonic(op) << " s0=" << s0
+                        << " s1=" << s1 << " d=" << d;
+                }
+            }
+        }
+    }
+}
+
+TEST(RuleTables, BackwardNeverFiresOnTaintedDest)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        for (unsigned d = 1; d < 16; ++d) {
+            const BackwardUntaint got = propagateBackward(
+                op, TaintMask::all(), TaintMask::all(),
+                maskFromGroups(d));
+            EXPECT_FALSE(got.untaint_src0) << mnemonic(op);
+            EXPECT_FALSE(got.untaint_src1) << mnemonic(op);
+        }
+    }
+}
+
+} // namespace
+} // namespace spt

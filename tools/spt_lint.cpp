@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Static constant-time lint driver: builds the CFG, runs the
+ * knowledge-propagation pass and the secret-flow lint over bundled
+ * workloads, the Section 9.1 attack programs, or an assembly file,
+ * and prints per-instruction findings.
+ *
+ * Usage:
+ *   spt_lint [options] <target>...
+ *     <target>        workload name, attack program name
+ *                     ("spectre-v1", "ct-victim"), `all`, or a
+ *                     path to a `.s` assembly file
+ *   --window=N        speculation-window budget (default 100)
+ *   --print-knowledge print per-instruction operand knowledge
+ *   --check-bundled   CI gate: lint every bundled constant-time
+ *                     kernel (must be clean) and attack program
+ *                     (must have at least one secret-dependent
+ *                     transmitter finding); exit 1 on violation
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/knowledge_analysis.h"
+#include "analysis/secret_flow.h"
+#include "isa/assembler.h"
+#include "workloads/attack_programs.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace spt;
+
+struct Options {
+    unsigned window = 100;
+    bool print_knowledge = false;
+    bool check_bundled = false;
+    std::vector<std::string> targets;
+};
+
+struct LintReport {
+    size_t findings = 0;
+    size_t transient_only = 0;
+};
+
+Program
+loadTarget(const std::string &name)
+{
+    if (name == "spectre-v1")
+        return makeSpectreV1().program;
+    if (name == "ct-victim")
+        return makeCtVictim().program;
+    if (name.size() > 2 &&
+        name.compare(name.size() - 2, 2, ".s") == 0) {
+        std::ifstream in(name);
+        if (!in) {
+            std::cerr << "spt_lint: cannot open " << name << "\n";
+            exit(2);
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        return assemble(text.str());
+    }
+    return workloadByName(name).program;
+}
+
+LintReport
+lintProgram(const std::string &name, const Program &prog,
+            const Options &opts)
+{
+    const Cfg cfg(prog);
+    const SecretFlowLint lint(cfg, {opts.window});
+
+    std::cout << "== " << name << ": " << prog.size()
+              << " instructions, " << cfg.blocks().size()
+              << " blocks, " << prog.secretRanges().size()
+              << " secret range(s)\n";
+
+    if (opts.print_knowledge) {
+        const KnowledgeAnalysis ka(cfg);
+        for (uint64_t pc = 0; pc < prog.size(); ++pc) {
+            std::cout << "  " << pc << ":\t"
+                      << toString(prog.at(pc));
+            const auto claims = ka.claimsAt(pc);
+            if (!ka.inState(pc)) {
+                std::cout << "\t; unreachable";
+            } else {
+                for (const SlotClaim &c : claims)
+                    std::cout << "\t; src" << unsigned(c.slot)
+                              << "=" << toString(c.level);
+            }
+            std::cout << "\n";
+        }
+    }
+
+    LintReport rep;
+    for (const LintFinding &f : lint.findings()) {
+        ++rep.findings;
+        if (f.transient_only)
+            ++rep.transient_only;
+        std::cout << "  pc " << f.pc << ": " << toString(f.kind)
+                  << (f.transient_only ? " [transient]" : "")
+                  << " in `" << toString(f.si) << "` (" << f.detail
+                  << ")\n";
+    }
+    std::cout << "  -> " << rep.findings << " finding(s), "
+              << rep.transient_only << " transient-only\n";
+    return rep;
+}
+
+int
+checkBundled(const Options &opts)
+{
+    bool ok = true;
+    for (const std::string &name : ctWorkloadNames()) {
+        const LintReport rep =
+            lintProgram(name, workloadByName(name).program, opts);
+        if (rep.findings != 0) {
+            std::cerr << "FAIL: constant-time kernel " << name
+                      << " has " << rep.findings << " finding(s)\n";
+            ok = false;
+        }
+    }
+    const std::pair<std::string, Program> attacks[] = {
+        {"spectre-v1", makeSpectreV1().program},
+        {"ct-victim", makeCtVictim().program},
+    };
+    for (const auto &[name, prog] : attacks) {
+        const LintReport rep = lintProgram(name, prog, opts);
+        if (rep.findings == 0) {
+            std::cerr << "FAIL: attack program " << name
+                      << " produced no findings\n";
+            ok = false;
+        }
+    }
+    std::cout << (ok ? "check-bundled: OK\n"
+                     : "check-bundled: FAILED\n");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--window=", 0) == 0) {
+            opts.window = static_cast<unsigned>(
+                std::stoul(arg.substr(9)));
+        } else if (arg == "--print-knowledge") {
+            opts.print_knowledge = true;
+        } else if (arg == "--check-bundled") {
+            opts.check_bundled = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: spt_lint [--window=N] "
+                   "[--print-knowledge] [--check-bundled] "
+                   "[<workload>|spectre-v1|ct-victim|all|file.s]...\n";
+            return 0;
+        } else {
+            opts.targets.push_back(arg);
+        }
+    }
+
+    if (opts.check_bundled)
+        return checkBundled(opts);
+    if (opts.targets.empty()) {
+        std::cerr << "spt_lint: no target (try --help)\n";
+        return 2;
+    }
+
+    size_t total = 0;
+    for (const std::string &t : opts.targets) {
+        if (t == "all") {
+            for (const Workload &w : allWorkloads())
+                total += lintProgram(w.name, w.program, opts)
+                             .findings;
+            total +=
+                lintProgram("spectre-v1", makeSpectreV1().program,
+                            opts)
+                    .findings;
+            total += lintProgram("ct-victim",
+                                 makeCtVictim().program, opts)
+                         .findings;
+        } else {
+            total += lintProgram(t, loadTarget(t), opts).findings;
+        }
+    }
+    return total == 0 ? 0 : 1;
+}

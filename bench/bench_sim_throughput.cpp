@@ -5,14 +5,21 @@
  * Runs a fixed workload set under each engine configuration and
  * reports how fast the *simulator itself* executes on the host, in
  * millions of simulated instructions per host second (Minstr/s).
- * Results are written to BENCH_throughput.json (or the path given as
- * argv[1]) so successive PRs can track the host-performance
- * trajectory of the per-cycle SPT machinery.
+ * Results are written to BENCH_throughput.json (or --out PATH) so
+ * successive PRs can track the host-performance trajectory of the
+ * per-cycle SPT machinery.
  *
+ * The grid runs on the parallel experiment runner. Simulated
+ * results (instructions, cycles) are --jobs-independent; the host
+ * timings are per-job wall-clock, so with --jobs > 1 on a busy or
+ * oversubscribed host the Minstr/s figures degrade from
+ * contention — use --jobs 1 for comparable trajectory numbers.
+ *
+ * Usage: bench_sim_throughput [--jobs N] [--out PATH] (a bare
+ * first argument is also accepted as the output path, as before).
  * Set SPT_BENCH_QUICK=1 to run a reduced workload subset (CI).
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,15 +33,10 @@ using namespace spt::bench;
 
 namespace {
 
-struct ConfigSpec {
-    std::string name;
-    EngineConfig engine;
-};
-
-std::vector<ConfigSpec>
+std::vector<NamedConfig>
 benchConfigs()
 {
-    std::vector<ConfigSpec> configs;
+    std::vector<NamedConfig> configs;
 
     EngineConfig unsafe;
     unsafe.scheme = ProtectionScheme::kUnsafeBaseline;
@@ -57,13 +59,6 @@ benchConfigs()
     return configs;
 }
 
-struct WorkloadResult {
-    std::string workload;
-    uint64_t instructions = 0;
-    uint64_t cycles = 0;
-    double host_seconds = 0.0;
-};
-
 double
 minstrPerSec(uint64_t instructions, double seconds)
 {
@@ -78,8 +73,14 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const std::string out_path =
-        argc > 1 ? argv[1] : "BENCH_throughput.json";
+    // Back-compat: a bare first argument is the output path.
+    BenchOptions opt;
+    if (argc > 1 && argv[1][0] != '-') {
+        opt.jobs = jobsFromArgs(argc - 1, argv + 1);
+        opt.out_path = argv[1];
+    } else {
+        opt = parseBenchArgs(argc, argv, "BENCH_throughput.json");
+    }
     const bool quick = std::getenv("SPT_BENCH_QUICK") != nullptr;
 
     std::vector<std::string> names = {"pchase",  "interp", "hashtab",
@@ -87,87 +88,83 @@ main(int argc, char **argv)
     if (quick)
         names = {"pchase", "hashtab", "ct-chacha20"};
 
-    const std::vector<ConfigSpec> configs = benchConfigs();
+    const std::vector<NamedConfig> configs = benchConfigs();
+
+    std::vector<RunJob> grid;
+    for (const NamedConfig &spec : configs) {
+        for (const std::string &name : names) {
+            RunJob job;
+            job.program = &workloadByName(name).program;
+            job.engine = spec.engine;
+            job.attack_model = AttackModel::kFuturistic;
+            grid.push_back(job);
+        }
+    }
+
+    ExpRunner runner(opt.jobs);
+    const std::vector<RunOutcome> outcomes = runner.run(grid);
+    reportSweep(runner);
 
     printf("=== Simulator host throughput (Minstr/s = simulated "
            "Minstr per host second) ===\n\n");
     printf("%-20s %-12s %12s %12s %10s\n", "config", "workload",
            "sim-instrs", "host-ms", "Minstr/s");
 
-    FILE *json = fopen(out_path.c_str(), "w");
-    if (!json) {
-        fprintf(stderr, "cannot open %s for writing\n",
-                out_path.c_str());
-        return 1;
-    }
-    fprintf(json, "{\n  \"unit\": \"Minstr/s\",\n  \"configs\": [\n");
+    JsonWriter json;
+    json.beginObject();
+    json.field("unit", "Minstr/s");
+    json.field("sweep_jobs", static_cast<uint64_t>(runner.workers()));
+    json.key("configs").beginArray();
 
-    for (size_t ci = 0; ci < configs.size(); ++ci) {
-        const ConfigSpec &spec = configs[ci];
-        std::vector<WorkloadResult> results;
+    size_t slot = 0;
+    for (const NamedConfig &spec : configs) {
         uint64_t total_instrs = 0;
         double total_seconds = 0.0;
-
+        json.beginObject();
+        json.field("name", spec.name);
+        const size_t first = slot;
         for (const std::string &name : names) {
-            const Workload &w = workloadByName(name);
-            SimConfig cfg;
-            cfg.engine = spec.engine;
-            cfg.core.attack_model = AttackModel::kFuturistic;
-            Simulator sim(w.program, cfg);
-            const auto t0 = std::chrono::steady_clock::now();
-            const SimResult res = sim.run();
-            const auto t1 = std::chrono::steady_clock::now();
-            if (!res.halted)
+            const RunOutcome &out = outcomes[slot++];
+            if (!out.result.halted)
                 SPT_FATAL("workload " << name
                                       << " did not halt under "
                                       << spec.name);
-
-            WorkloadResult wr;
-            wr.workload = name;
-            wr.instructions = res.instructions;
-            wr.cycles = res.cycles;
-            wr.host_seconds =
-                std::chrono::duration<double>(t1 - t0).count();
-            total_instrs += wr.instructions;
-            total_seconds += wr.host_seconds;
-            results.push_back(wr);
-
+            total_instrs += out.result.instructions;
+            total_seconds += out.host_seconds;
             printf("%-20s %-12s %12llu %12.1f %10.3f\n",
                    spec.name.c_str(), name.c_str(),
-                   static_cast<unsigned long long>(wr.instructions),
-                   wr.host_seconds * 1e3,
-                   minstrPerSec(wr.instructions, wr.host_seconds));
-            fflush(stdout);
+                   static_cast<unsigned long long>(
+                       out.result.instructions),
+                   out.host_seconds * 1e3,
+                   minstrPerSec(out.result.instructions,
+                                out.host_seconds));
         }
-
         const double agg = minstrPerSec(total_instrs, total_seconds);
         printf("%-20s %-12s %12llu %12.1f %10.3f\n\n",
                spec.name.c_str(), "TOTAL",
                static_cast<unsigned long long>(total_instrs),
                total_seconds * 1e3, agg);
 
-        fprintf(json, "    {\n      \"name\": \"%s\",\n",
-                spec.name.c_str());
-        fprintf(json, "      \"minstr_per_sec\": %.4f,\n", agg);
-        fprintf(json, "      \"workloads\": [\n");
-        for (size_t wi = 0; wi < results.size(); ++wi) {
-            const WorkloadResult &wr = results[wi];
-            fprintf(json,
-                    "        {\"name\": \"%s\", \"instructions\": "
-                    "%llu, \"cycles\": %llu, \"host_seconds\": %.6f, "
-                    "\"minstr_per_sec\": %.4f}%s\n",
-                    wr.workload.c_str(),
-                    static_cast<unsigned long long>(wr.instructions),
-                    static_cast<unsigned long long>(wr.cycles),
-                    wr.host_seconds,
-                    minstrPerSec(wr.instructions, wr.host_seconds),
-                    wi + 1 < results.size() ? "," : "");
+        json.field("minstr_per_sec", agg);
+        json.key("workloads").beginArray();
+        for (size_t wi = 0; wi < names.size(); ++wi) {
+            const RunOutcome &out = outcomes[first + wi];
+            json.beginObject();
+            json.field("name", names[wi]);
+            json.field("instructions", out.result.instructions);
+            json.field("cycles", out.result.cycles);
+            json.field("host_seconds", out.host_seconds, 6);
+            json.field("minstr_per_sec",
+                       minstrPerSec(out.result.instructions,
+                                    out.host_seconds));
+            json.endObject();
         }
-        fprintf(json, "      ]\n    }%s\n",
-                ci + 1 < configs.size() ? "," : "");
+        json.endArray();
+        json.endObject();
     }
-    fprintf(json, "  ]\n}\n");
-    fclose(json);
-    printf("wrote %s\n", out_path.c_str());
+    json.endArray();
+    json.endObject();
+    writeReportFile(opt.out_path, json.str());
+    printf("wrote %s\n", opt.out_path.c_str());
     return 0;
 }

@@ -1,8 +1,14 @@
 /**
  * @file
- * Shared helpers for the figure-regeneration harnesses: run a
- * workload under a configuration, cache nothing, print aligned
- * tables, and compute the paper's summary statistics.
+ * Shared helpers for the figure-regeneration harnesses: grid
+ * construction over the workload registry, common CLI handling
+ * (--jobs / --out), and the paper's summary statistics. The
+ * sweeps themselves run on the parallel experiment runner
+ * (sim/exp_runner.h); drivers build their whole grid up front and
+ * render tables/JSON from the index-addressed outcomes, so stdout
+ * and the JSON artifact are byte-identical for any --jobs value.
+ * Scheduling-dependent metadata (worker count, wall-clock) goes to
+ * stderr only.
  */
 
 #ifndef SPT_BENCH_BENCH_UTIL_H
@@ -14,31 +20,78 @@
 #include <vector>
 
 #include "common/logging.h"
-#include "sim/simulator.h"
+#include "common/parallel.h"
+#include "sim/exp_runner.h"
+#include "sim/report.h"
 #include "workloads/workloads.h"
 
 namespace spt {
 namespace bench {
 
-/** Runs one workload under one configuration, returning a live
- *  Simulator (caller reads stats) result bundle. */
-struct RunOutcome {
-    SimResult result;
-    std::map<std::string, uint64_t> engine_counters;
+/** Common bench CLI: "--jobs N" (or SPT_JOBS) and "--out PATH" for
+ *  the JSON artifact. Unknown arguments are fatal. */
+struct BenchOptions {
+    unsigned jobs = 1;
+    std::string out_path;
 };
 
-inline RunOutcome
-runOne(const Program &program, const EngineConfig &engine,
-       AttackModel model)
+inline BenchOptions
+parseBenchArgs(int argc, char **argv, const char *default_out)
 {
-    SimConfig cfg;
-    cfg.engine = engine;
-    cfg.core.attack_model = model;
-    Simulator sim(program, cfg);
-    RunOutcome out;
-    out.result = sim.run();
-    out.engine_counters = sim.core().engine().stats().counters();
-    return out;
+    BenchOptions opt;
+    opt.jobs = jobsFromArgs(argc, argv);
+    opt.out_path = default_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            ++i; // value consumed by jobsFromArgs
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            // consumed by jobsFromArgs
+        } else if (arg == "--out") {
+            if (i + 1 >= argc)
+                SPT_FATAL("--out requires a path");
+            opt.out_path = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opt.out_path = arg.substr(6);
+        } else {
+            SPT_FATAL("unknown argument " << arg
+                      << " (expected --jobs N / --out PATH)");
+        }
+    }
+    return opt;
+}
+
+/** Reports sweep scheduling metadata on stderr (stdout must stay
+ *  byte-identical across --jobs values). */
+inline void
+reportSweep(const ExpRunner &runner)
+{
+    const SweepStats &s = runner.lastSweep();
+    fprintf(stderr,
+            "[sweep] %u worker(s), %llu unique job(s), %llu memo "
+            "hit(s), %.2fs wall\n",
+            s.workers,
+            static_cast<unsigned long long>(s.unique_jobs),
+            static_cast<unsigned long long>(s.memo_hits),
+            s.wall_seconds);
+}
+
+/** The workload-name lists the figure drivers sweep, honoring
+ *  SPT_BENCH_QUICK. */
+inline std::vector<std::string>
+figureWorkloads(bool quick, const char *category = nullptr)
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (!category || w.category == category)
+            names.push_back(w.name);
+    if (quick) {
+        names = {"pchase", "hashtab", "stream", "interp",
+                 "ct-chacha20"};
+        if (category && std::string(category) == "spec-like")
+            names.pop_back(); // drop the constant-time kernel
+    }
+    return names;
 }
 
 inline const char *

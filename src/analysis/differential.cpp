@@ -4,7 +4,9 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/cfg.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "uarch/core.h"
 
 namespace spt {
@@ -102,6 +104,34 @@ runDifferential(const Program &program,
         core.tick();
     result.halted = core.halted();
     return result;
+}
+
+DifferentialSweepResult
+runDifferentialSweep(uint64_t first_seed, unsigned count,
+                     const FuzzConfig &fuzz,
+                     const DifferentialConfig &config)
+{
+    DifferentialSweepResult sweep;
+    sweep.per_program.resize(count);
+    // Each index owns its slot: fuzzer, CFG, analysis, and core are
+    // all local to the worker, so the assembled vector is identical
+    // for any jobs value.
+    parallelFor(count, config.jobs, [&](std::size_t i) {
+        const Program program =
+            fuzzProgram(first_seed + i, fuzz);
+        const Cfg cfg(program);
+        const KnowledgeAnalysis analysis(cfg);
+        sweep.per_program[i] =
+            runDifferential(program, analysis, config);
+    });
+    for (const DifferentialResult &res : sweep.per_program) {
+        ++sweep.programs;
+        sweep.robust_checked += res.robust_checked;
+        sweep.robust_denied += res.robust_denied;
+        sweep.windowed_checked += res.windowed_checked;
+        sweep.windowed_denied += res.windowed_denied;
+    }
+    return sweep;
 }
 
 } // namespace spt

@@ -24,6 +24,7 @@
 
 #include "analysis/knowledge_analysis.h"
 #include "core/spt_engine.h"
+#include "isa/program_fuzzer.h"
 #include "uarch/types.h"
 
 namespace spt {
@@ -32,6 +33,11 @@ struct DifferentialConfig {
     AttackModel attack_model = AttackModel::kSpectre;
     ShadowKind shadow = ShadowKind::kShadowMem;
     uint64_t max_cycles = 1'000'000;
+    /** Worker threads for runDifferentialSweep (0 = SPT_JOBS env,
+     *  then hardware_concurrency; see common/parallel.h). Each seed
+     *  gets its own fuzzer, analysis, and core, so results are
+     *  independent of the worker count. */
+    unsigned jobs = 0;
 };
 
 struct DifferentialResult {
@@ -57,6 +63,35 @@ struct DifferentialResult {
 DifferentialResult runDifferential(const Program &program,
                                    const KnowledgeAnalysis &analysis,
                                    const DifferentialConfig &config);
+
+/** Aggregate of a fuzzed differential campaign. `per_program[i]`
+ *  is the result for seed `first_seed + i` regardless of worker
+ *  count or completion order. */
+struct DifferentialSweepResult {
+    std::vector<DifferentialResult> per_program;
+    uint64_t programs = 0;
+    uint64_t robust_checked = 0;
+    uint64_t robust_denied = 0;
+    uint64_t windowed_checked = 0;
+    uint64_t windowed_denied = 0;
+
+    double windowedDenialRate() const
+    {
+        return windowed_checked == 0
+                   ? 0.0
+                   : static_cast<double>(windowed_denied) /
+                         static_cast<double>(windowed_checked);
+    }
+};
+
+/** Fuzzes `count` programs (seeds first_seed .. first_seed+count-1,
+ *  each program's seed fixed independently of scheduling), builds
+ *  the static knowledge analysis for each, and runs the dynamic
+ *  check on `config.jobs` worker threads. */
+DifferentialSweepResult
+runDifferentialSweep(uint64_t first_seed, unsigned count,
+                     const FuzzConfig &fuzz,
+                     const DifferentialConfig &config);
 
 } // namespace spt
 

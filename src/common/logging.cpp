@@ -1,11 +1,31 @@
 #include "common/logging.h"
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
 
 namespace spt {
 
 namespace {
-bool g_verbose = true;
+
+// Concurrent Simulators (common/parallel.h sweeps) log from worker
+// threads: the verbose flag is atomic and every message is emitted
+// as one fwrite under a mutex so lines never interleave.
+std::atomic<bool> g_verbose{true};
+std::mutex g_stderr_mutex;
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 8);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(g_stderr_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 namespace detail {
@@ -23,26 +43,26 @@ formatLocation(const char *file, int line)
 void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    emitLine("warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (g_verbose)
-        std::cerr << "info: " << msg << "\n";
+    if (g_verbose.load(std::memory_order_relaxed))
+        emitLine("info: ", msg);
 }
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 } // namespace spt

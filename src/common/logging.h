@@ -38,13 +38,18 @@ std::string formatLocation(const char *file, int line);
 
 } // namespace detail
 
-/** Emits a warning to stderr (does not stop the simulation). */
+/** Emits a warning to stderr (does not stop the simulation).
+ *  Thread-safe: the whole line is written in one call, so messages
+ *  from concurrent Simulators never interleave mid-line. */
 void warn(const std::string &msg);
 
-/** Emits an informational message to stderr. */
+/** Emits an informational message to stderr (thread-safe, see
+ *  warn()). */
 void inform(const std::string &msg);
 
-/** Globally enables/disables inform() output (benches silence it). */
+/** Globally enables/disables inform() output (benches silence it).
+ *  The flag is atomic and may be read from any thread, but callers
+ *  should set it before spawning sweep workers. */
 void setVerbose(bool verbose);
 bool verbose();
 

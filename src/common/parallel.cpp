@@ -1,0 +1,119 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spt {
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+unsigned
+parsePositive(const std::string &text, const char *what)
+{
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(text, &pos);
+    } catch (const std::exception &) {
+        SPT_FATAL(what << " must be a positive integer, got \""
+                       << text << "\"");
+    }
+    if (pos != text.size() || value == 0 || value > 4096)
+        SPT_FATAL(what << " must be a positive integer, got \""
+                       << text << "\"");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("SPT_JOBS"); env && *env)
+        return parsePositive(env, "SPT_JOBS");
+    return hardwareJobs();
+}
+
+unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                SPT_FATAL("--jobs requires a value");
+            return resolveJobs(parsePositive(argv[i + 1], "--jobs"));
+        }
+        if (arg.rfind("--jobs=", 0) == 0)
+            return resolveJobs(
+                parsePositive(arg.substr(7), "--jobs"));
+    }
+    return resolveJobs(0);
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(resolveJobs(jobs), n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || failed.load(std::memory_order_acquire))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_release);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace spt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic index-sharded parallel execution for experiment
+ * sweeps.
+ *
+ * `parallelFor(n, jobs, fn)` executes `fn(i)` for every index in
+ * [0, n) on a fixed-size pool of `jobs` worker threads. Indices are
+ * claimed from a shared atomic cursor, so scheduling order is
+ * nondeterministic — determinism is the *caller's* obligation and is
+ * achieved structurally: each invocation writes only to its own
+ * index-addressed result slot, so the assembled output is
+ * bit-identical regardless of thread count or completion order.
+ *
+ * Threading contract (see also rng.h and sim/exp_runner.h): `fn`
+ * must not touch shared mutable state. One Simulator (and one Rng)
+ * per invocation, confined to the executing thread. The first
+ * exception thrown by any invocation wins: remaining indices are
+ * abandoned, all workers join, and the exception is rethrown on the
+ * calling thread — the pool never deadlocks on a throwing job.
+ */
+
+#ifndef SPT_COMMON_PARALLEL_H
+#define SPT_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace spt {
+
+/** Number of hardware threads, never less than 1. */
+unsigned hardwareJobs();
+
+/** Worker-count resolution shared by every sweep entry point:
+ *  an explicit nonzero @p requested wins; otherwise the SPT_JOBS
+ *  environment variable (if set and a positive integer); otherwise
+ *  hardwareJobs(). The result is always >= 1. */
+unsigned resolveJobs(unsigned requested = 0);
+
+/** Scans argv for "--jobs N" / "--jobs=N" and returns
+ *  resolveJobs(N); returns resolveJobs(0) when the flag is absent.
+ *  Throws FatalError on a malformed value. */
+unsigned jobsFromArgs(int argc, char **argv);
+
+/** Runs fn(0) .. fn(n-1) on min(jobs, n) worker threads (inline on
+ *  the calling thread when that is 1). Rethrows the first exception
+ *  any invocation raised, after all workers have joined. */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace spt
+
+#endif // SPT_COMMON_PARALLEL_H

@@ -6,6 +6,18 @@
  * that experiment results are reproducible; we therefore use our own
  * xoshiro256** implementation rather than std::mt19937 (whose
  * distributions are implementation-defined).
+ *
+ * Threading contract (audited for the parallel sweep runner,
+ * sim/exp_runner.h): there are no global Rng instances anywhere in
+ * the tree — every user (program_fuzzer, spec_kernels, ct_kernels)
+ * constructs a function-local Rng from a fixed seed, so each
+ * instance is confined to the thread that created it. Keep it that
+ * way: an Rng must never be shared across threads (next() mutates
+ * s_[] unsynchronized), and any future cross-thread use needs one
+ * independently-seeded instance per thread. The lazily-built
+ * workload/golden-suite registries that consume these generators
+ * are C++11 magic statics: initialization is thread-safe and the
+ * vectors are immutable afterwards.
  */
 
 #ifndef SPT_COMMON_RNG_H

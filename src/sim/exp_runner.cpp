@@ -1,0 +1,91 @@
+#include "sim/exp_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace spt {
+
+std::string
+jobKey(const RunJob &job)
+{
+    // Every descriptor field participates. SptConfig currently has
+    // exactly {method, shadow, broadcast_width}; extend this when it
+    // grows (tests/test_exp_runner.cpp pins the sensitivity).
+    char buf[160];
+    std::snprintf(
+        buf, sizeof buf,
+        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|am=%u|seed=%llu|mc=%llu",
+        static_cast<const void *>(job.program),
+        static_cast<unsigned>(job.engine.scheme),
+        static_cast<unsigned>(job.engine.spt.method),
+        static_cast<unsigned>(job.engine.spt.shadow),
+        job.engine.spt.broadcast_width,
+        static_cast<unsigned>(job.attack_model),
+        static_cast<unsigned long long>(job.seed),
+        static_cast<unsigned long long>(job.max_cycles));
+    return buf;
+}
+
+ExpRunner::ExpRunner(unsigned jobs) : workers_(resolveJobs(jobs)) {}
+
+std::vector<RunOutcome>
+ExpRunner::run(const std::vector<RunJob> &grid)
+{
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (grid[i].program == nullptr)
+            SPT_FATAL("RunJob " << i << " has a null program");
+
+    // Deduplicate up front: unique jobs run on the pool, duplicate
+    // slots are filled by copy afterwards.
+    std::vector<std::size_t> unique;       // grid indices to simulate
+    std::vector<std::size_t> source(grid.size()); // slot -> source slot
+    std::unordered_map<std::string, std::size_t> first_by_key;
+    unique.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto [it, inserted] =
+            first_by_key.emplace(jobKey(grid[i]), i);
+        source[i] = it->second;
+        if (inserted)
+            unique.push_back(i);
+    }
+
+    std::vector<RunOutcome> outcomes(grid.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(unique.size(), workers_, [&](std::size_t u) {
+        const std::size_t slot = unique[u];
+        const RunJob &job = grid[slot];
+        SimConfig cfg;
+        cfg.engine = job.engine;
+        cfg.core.attack_model = job.attack_model;
+        cfg.max_cycles = job.max_cycles;
+        Simulator sim(*job.program, cfg);
+        const auto j0 = std::chrono::steady_clock::now();
+        RunOutcome out;
+        out.result = sim.run();
+        const auto j1 = std::chrono::steady_clock::now();
+        out.host_seconds =
+            std::chrono::duration<double>(j1 - j0).count();
+        const StatSet &stats = sim.core().engine().stats();
+        out.engine_counters = stats.counters();
+        out.engine_histograms = stats.histograms();
+        outcomes[slot] = std::move(out);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (source[i] != i)
+            outcomes[i] = outcomes[source[i]];
+
+    last_.workers = workers_;
+    last_.unique_jobs = unique.size();
+    last_.memo_hits = grid.size() - unique.size();
+    last_.wall_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return outcomes;
+}
+
+} // namespace spt

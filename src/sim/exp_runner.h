@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel experiment runner: the shared sweep engine behind every
+ * figure-regeneration driver, the golden-stats recorder, and the
+ * throughput bench.
+ *
+ * A sweep is a vector of `RunJob` descriptors (program x engine
+ * config x attack model x seed). The runner executes them on a
+ * fixed-size worker pool (`--jobs N` / SPT_JOBS, default
+ * hardware_concurrency — see common/parallel.h) and collects each
+ * job's `RunOutcome` into a result slot indexed by job id, so the
+ * assembled vector is bit-identical regardless of thread count or
+ * completion order. Drivers therefore build their whole grid up
+ * front, run it once, and render tables/JSON from the slots in grid
+ * order.
+ *
+ * Determinism guarantees:
+ *  - one Simulator per job, constructed and run entirely on the
+ *    executing worker; the simulated machine is single-threaded and
+ *    touches no global mutable state (Rng instances are
+ *    function-local, see rng.h; logging is thread-safe, see
+ *    logging.h),
+ *  - results are addressed by job index, never by completion order,
+ *  - host timing (`RunOutcome::host_seconds`) is the only
+ *    thread-count-dependent field; everything else — cycles,
+ *    instructions, every engine counter and histogram — is a pure
+ *    function of the job descriptor.
+ *
+ * Duplicate jobs within a sweep are memoized: jobs with equal keys
+ * (same program identity + every engine-config field + attack model
+ * + seed + cycle limit, see jobKey()) are simulated once and the
+ * outcome is copied into every duplicate slot. This is what spares
+ * e.g. a normalized-overhead grid from re-deriving its
+ * UnsafeBaseline column per normalization.
+ */
+
+#ifndef SPT_SIM_EXP_RUNNER_H
+#define SPT_SIM_EXP_RUNNER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/sim_config.h"
+#include "sim/simulator.h"
+
+namespace spt {
+
+/** One design point of a sweep grid. The program is non-owning and
+ *  must outlive the sweep (all drivers point into the static
+ *  workload/golden-suite registries or locals). */
+struct RunJob {
+    const Program *program = nullptr;
+    EngineConfig engine;
+    AttackModel attack_model = AttackModel::kFuturistic;
+    /** Free key component for sweeps whose points differ by input
+     *  generation (e.g. fuzz seeds) rather than configuration; not
+     *  interpreted by the runner. */
+    uint64_t seed = 0;
+    uint64_t max_cycles = 500'000'000;
+};
+
+/** Everything a driver reads back from one simulation. */
+struct RunOutcome {
+    SimResult result;
+    std::map<std::string, uint64_t> engine_counters;
+    std::map<std::string, Histogram> engine_histograms;
+    /** Host wall-clock of the simulation itself. Duplicate (memoized)
+     *  slots share the unique run's timing. */
+    double host_seconds = 0.0;
+
+    uint64_t
+    counter(const std::string &name) const
+    {
+        const auto it = engine_counters.find(name);
+        return it == engine_counters.end() ? 0 : it->second;
+    }
+};
+
+/** Bookkeeping from the last ExpRunner::run call. */
+struct SweepStats {
+    unsigned workers = 1;    ///< pool size actually used
+    uint64_t unique_jobs = 0;
+    uint64_t memo_hits = 0;  ///< jobs served from an earlier slot
+    double wall_seconds = 0.0;
+};
+
+/** Memoization key: program identity plus every field of the job
+ *  descriptor. Keep in sync with EngineConfig/SptConfig — a field
+ *  missing here would merge distinct design points. Exposed for
+ *  tests. */
+std::string jobKey(const RunJob &job);
+
+class ExpRunner
+{
+  public:
+    /** @param jobs worker count; 0 resolves SPT_JOBS then
+     *  hardware_concurrency (common/parallel.h). */
+    explicit ExpRunner(unsigned jobs = 0);
+
+    /** Executes the grid; outcome i corresponds to grid[i]. Throws
+     *  FatalError on a null program; any exception escaping a job
+     *  (e.g. SPT_FATAL/SPT_PANIC inside the simulator) fails the
+     *  sweep cleanly after the pool has drained. */
+    std::vector<RunOutcome> run(const std::vector<RunJob> &grid);
+
+    const SweepStats &lastSweep() const { return last_; }
+    unsigned workers() const { return workers_; }
+
+  private:
+    unsigned workers_;
+    SweepStats last_;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_EXP_RUNNER_H

@@ -4,6 +4,16 @@
  * a program to completion, optionally lockstep-checks every commit
  * against the functional reference CPU, and gathers all statistics
  * (the equivalent of gem5's stats.txt).
+ *
+ * Threading contract (relied on by sim/exp_runner.h): one Simulator
+ * per thread, no shared mutable state. A Simulator owns its entire
+ * machine (core, memory system, engine, reference CPU) and only
+ * reads the Program it was given; concurrent Simulators over the
+ * same const Program are race-free. The only process-global state
+ * reachable from run() is the logging verbose flag (atomic, see
+ * logging.h) and the lazily-built workload registries (immutable
+ * after magic-static initialization). Audited for PR 3; keep new
+ * code free of mutable statics on the run() path.
  */
 
 #ifndef SPT_SIM_SIMULATOR_H

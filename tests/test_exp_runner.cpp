@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Parallel experiment runner (sim/exp_runner.h + common/parallel.h):
+ * determinism across worker counts, memoization accounting,
+ * exception-in-job propagation, and the memo-key sensitivity that
+ * keeps distinct design points from merging.
+ */
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "sim/exp_runner.h"
+#include "sim/report.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+// Reduced-size programs so the whole file stays in the test tier.
+struct TestPrograms {
+    Program pchase = makePointerChase(256, 1);
+    Program hashtab = makeHashTable(300, 300);
+    Program chacha = makeChaCha20(2);
+};
+
+std::vector<RunJob>
+mixedGrid(const TestPrograms &p)
+{
+    std::vector<EngineConfig> engines(3);
+    engines[0].scheme = ProtectionScheme::kUnsafeBaseline;
+    engines[1].scheme = ProtectionScheme::kSecureBaseline;
+    engines[2].scheme = ProtectionScheme::kSpt;
+    engines[2].spt.method = UntaintMethod::kBackward;
+    engines[2].spt.shadow = ShadowKind::kShadowL1;
+
+    std::vector<RunJob> grid;
+    for (const Program *prog :
+         {&p.pchase, &p.hashtab, &p.chacha}) {
+        for (const EngineConfig &e : engines) {
+            for (AttackModel m : {AttackModel::kFuturistic,
+                                  AttackModel::kSpectre}) {
+                RunJob job;
+                job.program = prog;
+                job.engine = e;
+                job.attack_model = m;
+                grid.push_back(job);
+            }
+        }
+    }
+    return grid;
+}
+
+void
+expectSameOutcome(const RunOutcome &a, const RunOutcome &b,
+                  size_t slot)
+{
+    EXPECT_EQ(a.result.cycles, b.result.cycles) << "slot " << slot;
+    EXPECT_EQ(a.result.instructions, b.result.instructions)
+        << "slot " << slot;
+    EXPECT_EQ(a.result.halted, b.result.halted) << "slot " << slot;
+    // Full engine counter maps must be identical, untaint.* included.
+    EXPECT_EQ(a.engine_counters, b.engine_counters)
+        << "slot " << slot;
+    ASSERT_EQ(a.engine_histograms.size(), b.engine_histograms.size())
+        << "slot " << slot;
+    auto ita = a.engine_histograms.begin();
+    auto itb = b.engine_histograms.begin();
+    for (; ita != a.engine_histograms.end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        ASSERT_EQ(ita->second.numBuckets(),
+                  itb->second.numBuckets());
+        EXPECT_EQ(ita->second.samples(), itb->second.samples());
+        EXPECT_EQ(ita->second.maxSample(), itb->second.maxSample());
+        for (size_t i = 0; i < ita->second.numBuckets(); ++i)
+            EXPECT_EQ(ita->second.bucket(i), itb->second.bucket(i))
+                << ita->first << " bucket " << i;
+    }
+}
+
+TEST(ExpRunner, DeterministicAcrossWorkerCounts)
+{
+    const TestPrograms programs;
+    const std::vector<RunJob> grid = mixedGrid(programs);
+
+    ExpRunner serial(1);
+    ExpRunner pooled(4);
+    const std::vector<RunOutcome> a = serial.run(grid);
+    const std::vector<RunOutcome> b = pooled.run(grid);
+    EXPECT_EQ(serial.lastSweep().workers, 1u);
+    EXPECT_EQ(pooled.lastSweep().workers, 4u);
+
+    ASSERT_EQ(a.size(), grid.size());
+    ASSERT_EQ(b.size(), grid.size());
+    uint64_t untaint_events = 0;
+    for (size_t i = 0; i < grid.size(); ++i) {
+        expectSameOutcome(a[i], b[i], i);
+        EXPECT_TRUE(a[i].result.halted) << "slot " << i;
+        untaint_events += a[i].counter("untaint.forward") +
+                          a[i].counter("untaint.backward");
+    }
+    // The SPT columns must actually exercise the untaint machinery,
+    // or counter equality would be vacuous.
+    EXPECT_GT(untaint_events, 0u);
+}
+
+TEST(ExpRunner, MemoizesDuplicateJobs)
+{
+    const TestPrograms programs;
+    RunJob base;
+    base.program = &programs.pchase;
+    base.engine.scheme = ProtectionScheme::kSpt;
+
+    RunJob other = base;
+    other.attack_model = AttackModel::kSpectre;
+
+    // 5 slots, 2 unique design points.
+    const std::vector<RunJob> grid = {base, other, base, base,
+                                      other};
+    ExpRunner runner(2);
+    const std::vector<RunOutcome> out = runner.run(grid);
+    EXPECT_EQ(runner.lastSweep().unique_jobs, 2u);
+    EXPECT_EQ(runner.lastSweep().memo_hits, 3u);
+    expectSameOutcome(out[0], out[2], 2);
+    expectSameOutcome(out[0], out[3], 3);
+    expectSameOutcome(out[1], out[4], 4);
+    // Memoized slots share the unique run's host timing.
+    EXPECT_EQ(out[0].host_seconds, out[2].host_seconds);
+    // The two design points genuinely differ.
+    EXPECT_NE(out[0].result.cycles, out[1].result.cycles);
+}
+
+TEST(ExpRunner, JobKeyCoversEveryDescriptorField)
+{
+    const TestPrograms programs;
+    RunJob job;
+    job.program = &programs.pchase;
+    job.engine.scheme = ProtectionScheme::kSpt;
+
+    EXPECT_EQ(jobKey(job), jobKey(job));
+
+    std::set<std::string> keys;
+    keys.insert(jobKey(job));
+    auto expect_fresh = [&](const RunJob &j, const char *what) {
+        EXPECT_TRUE(keys.insert(jobKey(j)).second)
+            << what << " not reflected in jobKey";
+    };
+
+    RunJob j = job;
+    j.program = &programs.hashtab;
+    expect_fresh(j, "program");
+    j = job;
+    j.engine.scheme = ProtectionScheme::kStt;
+    expect_fresh(j, "scheme");
+    j = job;
+    j.engine.spt.method = UntaintMethod::kIdeal;
+    expect_fresh(j, "untaint method");
+    j = job;
+    j.engine.spt.shadow = ShadowKind::kShadowMem;
+    expect_fresh(j, "shadow kind");
+    j = job;
+    j.engine.spt.broadcast_width = 7;
+    expect_fresh(j, "broadcast width");
+    j = job;
+    j.attack_model = AttackModel::kSpectre;
+    expect_fresh(j, "attack model");
+    j = job;
+    j.seed = 1;
+    expect_fresh(j, "seed");
+    j = job;
+    j.max_cycles = 12345;
+    expect_fresh(j, "max_cycles");
+}
+
+TEST(ExpRunner, NullProgramFailsTheSweep)
+{
+    RunJob job; // program left null
+    ExpRunner runner(2);
+    EXPECT_THROW(runner.run({job}), FatalError);
+}
+
+TEST(ExpRunner, ThrowingJobFailsSweepCleanly)
+{
+    const TestPrograms programs;
+    std::vector<RunJob> grid;
+    for (int i = 0; i < 6; ++i) {
+        RunJob job;
+        job.program = &programs.pchase;
+        job.engine.scheme = ProtectionScheme::kUnsafeBaseline;
+        job.seed = static_cast<uint64_t>(i); // distinct: no memo
+        grid.push_back(job);
+    }
+    // An out-of-range scheme makes the engine factory panic inside
+    // the worker; the sweep must rethrow after the pool has joined
+    // (no deadlock, no crash), for any worker count.
+    grid[3].engine.scheme = static_cast<ProtectionScheme>(0xee);
+    EXPECT_THROW(ExpRunner(1).run(grid), PanicError);
+    EXPECT_THROW(ExpRunner(4).run(grid), PanicError);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr size_t kN = 257;
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(kN);
+        parallelFor(kN, jobs,
+                    [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    // Degenerate sizes.
+    parallelFor(0, 4, [](size_t) { FAIL() << "fn called for n=0"; });
+    std::atomic<int> once{0};
+    parallelFor(1, 8, [&](size_t) { once.fetch_add(1); });
+    EXPECT_EQ(once.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstExceptionAndStops)
+{
+    std::atomic<size_t> ran{0};
+    try {
+        parallelFor(1000, 4, [&](size_t i) {
+            if (i == 10)
+                throw std::runtime_error("job 10 failed");
+            ran.fetch_add(1);
+        });
+        FAIL() << "exception did not propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 10 failed");
+    }
+    // Workers stop claiming new indices once a job has thrown; with
+    // 4 workers at most a handful of in-flight jobs finish after
+    // the failure.
+    EXPECT_LT(ran.load(), 1000u);
+}
+
+TEST(JsonWriter, StableFormattingAndEscaping)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("name", "a\"b\\c\nd");
+    json.field("count", uint64_t{42});
+    json.field("ratio", 1.0 / 3.0, 3);
+    json.field("flag", true);
+    json.key("list").beginArray();
+    json.value(uint64_t{1}).value(uint64_t{2});
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\n"
+              "  \"name\": \"a\\\"b\\\\c\\nd\",\n"
+              "  \"count\": 42,\n"
+              "  \"ratio\": 0.333,\n"
+              "  \"flag\": true,\n"
+              "  \"list\": [\n"
+              "    1,\n"
+              "    2\n"
+              "  ]\n"
+              "}");
+}
+
+} // namespace
+} // namespace spt

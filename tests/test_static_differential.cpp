@@ -32,16 +32,19 @@ void
 runSeeds(uint64_t first_seed, unsigned count,
          const FuzzConfig &fuzz, AttackModel model, Totals &totals)
 {
-    for (uint64_t seed = first_seed; seed < first_seed + count;
-         ++seed) {
-        const Program program = fuzzProgram(seed, fuzz);
-        const Cfg cfg(program);
-        const KnowledgeAnalysis analysis(cfg);
-        DifferentialConfig config;
-        config.attack_model = model;
-        const DifferentialResult res =
-            runDifferential(program, analysis, config);
+    // The whole campaign runs on the parallel sweep runner
+    // (config.jobs = 0: SPT_JOBS env, then hardware concurrency);
+    // per-program results are slot-indexed by seed, so the
+    // assertions below see identical data for any worker count.
+    DifferentialConfig config;
+    config.attack_model = model;
+    const DifferentialSweepResult sweep =
+        runDifferentialSweep(first_seed, count, fuzz, config);
 
+    ASSERT_EQ(sweep.per_program.size(), count);
+    for (unsigned i = 0; i < count; ++i) {
+        const DifferentialResult &res = sweep.per_program[i];
+        const uint64_t seed = first_seed + i;
         EXPECT_TRUE(res.halted) << "seed " << seed;
         EXPECT_EQ(res.robust_denied, 0u)
             << "seed " << seed << " model "
@@ -54,12 +57,12 @@ runSeeds(uint64_t first_seed, unsigned count,
                        joined += line + "\n";
                    return joined;
                }();
-
-        ++totals.programs;
-        totals.robust_checked += res.robust_checked;
-        totals.windowed_checked += res.windowed_checked;
-        totals.windowed_denied += res.windowed_denied;
     }
+
+    totals.programs += sweep.programs;
+    totals.robust_checked += sweep.robust_checked;
+    totals.windowed_checked += sweep.windowed_checked;
+    totals.windowed_denied += sweep.windowed_denied;
 }
 
 void

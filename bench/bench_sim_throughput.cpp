@@ -146,6 +146,7 @@ main(int argc, char **argv)
                total_seconds * 1e3, agg);
 
         json.field("minstr_per_sec", agg);
+        hostSecondsField(json, total_seconds);
         json.key("workloads").beginArray();
         for (size_t wi = 0; wi < names.size(); ++wi) {
             const RunOutcome &out = outcomes[first + wi];
@@ -153,7 +154,7 @@ main(int argc, char **argv)
             json.field("name", names[wi]);
             json.field("instructions", out.result.instructions);
             json.field("cycles", out.result.cycles);
-            json.field("host_seconds", out.host_seconds, 6);
+            hostSecondsField(json, out.host_seconds);
             json.field("minstr_per_sec",
                        minstrPerSec(out.result.instructions,
                                     out.host_seconds));

@@ -100,6 +100,19 @@ modelName(AttackModel m)
     return m == AttackModel::kSpectre ? "Spectre" : "Futuristic";
 }
 
+/** Emits the `host_seconds` field (host wall-clock of one
+ *  simulation, RunOutcome::host_seconds). This is the ONLY
+ *  schedule-dependent value in any BENCH_ artifact — everything
+ *  else is a pure function of the job grid. CI strips
+ *  `host_seconds` before byte-comparing --jobs variants
+ *  (.github/workflows/ci.yml); keep any new timing field under
+ *  this same key so the filter keeps working. */
+inline JsonWriter &
+hostSecondsField(JsonWriter &jw, double seconds)
+{
+    return jw.field("host_seconds", seconds, 6);
+}
+
 inline double
 geomean(const std::vector<double> &xs)
 {

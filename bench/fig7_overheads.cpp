@@ -123,6 +123,10 @@ main(int argc, char **argv)
             for (size_t c = 0; c < configs.size(); ++c)
                 json.value(at(mi, wi, c).result.cycles);
             json.endArray();
+            json.key("host_seconds").beginArray();
+            for (size_t c = 0; c < configs.size(); ++c)
+                json.value(at(mi, wi, c).host_seconds, 6);
+            json.endArray();
             json.key("normalized").beginArray();
             for (size_t c = 0; c < configs.size(); ++c) {
                 const auto cycles = static_cast<double>(

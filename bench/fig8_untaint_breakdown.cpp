@@ -108,6 +108,7 @@ main(int argc, char **argv)
             }
             json.endArray();
             json.field("total_events", total);
+            hostSecondsField(json, out.host_seconds);
             json.endObject();
             printf(" %12llu\n",
                    static_cast<unsigned long long>(total));

@@ -110,6 +110,7 @@ main(int argc, char **argv)
         printf("  %6.2f\n", h.mean());
         json.field("mean", h.mean(), 2);
         json.field("untaint_cycles", h.samples());
+        hostSecondsField(json, out.host_seconds);
         json.endObject();
         cdf3.push_back(100.0 * h.cdfAt(3));
     }
@@ -148,6 +149,11 @@ main(int argc, char **argv)
             printf(" %8.3f", cycles / base);
             json.value(cycles / base, 3);
         }
+        json.endArray();
+        json.key("host_seconds").beginArray();
+        for (size_t di = 0; di < num_widths; ++di)
+            json.value(outcomes[wi * stride + 1 + di].host_seconds,
+                       6);
         json.endArray();
         json.endObject();
         printf("   (normalized to w=1)\n");

@@ -1,4 +1,4 @@
-#include "sim/report.h"
+#include "common/json.h"
 
 #include <cmath>
 #include <cstdio>

@@ -1,5 +1,8 @@
 #include "common/stats.h"
 
+#include <cmath>
+
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace spt {
@@ -57,6 +60,34 @@ Histogram::cdfAt(uint64_t v) const
     return static_cast<double>(below) / static_cast<double>(samples_);
 }
 
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (samples_ == 0)
+        return 0;
+    if (p > 1.0)
+        p = 1.0;
+    // The target rank: the smallest count of samples whose fraction
+    // reaches p. ceil() keeps percentile consistent with cdfAt
+    // (cdfAt(percentile(p)) >= p) for any p in (0, 1].
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > samples_)
+        rank = samples_;
+    uint64_t below = 0;
+    for (size_t i = 0; i + 1 < buckets_.size(); ++i) {
+        below += buckets_[i];
+        if (below >= rank)
+            return i; // exact: bucket i holds only value i
+    }
+    // The rank lands in the overflow bucket, where per-value counts
+    // are gone; maxSample() is the only value whose cdf is known
+    // (1.0), so clamp there — mirroring cdfAt's overflow handling.
+    return max_;
+}
+
 void
 Histogram::reset()
 {
@@ -109,7 +140,27 @@ StatSet::dump(std::ostream &os) const
     for (const auto &[name, h] : histograms_) {
         os << name << ".samples " << h.samples() << "\n";
         os << name << ".mean " << h.mean() << "\n";
+        os << name << ".p50 " << h.percentile(0.50) << "\n";
+        os << name << ".p95 " << h.percentile(0.95) << "\n";
     }
+}
+
+void
+StatSet::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const auto &[name, value] : counters_)
+        jw.field(name, value);
+    for (const auto &[name, h] : histograms_) {
+        jw.key(name).beginObject();
+        jw.field("samples", h.samples());
+        jw.field("mean", h.mean(), 6);
+        jw.field("p50", h.percentile(0.50));
+        jw.field("p95", h.percentile(0.95));
+        jw.field("max", h.maxSample());
+        jw.endObject();
+    }
+    jw.endObject();
 }
 
 } // namespace spt

@@ -16,6 +16,8 @@
 
 namespace spt {
 
+class JsonWriter;
+
 /** A simple bucketed histogram of non-negative integer samples. */
 class Histogram
 {
@@ -41,6 +43,13 @@ class Histogram
      *  the result is exact at both ends and a lower bound in
      *  between — never an overcount. */
     double cdfAt(uint64_t v) const;
+
+    /** Smallest value v with cdfAt(v) >= p (the inverse of cdfAt,
+     *  so the two are consistent by construction): exact below the
+     *  overflow bucket; any percentile landing in the overflow range
+     *  clamps to maxSample(), the only value there with a known
+     *  cdf. @p p is clamped to (0, 1]; returns 0 with no samples. */
+    uint64_t percentile(double p) const;
 
     void reset();
 
@@ -79,8 +88,14 @@ class StatSet
 
     void reset();
 
-    /** Dumps all counters in "name value" lines sorted by name. */
+    /** Dumps all counters in "name value" lines sorted by name;
+     *  histograms add .samples/.mean/.p50/.p95 lines. */
     void dump(std::ostream &os) const;
+
+    /** Emits the same content as dump() as one JSON object (counter
+     *  fields, histograms as nested objects) at the writer's current
+     *  position. */
+    void dumpJson(JsonWriter &jw) const;
 
   private:
     std::map<std::string, uint64_t> counters_;

@@ -50,6 +50,16 @@ SttEngine::regTainted(PhysReg reg) const
     return reg != kNoPhysReg && rootLive(root_[reg]);
 }
 
+uint64_t
+SttEngine::taintedRegCount() const
+{
+    uint64_t n = 0;
+    for (std::size_t reg = 0; reg < root_.size(); ++reg)
+        if (regTainted(static_cast<PhysReg>(reg)))
+            ++n;
+    return n;
+}
+
 bool
 SttEngine::mayAccessMemory(const DynInst &d) const
 {

@@ -56,6 +56,18 @@ class SttEngine : public SecurityEngine
     /** Is the value in @p reg currently s-tainted? */
     bool regTainted(PhysReg reg) const;
 
+    // --- observability ------------------------------------------------
+    /** STT delays on s-tainted operands (no broadcast structure, so
+     *  a blocked memory gate is always a tainted address). */
+    DelayCause
+    delayCause(const DynInst &d, DelayKind kind) const override
+    {
+        if (kind == DelayKind::kMemAccess)
+            return DelayCause::kTaintedAddr;
+        return SecurityEngine::delayCause(d, kind);
+    }
+    uint64_t taintedRegCount() const override;
+
   private:
     /** Youngest root of taint per physical register; 0 = none. */
     std::vector<SeqNum> root_;

@@ -28,6 +28,24 @@ reasonName(SptEngine::UntaintReason r)
     return "untaint.unknown";
 }
 
+TaintEvent
+reasonEvent(SptEngine::UntaintReason r)
+{
+    switch (r) {
+      case SptEngine::UntaintReason::kVpDeclassify:
+        return TaintEvent::kVpDeclassify;
+      case SptEngine::UntaintReason::kForward:
+        return TaintEvent::kForwardUntaint;
+      case SptEngine::UntaintReason::kBackward:
+        return TaintEvent::kBackwardUntaint;
+      case SptEngine::UntaintReason::kShadowData:
+        return TaintEvent::kShadowUntaint;
+      case SptEngine::UntaintReason::kStlForward:
+        return TaintEvent::kStlUntaint;
+    }
+    return TaintEvent::kVpDeclassify;
+}
+
 } // namespace
 
 SptEngine::SptEngine(const SptConfig &config)
@@ -191,10 +209,14 @@ SptEngine::registerRegSlots(const DynInst &d, uint32_t idx)
 }
 
 void
-SptEngine::countUntaint(UntaintReason reason)
+SptEngine::countUntaint(UntaintReason reason, const Entry &e,
+                        int slot)
 {
     stats_.inc(reasonName(reason));
     stats_.inc("untaint.events");
+    if (observer_)
+        observer_->taintEvent(core_->cycle(), reasonEvent(reason),
+                              *e.inst, static_cast<uint8_t>(slot));
 }
 
 PhysReg
@@ -264,6 +286,9 @@ SptEngine::onRename(DynInst &d)
         }
         master_[d.prd] = it.dest;
     }
+    if (observer_ && d.has_dest && it.dest.any())
+        observer_->taintEvent(core_->cycle(),
+                              TaintEvent::kTaintedAtRename, d, 0);
     registerRegSlots(d, idx);
     // The backward rule may already apply to the rename-time masks.
     markLocalDirty(e);
@@ -358,7 +383,7 @@ SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
     if (m != it.dest && m.subsetOf(it.dest)) {
         it.dest = m;
         raiseFlag(*e, 0);
-        countUntaint(UntaintReason::kShadowData);
+        countUntaint(UntaintReason::kShadowData, *e, 0);
         markLocalDirty(*e);
     }
     if (cfg_.shadow != ShadowKind::kNone && !it.shadow_cleared) {
@@ -484,6 +509,70 @@ SptEngine::maySquashMemViolation(const DynInst &load) const
 }
 
 // --------------------------------------------------------------------
+// Observability
+// --------------------------------------------------------------------
+
+bool
+SptEngine::untaintPendingFor(PhysReg reg) const
+{
+    if (reg == kNoPhysReg)
+        return false;
+    // Raised-but-not-broadcast flags are the broadcast queue: if one
+    // of them names `reg` with a strictly smaller mask, the operand
+    // is only waiting on the structural broadcast width.
+    for (const uint64_t key : pending_flags_) {
+        const Entry *e = entryBySeq(key >> 2);
+        if (!e)
+            continue;
+        const int slot = static_cast<int>(key & 3);
+        if (slotReg(*e->inst, slot) != reg)
+            continue;
+        const TaintMask flagged =
+            slot == 0 ? e->it.dest : e->it.src[slot - 1];
+        if ((master_[reg] & flagged) != master_[reg])
+            return true;
+    }
+    return false;
+}
+
+DelayCause
+SptEngine::delayCause(const DynInst &d, DelayKind kind) const
+{
+    // Called only with an observer installed, after the policy query
+    // returned false — never on the trace-off hot path.
+    switch (kind) {
+      case DelayKind::kMemAccess:
+        return untaintPendingFor(d.prs1)
+                   ? DelayCause::kWaitBroadcast
+                   : DelayCause::kTaintedAddr;
+      case DelayKind::kBranchResolve: {
+        const Entry *e = entryOf(d);
+        const bool src0_blocked =
+            e && d.num_srcs >= 1 && e->it.src[0].any();
+        const bool src1_blocked =
+            e && d.num_srcs >= 2 && e->it.src[1].any();
+        if ((src0_blocked && untaintPendingFor(d.prs1)) ||
+            (src1_blocked && untaintPendingFor(d.prs2)))
+            return DelayCause::kWaitBroadcast;
+        return DelayCause::kTaintedBranch;
+      }
+      case DelayKind::kMemOrderSquash:
+        return DelayCause::kMemOrderGate;
+    }
+    return DelayCause::kMemOrderGate;
+}
+
+uint64_t
+SptEngine::taintedRegCount() const
+{
+    uint64_t n = 0;
+    for (const TaintMask &m : master_)
+        if (m.any())
+            ++n;
+    return n;
+}
+
+// --------------------------------------------------------------------
 // Per-cycle untaint machinery
 // --------------------------------------------------------------------
 
@@ -514,13 +603,13 @@ SptEngine::declassifyPhase()
         if (src0 && e.it.src[0].any()) {
             e.it.src[0] = TaintMask::none();
             raiseFlag(e, 1);
-            countUntaint(UntaintReason::kVpDeclassify);
+            countUntaint(UntaintReason::kVpDeclassify, e, 1);
             markLocalDirty(e);
         }
         if (src1 && e.it.src[1].any()) {
             e.it.src[1] = TaintMask::none();
             raiseFlag(e, 2);
-            countUntaint(UntaintReason::kVpDeclassify);
+            countUntaint(UntaintReason::kVpDeclassify, e, 2);
             markLocalDirty(e);
         }
     }
@@ -541,7 +630,7 @@ SptEngine::evalLocalRules(Entry &e)
         if (m != it.dest && m.subsetOf(it.dest)) {
             it.dest = m;
             raiseFlag(e, 0);
-            countUntaint(UntaintReason::kForward);
+            countUntaint(UntaintReason::kForward, e, 0);
             changed = true;
         }
     }
@@ -553,13 +642,13 @@ SptEngine::evalLocalRules(Entry &e)
         if (b.untaint_src0) {
             it.src[0] = TaintMask::none();
             raiseFlag(e, 1);
-            countUntaint(UntaintReason::kBackward);
+            countUntaint(UntaintReason::kBackward, e, 1);
             changed = true;
         }
         if (b.untaint_src1) {
             it.src[1] = TaintMask::none();
             raiseFlag(e, 2);
-            countUntaint(UntaintReason::kBackward);
+            countUntaint(UntaintReason::kBackward, e, 2);
             changed = true;
         }
     }
@@ -617,7 +706,7 @@ SptEngine::stlPhase()
             lt.dest = TaintMask::none();
             lt.stl_untaint = true;
             raiseFlag(*le, 0);
-            countUntaint(UntaintReason::kStlForward);
+            countUntaint(UntaintReason::kStlForward, *le, 0);
             markLocalDirty(*le);
             changed = true;
         }
@@ -625,7 +714,7 @@ SptEngine::stlPhase()
         if (lt.dest.nothing() && stt.src[1].any()) {
             stt.src[1] = TaintMask::none();
             raiseFlag(*se, 2);
-            countUntaint(UntaintReason::kStlForward);
+            countUntaint(UntaintReason::kStlForward, *se, 2);
             markLocalDirty(*se);
             changed = true;
         }

@@ -102,6 +102,15 @@ class SptEngine : public SecurityEngine
 
     void tick() override;
 
+    // --- observability ------------------------------------------------
+    DelayCause delayCause(const DynInst &d,
+                          DelayKind kind) const override;
+    uint64_t broadcastQueueOccupancy() const override
+    {
+        return pending_flags_.size();
+    }
+    uint64_t taintedRegCount() const override;
+
     // --- inspection (tests/benches) -----------------------------------
     TaintMask masterTaint(PhysReg reg) const;
     /** Local taint state of an in-flight instruction, or nullptr. */
@@ -211,7 +220,11 @@ class SptEngine : public SecurityEngine
     void freeEntry(Entry &e);
     void registerRegSlots(const DynInst &d, uint32_t idx);
 
-    void countUntaint(UntaintReason reason);
+    void countUntaint(UntaintReason reason, const Entry &e, int slot);
+    /** Would broadcasting any currently pending untaint flag shrink
+     *  the taint of @p reg? Distinguishes "operand still tainted"
+     *  from "untaint known, waiting on broadcast width". */
+    bool untaintPendingFor(PhysReg reg) const;
     void declassifyPhase();
     bool localRulesPhase();
     bool evalLocalRules(Entry &e);

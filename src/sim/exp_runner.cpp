@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -14,11 +15,14 @@ jobKey(const RunJob &job)
 {
     // Every descriptor field participates. SptConfig currently has
     // exactly {method, shadow, broadcast_width}; extend this when it
-    // grows (tests/test_exp_runner.cpp pins the sensitivity).
-    char buf[160];
+    // grows (tests/test_exp_runner.cpp pins the sensitivity). The
+    // observability flags must participate too: a traced run carries
+    // artifacts a plain run lacks, so the two may not share a slot.
+    char buf[192];
     std::snprintf(
         buf, sizeof buf,
-        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|am=%u|seed=%llu|mc=%llu",
+        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|am=%u|seed=%llu|mc=%llu"
+        "|tr=%u|pf=%u|iv=%llu",
         static_cast<const void *>(job.program),
         static_cast<unsigned>(job.engine.scheme),
         static_cast<unsigned>(job.engine.spt.method),
@@ -26,7 +30,10 @@ jobKey(const RunJob &job)
         job.engine.spt.broadcast_width,
         static_cast<unsigned>(job.attack_model),
         static_cast<unsigned long long>(job.seed),
-        static_cast<unsigned long long>(job.max_cycles));
+        static_cast<unsigned long long>(job.max_cycles),
+        static_cast<unsigned>(job.trace),
+        static_cast<unsigned>(job.profile),
+        static_cast<unsigned long long>(job.interval_stats));
     return buf;
 }
 
@@ -62,7 +69,12 @@ ExpRunner::run(const std::vector<RunJob> &grid)
         cfg.engine = job.engine;
         cfg.core.attack_model = job.attack_model;
         cfg.max_cycles = job.max_cycles;
+        cfg.profile = job.profile;
+        cfg.interval_stats = job.interval_stats;
         Simulator sim(*job.program, cfg);
+        std::ostringstream trace_text, trace_pipeview;
+        if (job.trace)
+            sim.enableTrace(&trace_text, &trace_pipeview);
         const auto j0 = std::chrono::steady_clock::now();
         RunOutcome out;
         out.result = sim.run();
@@ -72,6 +84,14 @@ ExpRunner::run(const std::vector<RunJob> &grid)
         const StatSet &stats = sim.core().engine().stats();
         out.engine_counters = stats.counters();
         out.engine_histograms = stats.histograms();
+        if (job.trace) {
+            out.trace_text = trace_text.str();
+            out.trace_pipeview = trace_pipeview.str();
+        }
+        if (sim.profiler())
+            out.profile_json = sim.profiler()->toJson();
+        if (sim.intervals())
+            out.intervals_json = sim.intervals()->toJson();
         outcomes[slot] = std::move(out);
     });
     const auto t1 = std::chrono::steady_clock::now();

@@ -60,6 +60,15 @@ struct RunJob {
      *  interpreted by the runner. */
     uint64_t seed = 0;
     uint64_t max_cycles = 500'000'000;
+    /** Capture the taint-lifecycle trace (text + pipeview) into the
+     *  outcome. Observability outputs are pure functions of the
+     *  simulated machine, so they are byte-identical for any worker
+     *  count — pinned by tests/test_observability.cpp. */
+    bool trace = false;
+    /** Capture the delay-attribution profile JSON into the outcome. */
+    bool profile = false;
+    /** Interval-metrics period; 0 disables the time series. */
+    uint64_t interval_stats = 0;
 };
 
 /** Everything a driver reads back from one simulation. */
@@ -70,6 +79,12 @@ struct RunOutcome {
     /** Host wall-clock of the simulation itself. Duplicate (memoized)
      *  slots share the unique run's timing. */
     double host_seconds = 0.0;
+    /** Observability artifacts, empty unless the corresponding RunJob
+     *  flag was set. Deterministic byte-for-byte (any --jobs). */
+    std::string trace_text;
+    std::string trace_pipeview;
+    std::string profile_json;
+    std::string intervals_json;
 
     uint64_t
     counter(const std::string &name) const

@@ -1,0 +1,194 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/json.h"
+#include "uarch/security_engine.h"
+
+namespace spt {
+
+// --------------------------------------------------------------------
+// DelayProfiler
+// --------------------------------------------------------------------
+
+void
+DelayProfiler::delayCycle(uint64_t, const DynInst &d, DelayKind kind,
+                          DelayCause cause)
+{
+    PcDelays &pd = pcs_[d.pc];
+    ++pd.total;
+    ++pd.by_cause[static_cast<size_t>(cause)];
+    ++total_;
+    ++by_cause_[static_cast<size_t>(cause)];
+    ++by_kind_[static_cast<size_t>(kind)];
+}
+
+std::vector<std::pair<uint64_t, const DelayProfiler::PcDelays *>>
+DelayProfiler::sortedPcs() const
+{
+    std::vector<std::pair<uint64_t, const PcDelays *>> rows;
+    rows.reserve(pcs_.size());
+    for (const auto &[pc, pd] : pcs_)
+        rows.emplace_back(pc, &pd);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->total != b.second->total)
+                      return a.second->total > b.second->total;
+                  return a.first < b.first;
+              });
+    return rows;
+}
+
+void
+DelayProfiler::writeTable(std::ostream &os, size_t top_n) const
+{
+    os << "top delay sources (" << total_
+       << " attributed cycles over " << pcs_.size() << " pcs)\n";
+    os << std::left << std::setw(8) << "pc" << std::right
+       << std::setw(12) << "cycles" << std::setw(8) << "share";
+    for (size_t c = 0; c < kNumCauses; ++c)
+        os << std::setw(15)
+           << delayCauseName(static_cast<DelayCause>(c));
+    os << "\n";
+    const auto rows = sortedPcs();
+    const size_t n = std::min(top_n, rows.size());
+    for (size_t i = 0; i < n; ++i) {
+        const auto &[pc, pd] = rows[i];
+        const double share =
+            total_ == 0 ? 0.0
+                        : static_cast<double>(pd->total) /
+                              static_cast<double>(total_);
+        os << std::left << std::setw(8) << pc << std::right
+           << std::setw(12) << pd->total << std::setw(7)
+           << std::fixed << std::setprecision(1) << share * 100.0
+           << "%";
+        for (size_t c = 0; c < kNumCauses; ++c)
+            os << std::setw(15) << pd->by_cause[c];
+        os << "\n";
+    }
+    os.unsetf(std::ios::floatfield);
+}
+
+std::string
+DelayProfiler::toJson(size_t top_n) const
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("total_delay_cycles", total_);
+    jw.key("by_cause").beginObject();
+    for (size_t c = 0; c < kNumCauses; ++c)
+        jw.field(delayCauseName(static_cast<DelayCause>(c)),
+                 by_cause_[c]);
+    jw.endObject();
+    jw.key("by_kind").beginObject();
+    jw.field("mem", by_kind_[0]);
+    jw.field("branch", by_kind_[1]);
+    jw.field("memorder", by_kind_[2]);
+    jw.endObject();
+    const auto rows = sortedPcs();
+    jw.field("distinct_pcs", static_cast<uint64_t>(rows.size()));
+    jw.key("top_pcs").beginArray();
+    const size_t n = std::min(top_n, rows.size());
+    for (size_t i = 0; i < n; ++i) {
+        const auto &[pc, pd] = rows[i];
+        jw.beginObject();
+        jw.field("pc", pc);
+        jw.field("total", pd->total);
+        jw.key("by_cause").beginObject();
+        for (size_t c = 0; c < kNumCauses; ++c)
+            jw.field(delayCauseName(static_cast<DelayCause>(c)),
+                     pd->by_cause[c]);
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    return jw.str();
+}
+
+// --------------------------------------------------------------------
+// IntervalRecorder
+// --------------------------------------------------------------------
+
+IntervalRecorder::IntervalRecorder(uint64_t period,
+                                   const SecurityEngine *engine)
+    : period_(period == 0 ? 1 : period), engine_(engine)
+{
+}
+
+void
+IntervalRecorder::retired(uint64_t, const DynInst &)
+{
+    ++retired_in_interval_;
+}
+
+void
+IntervalRecorder::delayCycle(uint64_t, const DynInst &, DelayKind,
+                             DelayCause)
+{
+    ++delays_in_interval_;
+}
+
+void
+IntervalRecorder::take(uint64_t cycle)
+{
+    Sample s;
+    s.cycle = cycle;
+    s.cycles = cycle - last_sample_cycle_;
+    s.instructions = retired_in_interval_;
+    s.delay_cycles = delays_in_interval_;
+    s.broadcast_queue = engine_->broadcastQueueOccupancy();
+    s.tainted_regs = engine_->taintedRegCount();
+    samples_.push_back(s);
+    last_sample_cycle_ = cycle;
+    retired_in_interval_ = 0;
+    delays_in_interval_ = 0;
+}
+
+void
+IntervalRecorder::cycleEnd(uint64_t cycle)
+{
+    if (cycle - last_sample_cycle_ >= period_)
+        take(cycle);
+}
+
+void
+IntervalRecorder::finish(uint64_t final_cycle)
+{
+    // The halt cycle skips cycleEnd (the core returns right after
+    // commit), so the tail interval is closed here; it may be
+    // shorter than the period.
+    if (final_cycle > last_sample_cycle_)
+        take(final_cycle);
+}
+
+std::string
+IntervalRecorder::toJson() const
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("period", period_);
+    jw.key("samples").beginArray();
+    for (const Sample &s : samples_) {
+        jw.beginObject();
+        jw.field("cycle", s.cycle);
+        jw.field("cycles", s.cycles);
+        jw.field("instructions", s.instructions);
+        jw.field("ipc",
+                 s.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(s.instructions) /
+                           static_cast<double>(s.cycles),
+                 4);
+        jw.field("delayed_transmitter_cycles", s.delay_cycles);
+        jw.field("broadcast_queue_occupancy", s.broadcast_queue);
+        jw.field("tainted_regs", s.tainted_regs);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    return jw.str();
+}
+
+} // namespace spt

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Delay-attribution profiling and interval metrics.
+ *
+ * DelayProfiler charges every policy-gated transmitter stall cycle
+ * to a cause (tainted address operand, tainted branch operand,
+ * waiting on the untaint broadcast width, waiting for the visibility
+ * point, memory-order gate) keyed by PC. Because the Core has
+ * exactly one delay-note call site per gate — the same site that
+ * feeds the engine's delay.total_cycles counter — the profiler's
+ * attributed total equals that counter exactly (pinned by the
+ * cause-conservation test in tests/test_observability.cpp).
+ *
+ * IntervalRecorder snapshots IPC, delayed-transmitter cycles,
+ * untaint-broadcast-queue occupancy, and the tainted-register
+ * population every N cycles into a time series.
+ *
+ * Both emit deterministic JSON via the shared JsonWriter
+ * (common/json.h): byte-identical for identical runs, any --jobs.
+ */
+
+#ifndef SPT_SIM_PROFILE_H
+#define SPT_SIM_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "uarch/pipeline_observer.h"
+
+namespace spt {
+
+class SecurityEngine;
+
+class DelayProfiler : public PipelineObserver
+{
+  public:
+    static constexpr size_t kNumCauses =
+        static_cast<size_t>(DelayCause::kNumCauses);
+
+    struct PcDelays {
+        uint64_t total = 0;
+        uint64_t by_cause[kNumCauses] = {};
+    };
+
+    void delayCycle(uint64_t cycle, const DynInst &d, DelayKind kind,
+                    DelayCause cause) override;
+
+    /** Sum of every attributed delay cycle (== the engine's
+     *  delay.total_cycles when profiling covered the whole run). */
+    uint64_t totalCycles() const { return total_; }
+    uint64_t causeCycles(DelayCause c) const
+    {
+        return by_cause_[static_cast<size_t>(c)];
+    }
+    const std::map<uint64_t, PcDelays> &byPc() const { return pcs_; }
+
+    /** "Top delay sources" table: per-PC rows sorted by attributed
+     *  cycles (descending, PC ascending for ties), at most
+     *  @p top_n. */
+    void writeTable(std::ostream &os, size_t top_n = 32) const;
+
+    /** Full JSON document: totals, per-cause/per-kind breakdowns,
+     *  and the top-PC rows. Deterministic byte-for-byte. */
+    std::string toJson(size_t top_n = 32) const;
+
+  private:
+    std::map<uint64_t, PcDelays> pcs_;
+    uint64_t total_ = 0;
+    uint64_t by_cause_[kNumCauses] = {};
+    uint64_t by_kind_[3] = {};
+
+    std::vector<std::pair<uint64_t, const PcDelays *>>
+    sortedPcs() const;
+};
+
+class IntervalRecorder : public PipelineObserver
+{
+  public:
+    struct Sample {
+        uint64_t cycle = 0;        ///< sample point (interval end)
+        uint64_t cycles = 0;       ///< interval length (last may be
+                                   ///< shorter than the period)
+        uint64_t instructions = 0; ///< retired in the interval
+        uint64_t delay_cycles = 0; ///< transmitter stalls in interval
+        uint64_t broadcast_queue = 0; ///< occupancy at the sample
+        uint64_t tainted_regs = 0;    ///< population at the sample
+    };
+
+    /** @param engine queried (read-only) at each sample point for
+     *  broadcast-queue occupancy and taint population. */
+    IntervalRecorder(uint64_t period, const SecurityEngine *engine);
+
+    void retired(uint64_t cycle, const DynInst &d) override;
+    void delayCycle(uint64_t cycle, const DynInst &d, DelayKind kind,
+                    DelayCause cause) override;
+    void cycleEnd(uint64_t cycle) override;
+
+    /** Records the final (possibly partial) interval. Call once,
+     *  after Core::run returns. */
+    void finish(uint64_t final_cycle);
+
+    uint64_t period() const { return period_; }
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** BENCH_-style JSON time series. Deterministic. */
+    std::string toJson() const;
+
+  private:
+    uint64_t period_;
+    const SecurityEngine *engine_;
+    std::vector<Sample> samples_;
+    uint64_t last_sample_cycle_ = 0;
+    uint64_t retired_in_interval_ = 0;
+    uint64_t delays_in_interval_ = 0;
+
+    void take(uint64_t cycle);
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_PROFILE_H

@@ -23,6 +23,13 @@ struct SimConfig {
     uint64_t max_cycles = 500'000'000;
     /** Compare every commit against the functional reference CPU. */
     bool lockstep_check = false;
+    /** Attribute every delayed-transmitter cycle to a cause, keyed
+     *  by PC (sim/profile.h). Off by default: the observer hooks are
+     *  a single null-pointer test when no observer is installed. */
+    bool profile = false;
+    /** Snapshot IPC / delay / taint-population metrics every N
+     *  cycles; 0 disables interval recording. */
+    uint64_t interval_stats = 0;
 };
 
 /** A named Table-2 design variant. */

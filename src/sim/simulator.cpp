@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace spt {
@@ -39,12 +40,36 @@ Simulator::Simulator(const Program &program, const SimConfig &config)
 
 Simulator::~Simulator() = default;
 
+void
+Simulator::enableTrace(std::ostream *text, std::ostream *pipeview)
+{
+    SPT_ASSERT(!ran_, "enableTrace must precede run()");
+    tracer_ = std::make_unique<Tracer>(text, pipeview);
+}
+
 SimResult
 Simulator::run()
 {
     SPT_ASSERT(!ran_, "Simulator::run() may only be called once");
     ran_ = true;
+    if (config_.profile)
+        profiler_ = std::make_unique<DelayProfiler>();
+    if (config_.interval_stats > 0)
+        intervals_ = std::make_unique<IntervalRecorder>(
+            config_.interval_stats, &core_->engine());
+    if (tracer_)
+        observers_.add(tracer_.get());
+    if (profiler_)
+        observers_.add(profiler_.get());
+    if (intervals_)
+        observers_.add(intervals_.get());
+    if (!observers_.empty())
+        core_->setObserver(&observers_);
     const Core::RunResult r = core_->run(config_.max_cycles);
+    if (tracer_)
+        tracer_->finish(core_->cycle());
+    if (intervals_)
+        intervals_->finish(core_->cycle());
     SimResult result;
     result.cycles = r.cycles;
     result.instructions = r.instructions;
@@ -67,6 +92,23 @@ Simulator::dumpStats(std::ostream &os) const
     core_->memorySystem().stats().dump(os);
     os << "# --- bpu ---\n";
     core_->bpu().stats().dump(os);
+}
+
+void
+Simulator::dumpStatsJson(JsonWriter &jw) const
+{
+    Core &core = const_cast<Core &>(*core_);
+    jw.beginObject();
+    jw.key("core");
+    core.stats().dumpJson(jw);
+    jw.field("engine_name", core.engine().name());
+    jw.key("engine");
+    core.engine().stats().dumpJson(jw);
+    jw.key("mem");
+    core.memorySystem().stats().dumpJson(jw);
+    jw.key("bpu");
+    core.bpu().stats().dumpJson(jw);
+    jw.endObject();
 }
 
 uint64_t

@@ -24,9 +24,13 @@
 #include <string>
 
 #include "isa/functional_cpu.h"
+#include "sim/profile.h"
 #include "sim/sim_config.h"
+#include "sim/trace.h"
 
 namespace spt {
+
+class JsonWriter;
 
 struct SimResult {
     uint64_t cycles = 0;
@@ -44,11 +48,31 @@ class Simulator
     /** Runs until HALT (or max_cycles); may be called once. */
     SimResult run();
 
+    /**
+     * Streams the taint-lifecycle trace of the run into @p text
+     * (human-readable events) and/or @p pipeview (gem5-O3PipeView
+     * form, Konata-compatible); either may be null. Must be called
+     * before run(); the streams must outlive it.
+     */
+    void enableTrace(std::ostream *text, std::ostream *pipeview);
+
+    /** Non-null after run() iff config.profile was set. */
+    const DelayProfiler *profiler() const { return profiler_.get(); }
+    /** Non-null after run() iff config.interval_stats > 0. */
+    const IntervalRecorder *intervals() const
+    {
+        return intervals_.get();
+    }
+
     Core &core() { return *core_; }
     const SimConfig &config() const { return config_; }
 
     /** Dumps every component's statistics ("stats.txt"). */
     void dumpStats(std::ostream &os) const;
+
+    /** The same statistics as one JSON document ("stats.json"),
+     *  reusing StatSet::dumpJson — no second serializer. */
+    void dumpStatsJson(JsonWriter &jw) const;
 
     /** Counter lookup across components, e.g. "core.cycles",
      *  "engine.untaint.forward", "mem.l1_hits". */
@@ -59,6 +83,10 @@ class Simulator
     SimConfig config_;
     std::unique_ptr<Core> core_;
     std::unique_ptr<FunctionalCpu> reference_;
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<DelayProfiler> profiler_;
+    std::unique_ptr<IntervalRecorder> intervals_;
+    ObserverMux observers_;
     bool ran_ = false;
 };
 

@@ -1,0 +1,355 @@
+#include "sim/trace.h"
+
+#include <charconv>
+#include <sstream>
+#include <unordered_map>
+
+#include "isa/instruction.h"
+
+namespace spt {
+
+Tracer::Tracer(std::ostream *text, std::ostream *pipeview)
+    : text_(text), pipeview_(pipeview)
+{
+}
+
+void
+Tracer::event(uint64_t cycle, const char *name, const DynInst &d)
+{
+    if (!text_)
+        return;
+    *text_ << cycle << ' ' << name << " seq=" << d.seq
+           << " pc=" << d.pc;
+}
+
+void
+Tracer::fetch(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "fetch", d);
+        *text_ << ' ' << toString(d.si) << '\n';
+    }
+    if (pipeview_) {
+        PipeRec &rec = pipe_[d.seq];
+        rec.fetch = cycle;
+        rec.pc = d.pc;
+        rec.disasm = toString(d.si);
+        rec.is_store = d.is_store;
+    }
+}
+
+void
+Tracer::rename(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "rename", d);
+        *text_ << '\n';
+    }
+    if (pipeview_)
+        pipe_[d.seq].rename = cycle;
+}
+
+void
+Tracer::issue(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "issue", d);
+        *text_ << '\n';
+    }
+    if (pipeview_)
+        pipe_[d.seq].issue = cycle;
+}
+
+void
+Tracer::executed(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "exec", d);
+        *text_ << '\n';
+    }
+    if (pipeview_)
+        pipe_[d.seq].complete = cycle;
+}
+
+void
+Tracer::memAccess(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "memaccess", d);
+        *text_ << " addr=" << d.eff_addr
+               << (d.forwarded ? " forwarded=1" : "") << '\n';
+    }
+}
+
+void
+Tracer::reachedVp(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "vp", d);
+        *text_ << '\n';
+    }
+}
+
+void
+Tracer::retired(uint64_t cycle, const DynInst &d)
+{
+    if (text_) {
+        event(cycle, "retire", d);
+        *text_ << '\n';
+    }
+    if (pipeview_) {
+        const auto it = pipe_.find(d.seq);
+        if (it != pipe_.end()) {
+            emitPipeRecord(d.seq, it->second, cycle);
+            pipe_.erase(it);
+        }
+    }
+    delays_.erase(d.seq);
+}
+
+void
+Tracer::squashed(uint64_t cycle, const DynInst &d)
+{
+    const auto dit = delays_.find(d.seq);
+    if (dit != delays_.end()) {
+        if (dit->second.open)
+            endDelay(cycle, d, /*squash=*/true);
+        delays_.erase(d.seq);
+    }
+    if (text_) {
+        event(cycle, "squash", d);
+        *text_ << '\n';
+    }
+    if (pipeview_) {
+        const auto it = pipe_.find(d.seq);
+        if (it != pipe_.end()) {
+            emitPipeRecord(d.seq, it->second, /*retire_cycle=*/0);
+            pipe_.erase(it);
+        }
+    }
+}
+
+void
+Tracer::taintEvent(uint64_t cycle, TaintEvent ev, const DynInst &d,
+                   uint8_t slot)
+{
+    if (!text_)
+        return;
+    if (ev == TaintEvent::kTaintedAtRename) {
+        event(cycle, "taint", d);
+        *text_ << " slot=" << taintSlotName(slot) << '\n';
+    } else {
+        event(cycle, "untaint", d);
+        *text_ << " rule=" << taintEventName(ev)
+               << " slot=" << taintSlotName(slot) << '\n';
+    }
+}
+
+void
+Tracer::delayCycle(uint64_t cycle, const DynInst &d, DelayKind kind,
+                   DelayCause cause)
+{
+    OpenDelay &od = delays_[d.seq];
+    if (!od.open) {
+        od.open = true;
+        od.start_cycle = cycle;
+        od.cycles = 0;
+        od.kind = kind;
+        if (text_) {
+            event(cycle, "delay-start", d);
+            *text_ << " kind=" << delayKindName(kind)
+                   << " cause=" << delayCauseName(cause) << '\n';
+        }
+    }
+    ++od.cycles;
+}
+
+void
+Tracer::endDelay(uint64_t cycle, const DynInst &d, bool squash)
+{
+    OpenDelay &od = delays_[d.seq];
+    if (text_) {
+        event(cycle, squash ? "delay-squash" : "delay-end", d);
+        *text_ << " kind=" << delayKindName(od.kind)
+               << " cycles=" << od.cycles << '\n';
+    }
+    od.open = false;
+}
+
+void
+Tracer::gateOpened(uint64_t cycle, const DynInst &d, DelayKind)
+{
+    const auto it = delays_.find(d.seq);
+    if (it == delays_.end() || !it->second.open)
+        return; // never delayed: no interval to close
+    endDelay(cycle, d, /*squash=*/false);
+    delays_.erase(d.seq);
+}
+
+void
+Tracer::emitPipeRecord(SeqNum seq, const PipeRec &rec,
+                       uint64_t retire_cycle)
+{
+    // gem5 O3PipeView record (what Konata parses): ticks are cycle
+    // numbers, addresses are byte PCs, tick 0 marks an unreached
+    // stage and retire tick 0 a squashed instruction. We have no
+    // distinct decode/dispatch stages: decode rides with fetch and
+    // dispatch with rename, matching the collapsed frontend.
+    std::ostream &os = *pipeview_;
+    os << "O3PipeView:fetch:" << rec.fetch << ":0x" << std::hex
+       << rec.pc * kInstrBytes << std::dec << ":0:" << seq << ':'
+       << rec.disasm << '\n';
+    os << "O3PipeView:decode:" << rec.fetch << '\n';
+    os << "O3PipeView:rename:" << rec.rename << '\n';
+    os << "O3PipeView:dispatch:" << rec.rename << '\n';
+    // NOP/HALT/plain-JAL complete at dispatch without an issue
+    // event; carry the rename tick forward so retired instructions
+    // always render a full bar.
+    uint64_t issue = rec.issue;
+    uint64_t complete = rec.complete;
+    if (retire_cycle != 0) {
+        if (issue == 0)
+            issue = rec.rename;
+        if (complete == 0)
+            complete = issue;
+    }
+    os << "O3PipeView:issue:" << issue << '\n';
+    os << "O3PipeView:complete:" << complete << '\n';
+    const uint64_t store_tick =
+        (retire_cycle != 0 && rec.is_store) ? retire_cycle : 0;
+    os << "O3PipeView:retire:" << retire_cycle
+       << ":store:" << store_tick << '\n';
+}
+
+void
+Tracer::finish(uint64_t final_cycle)
+{
+    if (text_) {
+        // Close intervals of instructions still gated at run end so
+        // every delay-start has a textual closer.
+        for (auto &[seq, od] : delays_) {
+            if (!od.open)
+                continue;
+            *text_ << final_cycle << " delay-unfinished seq=" << seq
+                   << " kind=" << delayKindName(od.kind)
+                   << " cycles=" << od.cycles << '\n';
+            od.open = false;
+        }
+    }
+    delays_.clear();
+    if (pipeview_) {
+        // In-flight instructions at run end: emit as never-retired
+        // (retire tick 0), in seq order for byte-stable output.
+        for (const auto &[seq, rec] : pipe_)
+            emitPipeRecord(seq, rec, /*retire_cycle=*/0);
+    }
+    pipe_.clear();
+}
+
+// --------------------------------------------------------------------
+// Trace checking
+// --------------------------------------------------------------------
+
+namespace {
+
+struct SeqState {
+    uint64_t last_cycle = 0;
+    bool seen_fetch = false;
+    bool closed = false; ///< retired or squashed
+    bool delay_open = false;
+};
+
+bool
+fail(std::string *error, size_t line_no, const std::string &why)
+{
+    if (error) {
+        std::ostringstream os;
+        os << "line " << line_no << ": " << why;
+        *error = os.str();
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+validateTraceText(std::istream &in, std::string *error)
+{
+    std::unordered_map<uint64_t, SeqState> seqs;
+    std::string line;
+    size_t line_no = 0;
+    uint64_t last_cycle = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        uint64_t cycle = 0;
+        std::string ev, seq_kv, pc_kv;
+        if (!(ls >> cycle >> ev >> seq_kv) ||
+            seq_kv.rfind("seq=", 0) != 0)
+            return fail(error, line_no, "malformed event line");
+        uint64_t seq = 0;
+        const char *b = seq_kv.c_str() + 4;
+        const auto [p, ec] =
+            std::from_chars(b, seq_kv.c_str() + seq_kv.size(), seq);
+        if (ec != std::errc() || *p != '\0')
+            return fail(error, line_no, "bad seq field");
+        if (cycle < last_cycle)
+            return fail(error, line_no,
+                        "global cycle order went backwards");
+        last_cycle = cycle;
+
+        SeqState &st = seqs[seq];
+        if (!st.seen_fetch && ev != "fetch")
+            return fail(error, line_no,
+                        "first event for seq is not fetch");
+        if (st.seen_fetch && ev == "fetch")
+            return fail(error, line_no, "duplicate fetch for seq");
+        if (st.closed)
+            return fail(error, line_no,
+                        "event after retire/squash for seq");
+        if (cycle < st.last_cycle)
+            return fail(error, line_no,
+                        "per-seq cycle order went backwards");
+        st.last_cycle = cycle;
+
+        if (ev == "fetch") {
+            st.seen_fetch = true;
+        } else if (ev == "retire") {
+            if (st.delay_open)
+                return fail(error, line_no,
+                            "retire with an open delay interval");
+            st.closed = true;
+        } else if (ev == "squash") {
+            st.closed = true;
+            st.delay_open = false;
+        } else if (ev == "delay-start") {
+            if (st.delay_open)
+                return fail(error, line_no,
+                            "nested delay-start for seq");
+            st.delay_open = true;
+        } else if (ev == "delay-end" || ev == "delay-squash" ||
+                   ev == "delay-unfinished") {
+            if (!st.delay_open)
+                return fail(error, line_no,
+                            "delay close without delay-start");
+            st.delay_open = false;
+        }
+    }
+    for (const auto &[seq, st] : seqs) {
+        if (st.delay_open) {
+            std::ostringstream os;
+            os << "seq " << seq
+               << ": delay-start without end or squash at EOF";
+            if (error)
+                *error = os.str();
+            return false;
+        }
+    }
+    if (error)
+        error->clear();
+    return true;
+}
+
+} // namespace spt

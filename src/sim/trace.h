@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Taint-lifecycle tracing: a PipelineObserver that records every
+ * pipeline and SPT taint event of a run, emitted in two forms:
+ *
+ *  - a human-readable text stream, one event per line:
+ *      <cycle> <event> seq=<seq> pc=<pc> [k=v ...]
+ *    with events fetch/rename/issue/exec/memaccess/vp/retire/squash
+ *    (pipeline lifecycle), taint/untaint (taint lifecycle, with the
+ *    untaint rule id and operand slot), and delay-start/delay-end
+ *    (policy-gate intervals with kind, cause, and length);
+ *
+ *  - a gem5-O3PipeView-compatible pipeline trace (the format Konata
+ *    visualizes), one record per instruction emitted when it leaves
+ *    the pipeline, with byte PCs and cycle numbers as ticks.
+ *
+ * Determinism: both outputs are pure functions of the simulated
+ * machine (no host time, no pointers), so traces of the same job are
+ * byte-identical across runs and `--jobs` worker counts — pinned by
+ * tests/test_observability.cpp.
+ *
+ * ObserverMux fans the Core's single observer slot out to any
+ * combination of Tracer, DelayProfiler, and IntervalRecorder.
+ */
+
+#ifndef SPT_SIM_TRACE_H
+#define SPT_SIM_TRACE_H
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "uarch/dyn_inst.h"
+#include "uarch/pipeline_observer.h"
+
+namespace spt {
+
+class Tracer : public PipelineObserver
+{
+  public:
+    /** Either stream may be null to skip that output form. Streams
+     *  are borrowed and must outlive the tracer. */
+    Tracer(std::ostream *text, std::ostream *pipeview);
+
+    void fetch(uint64_t cycle, const DynInst &d) override;
+    void rename(uint64_t cycle, const DynInst &d) override;
+    void issue(uint64_t cycle, const DynInst &d) override;
+    void executed(uint64_t cycle, const DynInst &d) override;
+    void memAccess(uint64_t cycle, const DynInst &d) override;
+    void reachedVp(uint64_t cycle, const DynInst &d) override;
+    void retired(uint64_t cycle, const DynInst &d) override;
+    void squashed(uint64_t cycle, const DynInst &d) override;
+    void taintEvent(uint64_t cycle, TaintEvent ev, const DynInst &d,
+                    uint8_t slot) override;
+    void delayCycle(uint64_t cycle, const DynInst &d, DelayKind kind,
+                    DelayCause cause) override;
+    void gateOpened(uint64_t cycle, const DynInst &d,
+                    DelayKind kind) override;
+
+    /** Flushes pipeline-trace records of instructions still in
+     *  flight when the run ended (emitted as never-retired, in seq
+     *  order) and closes open delay intervals in the text trace.
+     *  Call once, after Core::run returns. */
+    void finish(uint64_t final_cycle);
+
+  private:
+    /** O3PipeView stage timestamps of one in-flight instruction
+     *  (0 = stage not reached, gem5's convention). */
+    struct PipeRec {
+        uint64_t fetch = 0;
+        uint64_t rename = 0;
+        uint64_t issue = 0;
+        uint64_t complete = 0;
+        uint64_t pc = 0;      ///< instruction index (not bytes)
+        std::string disasm;
+        bool is_store = false;
+    };
+    /** An open policy-gate interval (delay-start seen, no end). */
+    struct OpenDelay {
+        uint64_t start_cycle = 0;
+        uint64_t cycles = 0;
+        DelayKind kind = DelayKind::kMemAccess;
+        bool open = false;
+    };
+
+    std::ostream *text_;
+    std::ostream *pipeview_;
+    /** Keyed by seq; ordered so the finish() flush is deterministic. */
+    std::map<SeqNum, PipeRec> pipe_;
+    std::map<SeqNum, OpenDelay> delays_;
+
+    void event(uint64_t cycle, const char *name, const DynInst &d);
+    void emitPipeRecord(SeqNum seq, const PipeRec &rec,
+                        uint64_t retire_cycle);
+    void endDelay(uint64_t cycle, const DynInst &d, bool squash);
+};
+
+/**
+ * Validates a text trace produced by Tracer: per seq, event cycles
+ * must be non-decreasing, fetch must be the first event, nothing may
+ * follow retire/squash, and every delay-start must be matched by a
+ * delay-end or a squash. Returns true if clean; otherwise false with
+ * a diagnostic (line number + reason) in @p error.
+ */
+bool validateTraceText(std::istream &in, std::string *error);
+
+/** Fans one observer slot out to several observers (call order =
+ *  registration order). */
+class ObserverMux : public PipelineObserver
+{
+  public:
+    void add(PipelineObserver *obs) { sinks_.push_back(obs); }
+    bool empty() const { return sinks_.empty(); }
+
+    void
+    fetch(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->fetch(c, d);
+    }
+    void
+    rename(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->rename(c, d);
+    }
+    void
+    issue(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->issue(c, d);
+    }
+    void
+    executed(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->executed(c, d);
+    }
+    void
+    memAccess(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->memAccess(c, d);
+    }
+    void
+    reachedVp(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->reachedVp(c, d);
+    }
+    void
+    retired(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->retired(c, d);
+    }
+    void
+    squashed(uint64_t c, const DynInst &d) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->squashed(c, d);
+    }
+    void
+    taintEvent(uint64_t c, TaintEvent ev, const DynInst &d,
+               uint8_t slot) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->taintEvent(c, ev, d, slot);
+    }
+    void
+    delayCycle(uint64_t c, const DynInst &d, DelayKind k,
+               DelayCause cause) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->delayCycle(c, d, k, cause);
+    }
+    void
+    gateOpened(uint64_t c, const DynInst &d, DelayKind k) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->gateOpened(c, d, k);
+    }
+    void
+    cycleEnd(uint64_t c) override
+    {
+        for (PipelineObserver *o : sinks_)
+            o->cycleEnd(c);
+    }
+
+  private:
+    std::vector<PipelineObserver *> sinks_;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_TRACE_H

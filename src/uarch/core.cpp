@@ -87,6 +87,21 @@ Core::tick()
     fetchStage();
     updateVp();
     engine_->tick();
+    if (observer_)
+        observer_->cycleEnd(cycle_);
+}
+
+void
+Core::noteTransmitterDelay(const DynInst &d, DelayKind kind)
+{
+    switch (kind) {
+      case DelayKind::kMemAccess: ++delay_mem_cycles_; break;
+      case DelayKind::kBranchResolve: ++delay_branch_cycles_; break;
+      case DelayKind::kMemOrderSquash: ++delay_memorder_cycles_; break;
+    }
+    if (observer_)
+        observer_->delayCycle(cycle_, d, kind,
+                              engine_->delayCause(d, kind));
 }
 
 Core::RunResult
@@ -107,6 +122,15 @@ Core::run(uint64_t max_cycles)
     }
     stats_.set("cycles", cycle_);
     stats_.set("instructions", retired_);
+    // Publish the per-gate delay totals with the engine's counters
+    // (they are properties of the protection scheme, not the core).
+    StatSet &es = engine_->stats();
+    es.set("delay.mem_cycles", delay_mem_cycles_);
+    es.set("delay.branch_cycles", delay_branch_cycles_);
+    es.set("delay.memorder_cycles", delay_memorder_cycles_);
+    es.set("delay.total_cycles", delay_mem_cycles_ +
+                                     delay_branch_cycles_ +
+                                     delay_memorder_cycles_);
     return {cycle_, retired_, halted_};
 }
 
@@ -175,6 +199,8 @@ Core::fetchStage()
         fetch_queue_.push_back(
             {d, cycle_ + icache_latency + params_.frontend_extra_delay});
         stats_.inc("fetch.instructions");
+        if (observer_)
+            observer_->fetch(cycle_, *d);
 
         const uint64_t next = d->pred_next_pc;
         pc = next;
@@ -237,6 +263,8 @@ Core::renameDispatchStage()
             d->prd = prf_.allocate();
             rat_.set(d->si.rd, d->prd);
         }
+        if (observer_)
+            observer_->rename(cycle_, *d);
         engine_->onRename(*d);
 
         // Dispatch.
@@ -280,6 +308,8 @@ Core::issueStage()
         d->issued = true;
         ++issued;
         stats_.inc("issue.instructions");
+        if (observer_)
+            observer_->issue(cycle_, *d);
 
         const uint64_t rs1v = readOperand(d->prs1);
         const uint64_t rs2v = readOperand(d->prs2);
@@ -318,6 +348,8 @@ Core::completeInst(const DynInstPtr &d)
         if (d->is_store) {
             d->store_data = d->exec.value;
             d->executed = true;
+            if (observer_)
+                observer_->executed(cycle_, *d);
             checkViolationsFromStore(d);
         }
         return;
@@ -330,6 +362,8 @@ Core::completeInst(const DynInstPtr &d)
     // ALU / control completion.
     d->executed = true;
     d->completed = true;
+    if (observer_)
+        observer_->executed(cycle_, *d);
     if (d->has_dest) {
         d->result = d->exec.value;
         prf_.write(d->prd, d->result);

@@ -115,6 +115,16 @@ class Core
         commit_hook_ = std::move(hook);
     }
 
+    /** Installs the observability sink (nullptr detaches); also
+     *  forwarded to the engine so it can emit taint events. Must be
+     *  set before the first tick — observers never perturb simulated
+     *  state, but mid-run attachment would see partial lifecycles. */
+    void setObserver(PipelineObserver *obs)
+    {
+        observer_ = obs;
+        engine_->setObserver(obs);
+    }
+
     StatSet &stats() { return stats_; }
 
   private:
@@ -138,6 +148,14 @@ class Core
     uint64_t retired_ = 0;
     bool halted_ = false;
     SeqNum next_seq_ = 1;
+
+    PipelineObserver *observer_ = nullptr;
+    /** Transmitter-delay cycles per gate, accumulated as plain
+     *  integers on the hot path and published to the engine's StatSet
+     *  (delay.*) at the end of run(). */
+    uint64_t delay_mem_cycles_ = 0;
+    uint64_t delay_branch_cycles_ = 0;
+    uint64_t delay_memorder_cycles_ = 0;
 
     // Frontend.
     uint64_t fetch_pc_;
@@ -164,6 +182,12 @@ class Core
     void updateVp();
 
     // --- helpers -------------------------------------------------------
+    /** Charges one policy-gated stall cycle of @p d to @p kind: bumps
+     *  the plain delay counter and, when an observer is installed,
+     *  reports the cycle with the engine's cause attribution. The
+     *  single call site per gate is what makes the profiler's
+     *  attributed total exactly equal delay.total_cycles. */
+    void noteTransmitterDelay(const DynInst &d, DelayKind kind);
     void completeInst(const DynInstPtr &d);
     void completeLoadData(const DynInstPtr &d);
     bool tryLoadAccess(const DynInstPtr &d);

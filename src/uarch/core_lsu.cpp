@@ -39,6 +39,7 @@ Core::memStage()
         if (!st->addr_known || st->completed || st->squashed)
             continue;
         if (!engine_->mayAccessMemory(*st)) {
+            noteTransmitterDelay(*st, DelayKind::kMemAccess);
             stats_.inc("lsu.store_policy_delays");
             break; // stores translate in order
         }
@@ -46,6 +47,10 @@ Core::memStage()
         st->completed = true;
         --store_ports;
         stats_.inc("lsu.store_translations");
+        if (observer_) {
+            observer_->gateOpened(cycle_, *st, DelayKind::kMemAccess);
+            observer_->memAccess(cycle_, *st);
+        }
     }
 
     // Loads, oldest first.
@@ -57,6 +62,7 @@ Core::memStage()
             ld->mem_violation_pending)
             continue;
         if (!engine_->mayAccessMemory(*ld)) {
+            noteTransmitterDelay(*ld, DelayKind::kMemAccess);
             stats_.inc("lsu.load_policy_delay_cycles");
             continue;
         }
@@ -144,6 +150,10 @@ Core::tryLoadAccess(const DynInstPtr &ld)
     }
 
     ld->access_done = true;
+    if (observer_) {
+        observer_->gateOpened(cycle_, *ld, DelayKind::kMemAccess);
+        observer_->memAccess(cycle_, *ld);
+    }
     completion_events_.emplace(cycle_ + latency, ld);
     return true;
 }
@@ -172,6 +182,8 @@ Core::completeLoadData(const DynInstPtr &ld)
     prf_.write(ld->prd, ld->result);
     ld->executed = true;
     ld->completed = true;
+    if (observer_)
+        observer_->executed(cycle_, *ld);
 }
 
 /**

@@ -51,6 +51,8 @@ Core::commitStage()
         engine_->onRetire(*d);
         if (commit_hook_)
             commit_hook_(*d);
+        if (observer_)
+            observer_->retired(cycle_, *d);
         rob_.pop_front();
         ++retired_;
         stats_.inc("commit.instructions");
@@ -72,16 +74,24 @@ Core::commitStage()
 void
 Core::handleSquashes()
 {
-    // At most one squash per cycle; oldest eligible first.
+    // At most one squash per cycle; oldest eligible first. A blocked
+    // candidate older than the performed squash is charged one delay
+    // cycle (candidates younger than it are squashed this cycle and
+    // charge nothing — the same engine queries fire either way).
     for (const DynInstPtr &d : rob_) {
-        if (d->squash_pending && engine_->mayResolveBranch(*d)) {
-            performControlSquash(d);
-            return;
+        if (d->squash_pending) {
+            if (engine_->mayResolveBranch(*d)) {
+                performControlSquash(d);
+                return;
+            }
+            noteTransmitterDelay(*d, DelayKind::kBranchResolve);
         }
-        if (d->mem_violation_pending &&
-            engine_->maySquashMemViolation(*d)) {
-            performMemSquash(d);
-            return;
+        if (d->mem_violation_pending) {
+            if (engine_->maySquashMemViolation(*d)) {
+                performMemSquash(d);
+                return;
+            }
+            noteTransmitterDelay(*d, DelayKind::kMemOrderSquash);
         }
     }
 }
@@ -91,6 +101,9 @@ Core::performControlSquash(const DynInstPtr &branch)
 {
     branch->squash_pending = false;
     stats_.inc("squash.control");
+    if (observer_)
+        observer_->gateOpened(cycle_, *branch,
+                              DelayKind::kBranchResolve);
     squashFrom(branch->seq + 1, branch->actual_next_pc, branch);
     bpu_.repair(branch->pc, branch->si, branch->exec.is_taken);
 }
@@ -99,6 +112,9 @@ void
 Core::performMemSquash(const DynInstPtr &load)
 {
     stats_.inc("squash.mem_violation");
+    if (observer_)
+        observer_->gateOpened(cycle_, *load,
+                              DelayKind::kMemOrderSquash);
     store_sets_.trainViolation(load->pc, load->violating_store_pc);
     // Squash the load itself and everything younger; refetch from the
     // load's own pc.
@@ -142,6 +158,8 @@ Core::squashFrom(SeqNum first_squashed, uint64_t new_fetch_pc,
         DynInstPtr d = rob_.back();
         d->squashed = true;
         engine_->onSquash(*d);
+        if (observer_)
+            observer_->squashed(cycle_, *d);
         if (d->has_dest) {
             rat_.set(d->si.rd, d->prev_prd);
             prf_.free(d->prd);
@@ -163,6 +181,8 @@ Core::squashFrom(SeqNum first_squashed, uint64_t new_fetch_pc,
     for (FetchEntry &fe : fetch_queue_) {
         fe.inst->squashed = true;
         engine_->onSquash(*fe.inst);
+        if (observer_)
+            observer_->squashed(cycle_, *fe.inst);
     }
     fetch_queue_.clear();
 
@@ -179,8 +199,11 @@ Core::updateVp()
 {
     bool blocked = false;
     for (const DynInstPtr &d : rob_) {
-        if (!blocked && !d->at_vp)
+        if (!blocked && !d->at_vp) {
             d->at_vp = true;
+            if (observer_)
+                observer_->reachedVp(cycle_, *d);
+        }
         if (params_.attack_model == AttackModel::kSpectre) {
             // Control-flow speculation, augmented with data
             // speculation sources (unresolved store addresses and

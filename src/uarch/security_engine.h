@@ -15,6 +15,7 @@
 
 #include "common/stats.h"
 #include "uarch/dyn_inst.h"
+#include "uarch/pipeline_observer.h"
 
 namespace spt {
 
@@ -86,11 +87,46 @@ class SecurityEngine
     /** Runs at the end of every core cycle (after the VP scan). */
     virtual void tick() {}
 
+    // --- observability -------------------------------------------------
+    /** Installed by the Core (null when tracing/profiling is off);
+     *  only queried behind a null check, so the hot path pays one
+     *  pointer test. */
+    void setObserver(PipelineObserver *obs) { observer_ = obs; }
+    PipelineObserver *observer() const { return observer_; }
+
+    /** Attribution of a transmitter-delay cycle: why is @p d still
+     *  gated? Called only while an observer is installed, after the
+     *  corresponding policy query returned false. The default maps
+     *  each gate to its scheme-independent cause (the secure
+     *  baseline delays memory to the VP). */
+    virtual DelayCause
+    delayCause(const DynInst &, DelayKind kind) const
+    {
+        switch (kind) {
+          case DelayKind::kMemAccess:
+            return DelayCause::kWaitVp;
+          case DelayKind::kBranchResolve:
+            return DelayCause::kTaintedBranch;
+          case DelayKind::kMemOrderSquash:
+            return DelayCause::kMemOrderGate;
+        }
+        return DelayCause::kMemOrderGate;
+    }
+
+    /** Untaint broadcasts raised but not yet granted (interval
+     *  metrics); schemes without a broadcast structure report 0. */
+    virtual uint64_t broadcastQueueOccupancy() const { return 0; }
+
+    /** Physical registers currently carrying any taint (interval
+     *  metrics); schemes without taint state report 0. */
+    virtual uint64_t taintedRegCount() const { return 0; }
+
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
 
   protected:
     Core *core_ = nullptr;
+    PipelineObserver *observer_ = nullptr;
     /** Mutable: const policy queries count their block decisions. */
     mutable StatSet stats_;
 };

@@ -10,6 +10,7 @@
 
 #include "common/bit_util.h"
 #include "common/byte_memory.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -208,6 +209,51 @@ TEST(Stats, HistogramOverflowExactWhenNoDeepOverflow)
     EXPECT_DOUBLE_EQ(h.cdfAt(7), 0.0);
 }
 
+TEST(Stats, HistogramPercentileBoundaries)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.percentile(0.5), 0u); // no samples
+
+    // 10 samples, all in exact buckets: 4x value 1, 5x value 3,
+    // 1x value 6.
+    h.record(1, 4);
+    h.record(3, 5);
+    h.record(6);
+    // Rank math: p50 -> rank 5 -> value 3 (first 4 samples are 1s);
+    // the p = 0.4 boundary lands exactly on the last 1.
+    EXPECT_EQ(h.percentile(0.40), 1u);
+    EXPECT_EQ(h.percentile(0.41), 3u);
+    EXPECT_EQ(h.percentile(0.50), 3u);
+    EXPECT_EQ(h.percentile(0.90), 3u);
+    EXPECT_EQ(h.percentile(0.91), 6u);
+    EXPECT_EQ(h.percentile(1.0), 6u);
+    // Degenerate p clamps to the smallest/largest rank.
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_EQ(h.percentile(2.0), 6u);
+    // Consistency with cdfAt: the p-th percentile covers at least
+    // fraction p of the samples.
+    for (double p : {0.25, 0.5, 0.75, 0.95})
+        EXPECT_GE(h.cdfAt(h.percentile(p)), p) << p;
+}
+
+TEST(Stats, HistogramPercentileOverflowClampsToMax)
+{
+    Histogram h(8);
+    h.record(1, 6);
+    h.record(100, 4); // overflow bucket; per-value counts are lost
+    // Ranks landing in the overflow range clamp to maxSample, the
+    // only value there whose cdf is known (mirrors cdfAt).
+    EXPECT_EQ(h.percentile(0.60), 1u);
+    EXPECT_EQ(h.percentile(0.61), 100u);
+    EXPECT_EQ(h.percentile(0.95), 100u);
+
+    // All samples exactly at the overflow boundary N-1: the clamp
+    // target is N-1 itself, so percentiles stay exact.
+    Histogram b(8);
+    b.record(7, 3);
+    EXPECT_EQ(b.percentile(0.5), 7u);
+}
+
 TEST(Stats, DumpFormat)
 {
     StatSet s;
@@ -216,6 +262,40 @@ TEST(Stats, DumpFormat)
     std::ostringstream os;
     s.dump(os);
     EXPECT_EQ(os.str(), "alpha 2\nzeta 1\n");
+
+    // Histograms append derived lines (mean/percentiles) after the
+    // counters.
+    s.histogram("lat", 8).record(2, 3);
+    std::ostringstream os2;
+    s.dump(os2);
+    EXPECT_EQ(os2.str(), "alpha 2\nzeta 1\n"
+                         "lat.samples 3\nlat.mean 2\n"
+                         "lat.p50 2\nlat.p95 2\n");
+}
+
+TEST(Stats, DumpJsonMatchesTextDump)
+{
+    StatSet s;
+    s.inc("alpha", 2);
+    s.set("zeta", 7);
+    Histogram &h = s.histogram("lat", 8);
+    h.record(1, 2);
+    h.record(3, 2);
+
+    JsonWriter jw;
+    s.dumpJson(jw);
+    EXPECT_EQ(jw.str(),
+              "{\n"
+              "  \"alpha\": 2,\n"
+              "  \"zeta\": 7,\n"
+              "  \"lat\": {\n"
+              "    \"samples\": 4,\n"
+              "    \"mean\": 2.000000,\n"
+              "    \"p50\": 1,\n"
+              "    \"p95\": 3,\n"
+              "    \"max\": 3\n"
+              "  }\n"
+              "}");
 }
 
 // --------------------------------------------------------------------

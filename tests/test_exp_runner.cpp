@@ -173,6 +173,15 @@ TEST(ExpRunner, JobKeyCoversEveryDescriptorField)
     j = job;
     j.max_cycles = 12345;
     expect_fresh(j, "max_cycles");
+    j = job;
+    j.trace = true;
+    expect_fresh(j, "trace");
+    j = job;
+    j.profile = true;
+    expect_fresh(j, "profile");
+    j = job;
+    j.interval_stats = 1000;
+    expect_fresh(j, "interval_stats");
 }
 
 TEST(ExpRunner, NullProgramFailsTheSweep)

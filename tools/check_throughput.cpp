@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Host-throughput regression gate: compares the per-config
+ * aggregate Minstr/s of two BENCH_throughput.json artifacts
+ * (bench/bench_sim_throughput.cpp) and fails if any config in
+ * `head` is slower than `base` by more than the tolerance. CI runs
+ * it base-vs-head on pull requests to catch accidental hot-path
+ * regressions — e.g. observability hooks that are no longer free
+ * when disabled.
+ *
+ *   check_throughput <base.json> <head.json> [--tolerance PCT]
+ *
+ * The artifacts are this repo's own JsonWriter output (one
+ * key/value per line), so a line scan suffices: a config's
+ * aggregate is the "minstr_per_sec" line immediately following its
+ * "name" line (workload-level entries are separated by the
+ * instructions/cycles fields and are deliberately skipped — they
+ * are too small to time stably).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace {
+
+/** Extracts the quoted value of `"key": "value"` or the number of
+ *  `"key": value` from one artifact line; empty if no match. */
+std::string
+lineValue(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    std::string v = line.substr(pos + needle.size());
+    while (!v.empty() && (v.back() == ',' || v.back() == '\r'))
+        v.pop_back();
+    if (v.size() >= 2 && v.front() == '"' && v.back() == '"')
+        v = v.substr(1, v.size() - 2);
+    return v;
+}
+
+std::map<std::string, double>
+configRates(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        std::exit(2);
+    }
+    std::map<std::string, double> rates;
+    std::string line, pending_name;
+    while (std::getline(in, line)) {
+        const std::string name = lineValue(line, "name");
+        if (!name.empty()) {
+            pending_name = name;
+            continue;
+        }
+        const std::string rate = lineValue(line, "minstr_per_sec");
+        if (!rate.empty() && !pending_name.empty())
+            rates[pending_name] = std::strtod(rate.c_str(), nullptr);
+        pending_name.clear();
+    }
+    if (rates.empty()) {
+        std::fprintf(stderr, "%s: no per-config minstr_per_sec\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return rates;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double tolerance_pct = 2.0;
+    const char *base_path = nullptr, *head_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--tolerance" && i + 1 < argc) {
+            tolerance_pct = std::strtod(argv[++i], nullptr);
+        } else if (!base_path) {
+            base_path = argv[i];
+        } else if (!head_path) {
+            head_path = argv[i];
+        } else {
+            base_path = nullptr;
+            break;
+        }
+    }
+    if (!base_path || !head_path) {
+        std::fprintf(stderr,
+                     "usage: %s <base.json> <head.json> "
+                     "[--tolerance PCT]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const auto base = configRates(base_path);
+    const auto head = configRates(head_path);
+    int failures = 0;
+    std::printf("%-24s %12s %12s %9s\n", "config", "base", "head",
+                "delta");
+    for (const auto &[name, base_rate] : base) {
+        const auto it = head.find(name);
+        if (it == head.end()) {
+            std::fprintf(stderr, "%s: missing in head artifact\n",
+                         name.c_str());
+            ++failures;
+            continue;
+        }
+        const double head_rate = it->second;
+        const double delta_pct =
+            base_rate <= 0.0
+                ? 0.0
+                : 100.0 * (head_rate - base_rate) / base_rate;
+        const bool bad = delta_pct < -tolerance_pct;
+        std::printf("%-24s %12.3f %12.3f %+8.1f%%%s\n", name.c_str(),
+                    base_rate, head_rate, delta_pct,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "throughput regression beyond %.1f%% tolerance "
+                     "(%d config(s))\n",
+                     tolerance_pct, failures);
+        return 1;
+    }
+    std::printf("throughput within %.1f%% tolerance\n",
+                tolerance_pct);
+    return 0;
+}

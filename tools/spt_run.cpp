@@ -11,6 +11,9 @@
  *           [--broadcast-width N]
  *           [--stt] [--secure-baseline]
  *           [--track-insts] [--output-dir DIR]
+ *           [--trace] [--trace-out F] [--pipeview-out F]
+ *           [--profile] [--profile-out F]
+ *           [--interval-stats N] [--interval-out F]
  *   spt_run --list-workloads
  *
  * Without --enable-spt/--stt/--secure-baseline the insecure
@@ -37,8 +40,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "sim/simulator.h"
 #include "workloads/workloads.h"
@@ -60,6 +65,13 @@ struct Options {
     unsigned broadcast_width = 3;
     bool track_insts = false;
     std::string output_dir;
+    bool trace = false;
+    std::string trace_out = "spt_trace.txt";
+    std::string pipeview_out = "spt_pipeview.txt";
+    bool profile = false;
+    std::string profile_out;
+    uint64_t interval_stats = 0;
+    std::string interval_out = "spt_intervals.json";
 };
 
 [[noreturn]] void
@@ -79,7 +91,20 @@ usage(const char *argv0)
         "  --stt                        run the STT baseline\n"
         "  --secure-baseline            delay loads/stores to VP\n"
         "  --track-insts                verbose untaint statistics\n"
-        "  --output-dir <dir>           where to write stats.txt\n",
+        "  --output-dir <dir>           where to write stats.txt\n"
+        "  --trace                      record the taint-lifecycle "
+        "trace\n"
+        "  --trace-out <path>           text trace file "
+        "(default spt_trace.txt)\n"
+        "  --pipeview-out <path>        O3PipeView/Konata trace file "
+        "(default spt_pipeview.txt)\n"
+        "  --profile                    print the top delay sources\n"
+        "  --profile-out <path>         also write the profile as "
+        "JSON\n"
+        "  --interval-stats <n>         sample interval metrics every "
+        "n cycles\n"
+        "  --interval-out <path>        interval time-series JSON "
+        "(default spt_intervals.json)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -123,6 +148,24 @@ parse(int argc, char **argv)
             opt.track_insts = true;
         else if (a == "--output-dir")
             opt.output_dir = needValue(argc, argv, i);
+        else if (a == "--trace")
+            opt.trace = true;
+        else if (a == "--trace-out") {
+            opt.trace = true;
+            opt.trace_out = needValue(argc, argv, i);
+        } else if (a == "--pipeview-out") {
+            opt.trace = true;
+            opt.pipeview_out = needValue(argc, argv, i);
+        } else if (a == "--profile")
+            opt.profile = true;
+        else if (a == "--profile-out") {
+            opt.profile = true;
+            opt.profile_out = needValue(argc, argv, i);
+        } else if (a == "--interval-stats")
+            opt.interval_stats =
+                std::stoull(needValue(argc, argv, i));
+        else if (a == "--interval-out")
+            opt.interval_out = needValue(argc, argv, i);
         else if (a == "--help" || a == "-h")
             usage(argv[0]);
         else {
@@ -174,7 +217,18 @@ buildConfig(const Options &opt)
     } else {
         cfg.engine.scheme = ProtectionScheme::kUnsafeBaseline;
     }
+    cfg.profile = opt.profile;
+    cfg.interval_stats = opt.interval_stats;
     return cfg;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SPT_FATAL("cannot write " << path);
+    return out;
 }
 
 } // namespace
@@ -201,6 +255,12 @@ main(int argc, char **argv)
         const Workload &w = workloadByName(opt.workload);
         const SimConfig cfg = buildConfig(opt);
         Simulator sim(w.program, cfg);
+        std::ofstream trace_out, pipeview_out;
+        if (opt.trace) {
+            trace_out = openOut(opt.trace_out);
+            pipeview_out = openOut(opt.pipeview_out);
+            sim.enableTrace(&trace_out, &pipeview_out);
+        }
         const SimResult r = sim.run();
 
         std::printf("workload      %s\n", w.name.c_str());
@@ -221,6 +281,31 @@ main(int argc, char **argv)
                 std::printf("%-28s %llu\n", name.c_str(),
                             static_cast<unsigned long long>(value));
         }
+        if (opt.trace) {
+            trace_out.close();
+            pipeview_out.close();
+            std::printf("trace written to %s (pipeview: %s)\n",
+                        opt.trace_out.c_str(),
+                        opt.pipeview_out.c_str());
+        }
+        if (sim.profiler()) {
+            std::printf("--- delay attribution ---\n");
+            std::ostringstream table;
+            sim.profiler()->writeTable(table);
+            std::fputs(table.str().c_str(), stdout);
+            if (!opt.profile_out.empty()) {
+                writeReportFile(opt.profile_out,
+                                sim.profiler()->toJson() + "\n");
+                std::printf("profile written to %s\n",
+                            opt.profile_out.c_str());
+            }
+        }
+        if (sim.intervals()) {
+            writeReportFile(opt.interval_out,
+                            sim.intervals()->toJson() + "\n");
+            std::printf("interval metrics written to %s\n",
+                        opt.interval_out.c_str());
+        }
         if (!opt.output_dir.empty()) {
             const std::string path =
                 opt.output_dir + "/stats.txt";
@@ -229,7 +314,17 @@ main(int argc, char **argv)
                 SPT_FATAL("cannot write " << path);
             out << "numCycles " << r.cycles << "\n";
             sim.dumpStats(out);
-            std::printf("stats written to %s\n", path.c_str());
+            JsonWriter jw;
+            jw.beginObject();
+            jw.field("numCycles", r.cycles);
+            jw.key("stats");
+            sim.dumpStatsJson(jw);
+            jw.endObject();
+            const std::string json_path =
+                opt.output_dir + "/stats.json";
+            writeReportFile(json_path, jw.str() + "\n");
+            std::printf("stats written to %s and %s\n",
+                        path.c_str(), json_path.c_str());
         }
         return 0;
     } catch (const FatalError &e) {

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace-consistency checker for text traces produced by
+ * `spt_run --trace` (sim/trace.h). Verifies, per instruction:
+ * cycles are non-decreasing, fetch comes first, nothing follows
+ * retire/squash, and every delay-start interval is closed by a
+ * delay-end, delay-squash, or delay-unfinished marker. CI runs it
+ * on the traced smoke workload.
+ *
+ *   trace_check <trace.txt> [<trace.txt> ...]
+ *   trace_check -              (read one trace from stdin)
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/trace.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <trace.txt> [...]   (- for stdin)\n",
+                     argv[0]);
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::string error;
+        bool ok;
+        if (path == "-") {
+            ok = spt::validateTraceText(std::cin, &error);
+        } else {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "%s: cannot open\n",
+                             path.c_str());
+                ++failures;
+                continue;
+            }
+            ok = spt::validateTraceText(in, &error);
+        }
+        if (ok) {
+            std::printf("%s: ok\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                         error.c_str());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}

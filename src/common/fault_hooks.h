@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fault-injection hook interface between the timing model and the
+ * campaign driver (sim/fault_injector.h implements it; uarch/mem
+ * consult it). Lives in common/ because the hook *sites* sit in
+ * layers (uarch, mem, core) that must not depend on sim.
+ *
+ * Contract: every fault is a pure *timing* perturbation. A firing
+ * site may delay, deny, squash-and-replay, or evict — it may never
+ * change an architectural value or weaken a security gate. The
+ * metamorphic campaigns in tools/spt_chaos rest on this: under any
+ * fault schedule the architectural results must match the
+ * unperturbed run and the security invariants must keep holding.
+ *
+ * Determinism: implementations draw each site from its own PRNG
+ * stream keyed by (campaign seed, site), so the decision sequence a
+ * site sees depends only on how often *that* site is consulted —
+ * which is itself a pure function of the (deterministic) simulated
+ * machine. Campaign outputs are therefore byte-identical for any
+ * worker count.
+ */
+
+#ifndef SPT_COMMON_FAULT_HOOKS_H
+#define SPT_COMMON_FAULT_HOOKS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spt {
+
+/** Where a timing fault can be injected. Keep faultSiteName() and
+ *  the per-site safety notes in DESIGN.md §10 in sync. */
+enum class FaultSite : uint8_t {
+    /** Squash a correctly predicted squash-source branch at
+     *  completion, as if it had mispredicted (refetch down the same
+     *  path). Exercises squash/recovery and taint-slot reclaim. */
+    kExtraSquash,
+    /** Starve the untaint broadcast bus for one cycle (effective
+     *  width 0). Exercises pending-flag retention and arbitration. */
+    kBroadcastStarve,
+    /** Synthetic eviction storm: drop the accessed line from every
+     *  cache level so the access misses to DRAM. Exercises shadow-L1
+     *  conservative revert and fill/latency paths. */
+    kCacheEvict,
+    /** Reject a data-side L1 miss as if the MSHR file were full;
+     *  the LSU retries. Exercises the retry path. */
+    kMshrStall,
+    /** Deny the store-to-load forwarding fast path and force the
+     *  hidden cache-access path (Section 6.7) even when STLPublic
+     *  holds. Data is still forwarded — timing only. */
+    kStlDeny,
+    /** Zero the issue width for one cycle (scheduler jitter). */
+    kIssueJitter,
+    kNumSites,
+};
+
+constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::kNumSites);
+
+inline const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kExtraSquash:     return "extra-squash";
+      case FaultSite::kBroadcastStarve: return "broadcast-starve";
+      case FaultSite::kCacheEvict:      return "cache-evict";
+      case FaultSite::kMshrStall:       return "mshr-stall";
+      case FaultSite::kStlDeny:         return "stl-deny";
+      case FaultSite::kIssueJitter:     return "issue-jitter";
+      case FaultSite::kNumSites:        break;
+    }
+    return "?";
+}
+
+/** Consulted by the hook sites; null (the default everywhere) means
+ *  no injection and costs one pointer test. */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /** Should the fault at @p site fire at this opportunity? Each
+     *  call consumes one draw from the site's stream (sites with a
+     *  zero rate must not consume draws, so enabling one site never
+     *  shifts another's sequence). */
+    virtual bool fire(FaultSite site) = 0;
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_FAULT_HOOKS_H

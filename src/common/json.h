@@ -47,6 +47,12 @@ class JsonWriter
      *  has no NaN/Inf; those are emitted as null). */
     JsonWriter &value(double v, int precision = 4);
 
+    /** Splices a pre-rendered JSON value verbatim in value position
+     *  (e.g. a nested document built by another writer). The caller
+     *  guarantees @p json is one valid JSON value; its internal
+     *  indentation is preserved as-is. */
+    JsonWriter &raw(const std::string &json);
+
     /** Shorthand for key(name).value(v). */
     template <typename T>
     JsonWriter &

@@ -100,6 +100,22 @@ SttEngine::maySquashMemViolation(const DynInst &d) const
 }
 
 bool
+SttEngine::transmitPublic(const DynInst &d, DelayKind kind) const
+{
+    // Stats-free mirror of the policy gates (the checker's ground
+    // truth; STT has no mutation modes, so gate == claim).
+    switch (kind) {
+      case DelayKind::kMemAccess:
+        return d.at_vp || !regTainted(d.prs1);
+      case DelayKind::kBranchResolve:
+        return mayResolveBranch(d);
+      case DelayKind::kMemOrderSquash:
+        return maySquashMemViolation(d);
+    }
+    return true;
+}
+
+bool
 SttEngine::stlForwardingPublic(const DynInst &load,
                                const DynInst &store) const
 {

@@ -37,6 +37,14 @@ class SecureBaselineEngine : public SecurityEngine
             stats_.inc("policy.mem_blocked_checks");
         return d.at_vp;
     }
+
+    bool
+    transmitPublic(const DynInst &d, DelayKind kind) const override
+    {
+        // The scheme's claim: no memory access before the VP. It
+        // makes no claims about the other channels.
+        return kind == DelayKind::kMemAccess ? d.at_vp : true;
+    }
 };
 
 class SttEngine : public SecurityEngine
@@ -52,6 +60,9 @@ class SttEngine : public SecurityEngine
     bool maySquashMemViolation(const DynInst &d) const override;
     bool stlForwardingPublic(const DynInst &load,
                              const DynInst &store) const override;
+
+    bool transmitPublic(const DynInst &d,
+                        DelayKind kind) const override;
 
     /** Is the value in @p reg currently s-tainted? */
     bool regTainted(PhysReg reg) const;

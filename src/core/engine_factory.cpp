@@ -47,7 +47,10 @@ engineConfigName(const EngineConfig &cfg)
       case ShadowKind::kShadowL1:  shadow = "ShadowL1"; break;
       case ShadowKind::kShadowMem: shadow = "ShadowMem"; break;
     }
-    return "SPT{" + method + "," + shadow + "}";
+    std::string name = "SPT{" + method + "," + shadow + "}";
+    if (cfg.spt.mutation == SptConfig::Mutation::kLeakyMemGate)
+        name += "+LeakyMemGate";
+    return name;
 }
 
 } // namespace spt

@@ -440,9 +440,17 @@ bool
 SptEngine::mayAccessMemory(const DynInst &d) const
 {
     const bool allowed = addrOperandPublic(d);
-    if (!allowed)
+    if (!allowed) {
         stats_.inc(d.is_load ? "policy.load_blocked_checks"
                              : "policy.store_blocked_checks");
+        if (cfg_.mutation == SptConfig::Mutation::kLeakyMemGate) {
+            // Seeded bug (chaos mutation mode): the gate lies. The
+            // transmitPublic claim below still tells the truth, so
+            // the InvariantChecker flags the ensuing access.
+            stats_.inc("mutation.leaky_gate_opens");
+            return true;
+        }
+    }
     return allowed;
 }
 
@@ -490,7 +498,7 @@ SptEngine::stlForwardingPublic(const DynInst &load,
 }
 
 bool
-SptEngine::maySquashMemViolation(const DynInst &load) const
+SptEngine::memSquashPublic(const DynInst &load) const
 {
     // The squash's implicit branch involves the load's address and
     // the addresses of all older in-flight stores (Section 6.7,
@@ -506,6 +514,38 @@ SptEngine::maySquashMemViolation(const DynInst &load) const
             return false;
     }
     return true;
+}
+
+bool
+SptEngine::maySquashMemViolation(const DynInst &load) const
+{
+    return memSquashPublic(load);
+}
+
+bool
+SptEngine::transmitPublic(const DynInst &d, DelayKind kind) const
+{
+    // Ground truth for the invariant checker: the un-mutated policy
+    // predicates, one per transmit channel.
+    switch (kind) {
+      case DelayKind::kMemAccess:
+        return addrOperandPublic(d);
+      case DelayKind::kBranchResolve:
+        return operandsPublic(d);
+      case DelayKind::kMemOrderSquash:
+        return memSquashPublic(d);
+    }
+    return true;
+}
+
+bool
+SptEngine::taintStateConsistent(const DynInst &d) const
+{
+    // Every in-flight instruction must resolve to a live taint slot
+    // whose back-pointer is the instruction itself (the ring-buffer
+    // index map of Section 7.2's storage).
+    const Entry *e = entryOf(d);
+    return e != nullptr && e->inst == &d && e->seq == d.seq;
 }
 
 // --------------------------------------------------------------------
@@ -796,13 +836,20 @@ SptEngine::applyBroadcast(PhysReg reg, TaintMask mask)
 void
 SptEngine::broadcastPhase()
 {
+    unsigned width = cfg_.broadcast_width;
+    FaultHooks *faults = core_ ? core_->faultHooks() : nullptr;
+    if (faults && faults->fire(FaultSite::kBroadcastStarve)) {
+        // Starve the untaint bus for this cycle; raised flags stay
+        // pending and drain on a later cycle.
+        width = 0;
+        stats_.inc("fault.broadcast_starved_cycles");
+    }
     // Drain raised flags in arbitration order (the set's key order:
     // older instruction first, destination before sources) up to
     // the structural width.
     std::vector<Broadcast> chosen;
-    chosen.reserve(cfg_.broadcast_width);
-    while (!pending_flags_.empty() &&
-           chosen.size() < cfg_.broadcast_width) {
+    chosen.reserve(width);
+    while (!pending_flags_.empty() && chosen.size() < width) {
         const uint64_t key = *pending_flags_.begin();
         Entry *e = entryBySeq(key >> 2);
         SPT_ASSERT(e, "pending flag references a freed slot");

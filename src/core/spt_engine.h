@@ -67,6 +67,18 @@ struct SptConfig {
     UntaintMethod method = UntaintMethod::kBackward;
     ShadowKind shadow = ShadowKind::kShadowL1;
     unsigned broadcast_width = 3;
+    /** Deliberately seeded policy bugs, used only to prove the
+     *  runtime InvariantChecker fires (tools/spt_chaos --mutate).
+     *  Mutations weaken a policy *gate*; the ground-truth claim
+     *  (transmitPublic) is never mutated, which is exactly what
+     *  makes the discrepancy detectable. */
+    enum class Mutation : uint8_t {
+        kNone,
+        /** mayAccessMemory lies: a load/store with a tainted
+         *  address operand is allowed to access memory. */
+        kLeakyMemGate,
+    };
+    Mutation mutation = Mutation::kNone;
 };
 
 class SptEngine : public SecurityEngine
@@ -99,6 +111,10 @@ class SptEngine : public SecurityEngine
     bool maySquashMemViolation(const DynInst &d) const override;
     bool stlForwardingPublic(const DynInst &load,
                              const DynInst &store) const override;
+
+    bool transmitPublic(const DynInst &d,
+                        DelayKind kind) const override;
+    bool taintStateConsistent(const DynInst &d) const override;
 
     void tick() override;
 
@@ -237,6 +253,9 @@ class SptEngine : public SecurityEngine
 
     bool addrOperandPublic(const DynInst &d) const;
     bool operandsPublic(const DynInst &d) const;
+    /** The memory-order-squash claim (Section 6.7, footnote 4);
+     *  shared by maySquashMemViolation and transmitPublic. */
+    bool memSquashPublic(const DynInst &load) const;
     /** STLPublic(S, L) of Section 6.7. */
     bool stlPublic(const DynInst &load, const DynInst &store) const;
     bool storeAddrPublic(const DynInst &store) const;

@@ -20,6 +20,20 @@ MemorySystem::access(uint64_t addr, AccessKind kind, uint64_t now)
     SetAssocCache &l1 =
         kind == AccessKind::kIfetch ? l1i_ : l1d_;
 
+    if (faults_ && faults_->fire(FaultSite::kCacheEvict)) {
+        // Synthetic eviction storm: drop the line from every level
+        // (the attackerFlush mechanics) so this access misses all
+        // the way to DRAM. Data lives in the architectural
+        // ByteMemory, so only timing changes; a shadow-L1 taint
+        // store reverts evicted lines to tainted (conservative).
+        l1i_.invalidate(addr);
+        l1d_.invalidate(addr);
+        l2_.invalidate(addr);
+        l3_.invalidate(addr);
+        directory_.putLine(kCoreAgent, l3_.lineAddr(addr));
+        stats_.inc("fault.evictions");
+    }
+
     unsigned latency = l1.params().latency;
     if (l1.access(addr, is_write)) {
         result.latency = latency;
@@ -62,6 +76,12 @@ MemorySystem::access(uint64_t addr, AccessKind kind, uint64_t now)
     }
 
     if (data_side) {
+        if (faults_ && faults_->fire(FaultSite::kMshrStall)) {
+            // Synthetic MSHR-file pressure: reject as if full; the
+            // LSU retries (same path as a genuine reject).
+            stats_.inc("fault.mshr_stalls");
+            return {false, 0, 0};
+        }
         const auto alloc =
             mshrs_.allocate(line, now, now + latency);
         if (!alloc.accepted) {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/fault_hooks.h"
 #include "common/stats.h"
 #include "mem/cache.h"
 #include "mem/coherence.h"
@@ -84,8 +85,13 @@ class MemorySystem
 
     StatSet &stats() { return stats_; }
 
+    /** Timing-fault injection (common/fault_hooks.h): synthetic
+     *  eviction storms and MSHR stalls. Null = no injection. */
+    void setFaultHooks(FaultHooks *hooks) { faults_ = hooks; }
+
   private:
     MemorySystemParams params_;
+    FaultHooks *faults_ = nullptr;
     SetAssocCache l1i_;
     SetAssocCache l1d_;
     SetAssocCache l2_;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fault-injection campaign driver ("chaos engineering" for the
+ * simulated machine): sweeps workloads x protection engines x fault
+ * kinds with the runtime invariant checker attached, and verdicts
+ * the run on two properties at once —
+ *
+ *  1. *metamorphic architectural equivalence*: every fault in
+ *     common/fault_hooks.h perturbs timing only, so the final
+ *     architectural register file, retired-instruction count, and
+ *     halt status of a faulted run must be identical to the
+ *     fault-free run of the same (workload, engine) cell;
+ *  2. *invariant cleanliness*: no fault schedule may drive the
+ *     machine into a state the InvariantChecker rejects — faults
+ *     stress the pipeline, they must never break it or open a
+ *     security gate.
+ *
+ * A campaign is one keep_going ExpRunner sweep, so a crashing cell
+ * is isolated and classified rather than aborting the campaign, and
+ * the emitted JSON is byte-identical at any --jobs.
+ *
+ * Mutation mode (negative control): re-runs each workload on an SPT
+ * engine seeded with a known taint bug
+ * (SptConfig::Mutation::kLeakyMemGate) and checks that the
+ * invariant checker *does* fire — proving the watchdog can detect
+ * the class of bug it exists for, not merely stay silent on healthy
+ * runs.
+ */
+
+#ifndef SPT_SIM_CHAOS_H
+#define SPT_SIM_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_hooks.h"
+#include "sim/exp_runner.h"
+
+namespace spt {
+
+/** One campaign workload; the program is non-owning and must
+ *  outlive the campaign. */
+struct ChaosWorkload {
+    std::string name;
+    const Program *program = nullptr;
+};
+
+struct ChaosConfig {
+    /** Base seed; per-cell fault-plan seeds derive from it, the
+     *  workload, the engine, and the fault site, so no two cells
+     *  share a fault schedule. */
+    uint64_t seed = 1;
+    /** Worker count (0 = SPT_JOBS / hardware_concurrency). Never
+     *  affects the campaign JSON. */
+    unsigned jobs = 0;
+    std::vector<ChaosWorkload> workloads;
+    std::vector<NamedConfig> engines;
+    /** Fault kinds to campaign; empty = all of them. */
+    std::vector<FaultSite> faults;
+    /** Per-site Bernoulli rate, parts per million. */
+    uint32_t rate_ppm = 20'000;
+    AttackModel model = AttackModel::kFuturistic;
+    uint64_t max_cycles = 50'000'000;
+    /** Append the seeded-bug negative control. */
+    bool mutate = false;
+};
+
+struct ChaosSummary {
+    uint64_t runs = 0;            ///< simulations performed
+    uint64_t faults_injected = 0; ///< fired faults across all cells
+    uint64_t violations = 0;      ///< invariant-violating cells
+    uint64_t arch_divergences = 0; ///< cells breaking equivalence
+    uint64_t failures = 0; ///< crashed / timed-out / livelocked cells
+    bool mutation_ran = false;
+    /** Did the checker catch the seeded bug (>= 1 mutated run
+     *  reported a violation)? */
+    bool mutation_detected = false;
+
+    /** Campaign verdict, ignoring the negative control. */
+    bool
+    clean() const
+    {
+        return violations == 0 && arch_divergences == 0 &&
+               failures == 0;
+    }
+};
+
+struct ChaosResult {
+    ChaosSummary summary;
+    /** Deterministic campaign report (cells + summary), identical
+     *  at any jobs count. */
+    std::string json;
+    /** DiagnosticReport JSON arrays of every violating or crashed
+     *  cell, labelled — the artifacts a CI run uploads. */
+    std::vector<std::pair<std::string, std::string>> diagnostics;
+};
+
+/** Runs the full campaign grid: per (workload, engine) one
+ *  fault-free baseline plus one run per fault site, all with the
+ *  invariant checker attached; then the mutation control if
+ *  requested. */
+ChaosResult runChaosCampaign(const ChaosConfig &cfg);
+
+/** The default quick campaign inputs used by tools/spt_chaos and
+ *  CI: small-footprint builds of seven workloads (pchase, interp,
+ *  hashtab, treesearch, chacha20, djbsort, spectre-v1) against
+ *  SPT{Bwd,ShadowL1}, STT, and SecureBaseline. The returned
+ *  programs live in a static registry. */
+std::vector<ChaosWorkload> quickChaosWorkloads();
+std::vector<NamedConfig> chaosEngines();
+
+} // namespace spt
+
+#endif // SPT_SIM_CHAOS_H

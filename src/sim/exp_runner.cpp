@@ -2,45 +2,181 @@
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <sstream>
 #include <unordered_map>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "uarch/invariant_checker.h"
 
 namespace spt {
+
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::kOk:        return "ok";
+      case RunStatus::kTimeout:   return "timeout";
+      case RunStatus::kLivelock:  return "livelock";
+      case RunStatus::kViolation: return "violation";
+      case RunStatus::kCrash:     return "crash";
+    }
+    return "?";
+}
 
 std::string
 jobKey(const RunJob &job)
 {
-    // Every descriptor field participates. SptConfig currently has
-    // exactly {method, shadow, broadcast_width}; extend this when it
-    // grows (tests/test_exp_runner.cpp pins the sensitivity). The
+    // Every descriptor field except `label` participates. SptConfig
+    // currently has exactly {method, shadow, broadcast_width,
+    // mutation}; extend this when it grows
+    // (tests/test_exp_runner.cpp pins the sensitivity). The
     // observability flags must participate too: a traced run carries
     // artifacts a plain run lacks, so the two may not share a slot.
-    char buf[192];
-    std::snprintf(
+    // The wall timeout participates because it can change the
+    // outcome (a capped run may cut off early).
+    char buf[384];
+    int n = std::snprintf(
         buf, sizeof buf,
-        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|am=%u|seed=%llu|mc=%llu"
-        "|tr=%u|pf=%u|iv=%llu",
+        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|mut=%u|am=%u|seed=%llu|mc=%llu"
+        "|tr=%u|pf=%u|iv=%llu|inv=%u|wd=%llu|wt=%.9g|fs=%llu",
         static_cast<const void *>(job.program),
         static_cast<unsigned>(job.engine.scheme),
         static_cast<unsigned>(job.engine.spt.method),
         static_cast<unsigned>(job.engine.spt.shadow),
         job.engine.spt.broadcast_width,
+        static_cast<unsigned>(job.engine.spt.mutation),
         static_cast<unsigned>(job.attack_model),
         static_cast<unsigned long long>(job.seed),
         static_cast<unsigned long long>(job.max_cycles),
         static_cast<unsigned>(job.trace),
         static_cast<unsigned>(job.profile),
-        static_cast<unsigned long long>(job.interval_stats));
-    return buf;
+        static_cast<unsigned long long>(job.interval_stats),
+        static_cast<unsigned>(job.invariants),
+        static_cast<unsigned long long>(job.watchdog_cycles),
+        job.wall_timeout_seconds,
+        static_cast<unsigned long long>(job.faults.seed));
+    std::string key(buf, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        std::snprintf(buf, sizeof buf, "|f%zu=%u", i,
+                      job.faults.rate_ppm[i]);
+        key += buf;
+    }
+    return key;
 }
+
+namespace {
+
+/** One-line human identity of a job for failure reports. */
+std::string
+describeJob(const RunJob &job)
+{
+    if (!job.label.empty())
+        return job.label;
+    std::string desc = engineConfigName(job.engine);
+    desc += job.attack_model == AttackModel::kSpectre
+                ? "/spectre"
+                : "/futuristic";
+    if (job.seed != 0)
+        desc += "/seed=" + std::to_string(job.seed);
+    if (job.faults.any())
+        desc += "/faults@" + std::to_string(job.faults.seed);
+    return desc;
+}
+
+SimConfig
+configFor(const RunJob &job)
+{
+    SimConfig cfg;
+    cfg.engine = job.engine;
+    cfg.core.attack_model = job.attack_model;
+    cfg.max_cycles = job.max_cycles;
+    cfg.profile = job.profile;
+    cfg.interval_stats = job.interval_stats;
+    cfg.faults = job.faults;
+    cfg.invariants = job.invariants;
+    if (job.watchdog_cycles != 0)
+        cfg.core.watchdog_cycles = job.watchdog_cycles;
+    cfg.wall_timeout_seconds = job.wall_timeout_seconds;
+    return cfg;
+}
+
+/** Classification order: the strongest signal wins. A violating run
+ *  that also livelocked is a violation (the livelock is already one
+ *  of its diagnostic reports); a run that merely stalled — the
+ *  checker's only complaint being forward progress — is a
+ *  livelock. */
+RunStatus
+classify(const Simulator &sim, const SimResult &r)
+{
+    if (sim.invariants() != nullptr &&
+        sim.invariants()->securityViolations() != 0)
+        return RunStatus::kViolation;
+    switch (r.termination) {
+      case Termination::kLivelock:
+        return RunStatus::kLivelock;
+      case Termination::kWallTimeout:
+      case Termination::kMaxCycles:
+        return RunStatus::kTimeout;
+      case Termination::kHalted:
+        break;
+    }
+    return RunStatus::kOk;
+}
+
+/** Last @p lines lines of @p text (failure evidence wants the tail:
+ *  the trace around the violating instruction, not the warm-up). */
+std::string
+tail(const std::string &text, std::size_t lines)
+{
+    std::size_t pos = text.size();
+    while (lines > 0 && pos > 0) {
+        const std::size_t nl = text.rfind('\n', pos - 1);
+        if (nl == std::string::npos) {
+            pos = 0;
+            break;
+        }
+        pos = nl;
+        --lines;
+    }
+    return pos == 0 ? text : text.substr(pos + 1);
+}
+
+/** Re-run a failed job once with trace + invariants attached to
+ *  gather evidence; never throws. */
+void
+captureEvidence(const RunJob &job, RunOutcome &out)
+{
+    try {
+        SimConfig cfg = configFor(job);
+        cfg.invariants = true;
+        Simulator sim(*job.program, cfg);
+        std::ostringstream text, pipeview;
+        sim.enableTrace(&text, &pipeview);
+        const SimResult r = sim.run();
+        const RunStatus rerun = classify(sim, r);
+        out.reproduced = rerun == out.status;
+        out.evidence_trace = tail(text.str(), 64);
+        if (out.diagnostics_json.empty() ||
+            out.diagnostics_json == "[]")
+            out.diagnostics_json = sim.diagnosticsJson();
+    } catch (const std::exception &e) {
+        // A crash at the same point *is* the reproduction.
+        out.reproduced = out.status == RunStatus::kCrash;
+        if (out.error.empty())
+            out.error = e.what();
+    }
+}
+
+} // namespace
 
 ExpRunner::ExpRunner(unsigned jobs) : workers_(resolveJobs(jobs)) {}
 
 std::vector<RunOutcome>
-ExpRunner::run(const std::vector<RunJob> &grid)
+ExpRunner::run(const std::vector<RunJob> &grid,
+               const RunnerPolicy &policy)
 {
     for (std::size_t i = 0; i < grid.size(); ++i)
         if (grid[i].program == nullptr)
@@ -61,37 +197,55 @@ ExpRunner::run(const std::vector<RunJob> &grid)
     }
 
     std::vector<RunOutcome> outcomes(grid.size());
+    // Exceptions are caught per slot and resolved after the pool
+    // drains, so a failing sweep (a) always identifies the
+    // lowest-indexed failing job regardless of worker scheduling and
+    // (b) under keep_going completes with the failure confined to
+    // its own slot.
+    std::vector<std::exception_ptr> errors(grid.size());
     const auto t0 = std::chrono::steady_clock::now();
     parallelFor(unique.size(), workers_, [&](std::size_t u) {
         const std::size_t slot = unique[u];
         const RunJob &job = grid[slot];
-        SimConfig cfg;
-        cfg.engine = job.engine;
-        cfg.core.attack_model = job.attack_model;
-        cfg.max_cycles = job.max_cycles;
-        cfg.profile = job.profile;
-        cfg.interval_stats = job.interval_stats;
-        Simulator sim(*job.program, cfg);
-        std::ostringstream trace_text, trace_pipeview;
-        if (job.trace)
-            sim.enableTrace(&trace_text, &trace_pipeview);
-        const auto j0 = std::chrono::steady_clock::now();
         RunOutcome out;
-        out.result = sim.run();
-        const auto j1 = std::chrono::steady_clock::now();
-        out.host_seconds =
-            std::chrono::duration<double>(j1 - j0).count();
-        const StatSet &stats = sim.core().engine().stats();
-        out.engine_counters = stats.counters();
-        out.engine_histograms = stats.histograms();
-        if (job.trace) {
-            out.trace_text = trace_text.str();
-            out.trace_pipeview = trace_pipeview.str();
+        try {
+            SimConfig cfg = configFor(job);
+            Simulator sim(*job.program, cfg);
+            std::ostringstream trace_text, trace_pipeview;
+            if (job.trace)
+                sim.enableTrace(&trace_text, &trace_pipeview);
+            const auto j0 = std::chrono::steady_clock::now();
+            out.result = sim.run();
+            const auto j1 = std::chrono::steady_clock::now();
+            out.host_seconds =
+                std::chrono::duration<double>(j1 - j0).count();
+            const StatSet &stats = sim.core().engine().stats();
+            out.engine_counters = stats.counters();
+            out.engine_histograms = stats.histograms();
+            if (job.trace) {
+                out.trace_text = trace_text.str();
+                out.trace_pipeview = trace_pipeview.str();
+            }
+            if (sim.profiler())
+                out.profile_json = sim.profiler()->toJson();
+            if (sim.intervals())
+                out.intervals_json = sim.intervals()->toJson();
+            if (sim.faults())
+                out.fault_counters = sim.faults()->counters();
+            for (unsigned r = 0; r < kNumArchRegs; ++r)
+                out.arch_regs[r] = sim.core().archReg(r);
+            out.status = classify(sim, out.result);
+            if (job.invariants || out.status != RunStatus::kOk)
+                out.diagnostics_json = sim.diagnosticsJson();
+        } catch (const std::exception &e) {
+            out.status = RunStatus::kCrash;
+            out.error = e.what();
+            errors[slot] = std::current_exception();
         }
-        if (sim.profiler())
-            out.profile_json = sim.profiler()->toJson();
-        if (sim.intervals())
-            out.intervals_json = sim.intervals()->toJson();
+        if (policy.capture_evidence &&
+            (out.status == RunStatus::kCrash ||
+             out.status == RunStatus::kViolation))
+            captureEvidence(job, out);
         outcomes[slot] = std::move(out);
     });
     const auto t1 = std::chrono::steady_clock::now();
@@ -99,13 +253,79 @@ ExpRunner::run(const std::vector<RunJob> &grid)
     for (std::size_t i = 0; i < grid.size(); ++i)
         if (source[i] != i)
             outcomes[i] = outcomes[source[i]];
+    // Descriptors are per-slot, not per-unique-run: duplicates may
+    // carry distinct labels.
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        outcomes[i].job_desc = describeJob(grid[i]);
 
     last_.workers = workers_;
     last_.unique_jobs = unique.size();
     last_.memo_hits = grid.size() - unique.size();
     last_.wall_seconds =
         std::chrono::duration<double>(t1 - t0).count();
+    last_.failed_jobs = 0;
+    last_.first_failure.clear();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!outcomes[i].failed())
+            continue;
+        ++last_.failed_jobs;
+        if (last_.first_failure.empty())
+            last_.first_failure = outcomes[i].job_desc;
+    }
+
+    if (!policy.keep_going)
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            if (errors[source[i]])
+                std::rethrow_exception(errors[source[i]]);
     return outcomes;
+}
+
+void
+sweepReportJson(JsonWriter &jw, const std::vector<RunJob> &grid,
+                const std::vector<RunOutcome> &outcomes,
+                const SweepStats &stats)
+{
+    SPT_ASSERT(grid.size() == outcomes.size(),
+               "sweep report: grid/outcome size mismatch");
+    jw.beginObject();
+    jw.field("jobs", static_cast<uint64_t>(grid.size()));
+    jw.field("unique_jobs", stats.unique_jobs);
+    jw.field("memo_hits", stats.memo_hits);
+    jw.field("failed_jobs", stats.failed_jobs);
+    jw.field("first_failure", stats.first_failure);
+    jw.key("cells");
+    jw.beginArray();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const RunOutcome &out = outcomes[i];
+        jw.beginObject();
+        jw.field("index", static_cast<uint64_t>(i));
+        jw.field("job", out.job_desc);
+        jw.field("status", runStatusName(out.status));
+        jw.field("termination",
+                 terminationName(out.result.termination));
+        jw.field("cycles", out.result.cycles);
+        jw.field("instructions", out.result.instructions);
+        if (!out.error.empty())
+            jw.field("error", out.error);
+        if (!out.fault_counters.empty()) {
+            jw.key("faults");
+            jw.beginObject();
+            for (const auto &[name, value] : out.fault_counters)
+                jw.field(name, value);
+            jw.endObject();
+        }
+        if (!out.diagnostics_json.empty() &&
+            out.diagnostics_json != "[]") {
+            jw.key("diagnostics");
+            jw.raw(out.diagnostics_json);
+        }
+        if (out.status == RunStatus::kCrash ||
+            out.status == RunStatus::kViolation)
+            jw.field("reproduced", out.reproduced);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
 }
 
 } // namespace spt

@@ -1,12 +1,12 @@
 /**
  * @file
  * Parallel experiment runner: the shared sweep engine behind every
- * figure-regeneration driver, the golden-stats recorder, and the
- * throughput bench.
+ * figure-regeneration driver, the golden-stats recorder, the chaos
+ * campaign driver, and the throughput bench.
  *
  * A sweep is a vector of `RunJob` descriptors (program x engine
- * config x attack model x seed). The runner executes them on a
- * fixed-size worker pool (`--jobs N` / SPT_JOBS, default
+ * config x attack model x seed x fault plan). The runner executes
+ * them on a fixed-size worker pool (`--jobs N` / SPT_JOBS, default
  * hardware_concurrency — see common/parallel.h) and collects each
  * job's `RunOutcome` into a result slot indexed by job id, so the
  * assembled vector is bit-identical regardless of thread count or
@@ -23,30 +23,50 @@
  *  - results are addressed by job index, never by completion order,
  *  - host timing (`RunOutcome::host_seconds`) is the only
  *    thread-count-dependent field; everything else — cycles,
- *    instructions, every engine counter and histogram — is a pure
- *    function of the job descriptor.
+ *    instructions, every engine counter and histogram, fault draws,
+ *    diagnostics — is a pure function of the job descriptor.
+ *    (Exception: a job with `wall_timeout_seconds` set may cut off
+ *    at a host-dependent cycle; such jobs trade determinism for
+ *    bounded latency and say so in their status.)
  *
  * Duplicate jobs within a sweep are memoized: jobs with equal keys
  * (same program identity + every engine-config field + attack model
- * + seed + cycle limit, see jobKey()) are simulated once and the
- * outcome is copied into every duplicate slot. This is what spares
- * e.g. a normalized-overhead grid from re-deriving its
- * UnsafeBaseline column per normalization.
+ * + seed + cycle limit + fault plan + robustness knobs, see
+ * jobKey()) are simulated once and the outcome is copied into every
+ * duplicate slot. This is what spares e.g. a normalized-overhead
+ * grid from re-deriving its UnsafeBaseline column per normalization.
+ *
+ * Failure isolation (PR 5): by default any exception escaping a job
+ * still fails the whole sweep — but it now fails *deterministically*
+ * (the lowest-indexed failing slot's exception is rethrown, not
+ * whichever worker lost the race) and the message identifies the
+ * job. Under `RunnerPolicy::keep_going` the sweep always completes:
+ * each failing slot is classified (crash / timeout / livelock /
+ * invariant violation) into `RunOutcome::status` with the exception
+ * text and a one-line job descriptor preserved, and healthy slots
+ * are unaffected. `RunnerPolicy::capture_evidence` re-runs each
+ * crashed or violating job once with tracing and the invariant
+ * checker attached, attaching the trace tail and diagnostics as
+ * evidence and recording whether the failure reproduced.
  */
 
 #ifndef SPT_SIM_EXP_RUNNER_H
 #define SPT_SIM_EXP_RUNNER_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "isa/instruction.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
 
 namespace spt {
+
+class JsonWriter;
 
 /** One design point of a sweep grid. The program is non-owning and
  *  must outlive the sweep (all drivers point into the static
@@ -69,7 +89,32 @@ struct RunJob {
     bool profile = false;
     /** Interval-metrics period; 0 disables the time series. */
     uint64_t interval_stats = 0;
+    /** Seeded timing-fault schedule; all-zero rates = no injection. */
+    FaultPlan faults;
+    /** Attach the runtime invariant checker (observer-only). */
+    bool invariants = false;
+    /** Retire-progress watchdog override; 0 keeps the CoreParams
+     *  default (uarch/core.h). */
+    uint64_t watchdog_cycles = 0;
+    /** Host wall-clock cap per job; 0 disables. Non-deterministic
+     *  cutoff by design — see the file comment. */
+    double wall_timeout_seconds = 0.0;
+    /** Free-form name for reports ("pchase/SPT{Bwd,ShadowL1}").
+     *  Not part of the memo key: two jobs differing only by label
+     *  are the same simulation. */
+    std::string label;
 };
+
+/** How a job concluded, strongest classification first. */
+enum class RunStatus : uint8_t {
+    kOk,        ///< halted normally
+    kTimeout,   ///< cycle budget or wall-clock cap cut it off
+    kLivelock,  ///< retire-progress watchdog tripped
+    kViolation, ///< the invariant checker reported a violation
+    kCrash,     ///< an exception escaped the simulation
+};
+
+const char *runStatusName(RunStatus s);
 
 /** Everything a driver reads back from one simulation. */
 struct RunOutcome {
@@ -86,12 +131,52 @@ struct RunOutcome {
     std::string profile_json;
     std::string intervals_json;
 
+    // --- robustness (PR 5) --------------------------------------------
+    RunStatus status = RunStatus::kOk;
+    /** Exception text for kCrash ("PANIC at ...: unknown protection
+     *  scheme"); empty otherwise. */
+    std::string error;
+    /** One-line descriptor of the job that produced this outcome
+     *  (label if set, else engine/model/seed). Per-slot: memoized
+     *  duplicates keep their own label. */
+    std::string job_desc;
+    /** Structured DiagnosticReport array ("[]" when clean); only
+     *  populated when the job ran with invariants. */
+    std::string diagnostics_json;
+    /** fault.<site>.draws / fault.<site>.injected per enabled site. */
+    std::map<std::string, uint64_t> fault_counters;
+    /** Architectural register file at end of run — the basis of the
+     *  metamorphic fault-equivalence check (faults perturb timing,
+     *  never values). All zero for crashed jobs. */
+    std::array<uint64_t, kNumArchRegs> arch_regs{};
+    /** Evidence from the capture_evidence re-run: tail of the taint
+     *  lifecycle trace around the failure. */
+    std::string evidence_trace;
+    /** Did the capture_evidence re-run reach the same status? A
+     *  `true` means the failure is deterministic and the evidence
+     *  shows the real thing. */
+    bool reproduced = false;
+
     uint64_t
     counter(const std::string &name) const
     {
         const auto it = engine_counters.find(name);
         return it == engine_counters.end() ? 0 : it->second;
     }
+
+    bool failed() const { return status != RunStatus::kOk; }
+};
+
+/** Sweep-level failure handling. The default reproduces the historic
+ *  contract: first failure (by slot index) aborts the sweep. */
+struct RunnerPolicy {
+    /** Complete the sweep even when jobs fail; failures are
+     *  classified into RunOutcome::status instead of thrown. */
+    bool keep_going = false;
+    /** Re-run each crashed/violating job once with trace +
+     *  invariants to attach evidence (implies extra host time only
+     *  for failing jobs). */
+    bool capture_evidence = false;
 };
 
 /** Bookkeeping from the last ExpRunner::run call. */
@@ -100,6 +185,9 @@ struct SweepStats {
     uint64_t unique_jobs = 0;
     uint64_t memo_hits = 0;  ///< jobs served from an earlier slot
     double wall_seconds = 0.0;
+    uint64_t failed_jobs = 0; ///< slots with status != kOk
+    /** job_desc of the lowest-indexed failed slot; empty if none. */
+    std::string first_failure;
 };
 
 /** Memoization key: program identity plus every field of the job
@@ -116,10 +204,17 @@ class ExpRunner
     explicit ExpRunner(unsigned jobs = 0);
 
     /** Executes the grid; outcome i corresponds to grid[i]. Throws
-     *  FatalError on a null program; any exception escaping a job
-     *  (e.g. SPT_FATAL/SPT_PANIC inside the simulator) fails the
-     *  sweep cleanly after the pool has drained. */
-    std::vector<RunOutcome> run(const std::vector<RunJob> &grid);
+     *  FatalError on a null program. Without keep_going, any
+     *  exception escaping a job (e.g. SPT_FATAL/SPT_PANIC inside
+     *  the simulator) fails the sweep cleanly after the pool has
+     *  drained — deterministically, lowest failing slot first. */
+    std::vector<RunOutcome> run(const std::vector<RunJob> &grid,
+                                const RunnerPolicy &policy);
+    std::vector<RunOutcome>
+    run(const std::vector<RunJob> &grid)
+    {
+        return run(grid, RunnerPolicy{});
+    }
 
     const SweepStats &lastSweep() const { return last_; }
     unsigned workers() const { return workers_; }
@@ -128,6 +223,16 @@ class ExpRunner
     unsigned workers_;
     SweepStats last_;
 };
+
+/** Deterministic JSON report of a finished sweep: per-slot status,
+ *  counters, diagnostics and fault telemetry plus the sweep summary.
+ *  Host-dependent fields (host_seconds, wall_seconds, workers) are
+ *  excluded so the report is byte-identical at any --jobs; this is
+ *  the partial-results artifact a keep_going campaign leaves behind
+ *  when some cells failed. */
+void sweepReportJson(JsonWriter &jw, const std::vector<RunJob> &grid,
+                     const std::vector<RunOutcome> &outcomes,
+                     const SweepStats &stats);
 
 } // namespace spt
 

@@ -1,0 +1,63 @@
+#include "sim/fault_injector.h"
+
+namespace spt {
+
+namespace {
+
+/** Scatters (seed, site) into well-separated stream seeds; the odd
+ *  multipliers are the splitmix64 constants, the +1 keeps site 0 of
+ *  seed 0 away from the all-zero state. */
+uint64_t
+streamSeed(uint64_t seed, std::size_t site)
+{
+    return seed * 0x9e3779b97f4a7c15ULL +
+           (static_cast<uint64_t>(site) + 1) *
+               0xbf58476d1ce4e5b9ULL;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan),
+      streams_{Rng(streamSeed(plan.seed, 0)),
+               Rng(streamSeed(plan.seed, 1)),
+               Rng(streamSeed(plan.seed, 2)),
+               Rng(streamSeed(plan.seed, 3)),
+               Rng(streamSeed(plan.seed, 4)),
+               Rng(streamSeed(plan.seed, 5))}
+{
+    static_assert(kNumFaultSites == 6,
+                  "extend the stream initializer for new sites");
+}
+
+bool
+FaultInjector::fire(FaultSite site)
+{
+    const auto i = static_cast<std::size_t>(site);
+    const uint32_t rate = plan_.rate_ppm[i];
+    if (rate == 0)
+        return false; // disabled sites never consume a draw
+    ++draws_[i];
+    const bool hit = streams_[i].nextBelow(1'000'000) < rate;
+    if (hit)
+        ++fired_[i];
+    return hit;
+}
+
+std::map<std::string, uint64_t>
+FaultInjector::counters() const
+{
+    std::map<std::string, uint64_t> out;
+    for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+        if (plan_.rate_ppm[i] == 0)
+            continue;
+        const std::string base =
+            std::string("fault.") +
+            faultSiteName(static_cast<FaultSite>(i));
+        out[base + ".draws"] = draws_[i];
+        out[base + ".injected"] = fired_[i];
+    }
+    return out;
+}
+
+} // namespace spt

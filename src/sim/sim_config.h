@@ -12,6 +12,7 @@
 
 #include "core/engine_factory.h"
 #include "mem/memory_system.h"
+#include "sim/fault_injector.h"
 #include "uarch/core.h"
 
 namespace spt {
@@ -30,6 +31,17 @@ struct SimConfig {
     /** Snapshot IPC / delay / taint-population metrics every N
      *  cycles; 0 disables interval recording. */
     uint64_t interval_stats = 0;
+    /** Seeded timing-fault schedule (sim/fault_injector.h); all
+     *  rates zero (the default) means no injection. */
+    FaultPlan faults;
+    /** Attach the runtime InvariantChecker
+     *  (uarch/invariant_checker.h). Observer-only — simulated state
+     *  and untaint counters are unchanged; results gain violation
+     *  verdicts and diagnostics. */
+    bool invariants = false;
+    /** Cooperative host wall-clock cap on run(); 0 disables. The
+     *  outcome of a timed-out run is schedule-dependent. */
+    double wall_timeout_seconds = 0.0;
 };
 
 /** A named Table-2 design variant. */

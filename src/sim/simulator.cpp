@@ -2,8 +2,21 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "uarch/invariant_checker.h"
 
 namespace spt {
+
+const char *
+terminationName(Termination t)
+{
+    switch (t) {
+      case Termination::kHalted:      return "halted";
+      case Termination::kMaxCycles:   return "max-cycles";
+      case Termination::kLivelock:    return "livelock";
+      case Termination::kWallTimeout: return "wall-timeout";
+    }
+    return "?";
+}
 
 Simulator::Simulator(const Program &program, const SimConfig &config)
     : program_(program), config_(config)
@@ -57,19 +70,37 @@ Simulator::run()
     if (config_.interval_stats > 0)
         intervals_ = std::make_unique<IntervalRecorder>(
             config_.interval_stats, &core_->engine());
+    if (config_.faults.any()) {
+        injector_ = std::make_unique<FaultInjector>(config_.faults);
+        core_->setFaultInjector(injector_.get());
+    }
+    if (config_.invariants) {
+        InvariantChecker::Params p;
+        if (config_.core.watchdog_cycles != 0)
+            p.watchdog_cycles = config_.core.watchdog_cycles;
+        checker_ =
+            std::make_unique<InvariantChecker>(*core_, p);
+    }
     if (tracer_)
         observers_.add(tracer_.get());
     if (profiler_)
         observers_.add(profiler_.get());
     if (intervals_)
         observers_.add(intervals_.get());
+    if (checker_)
+        observers_.add(checker_.get());
     if (!observers_.empty())
         core_->setObserver(&observers_);
+    if (config_.wall_timeout_seconds > 0.0)
+        core_->setWallTimeout(config_.wall_timeout_seconds);
     const Core::RunResult r = core_->run(config_.max_cycles);
     if (tracer_)
         tracer_->finish(core_->cycle());
     if (intervals_)
         intervals_->finish(core_->cycle());
+    if (checker_)
+        checker_->finish(core_->cycle());
+    livelocked_ = r.livelocked;
     SimResult result;
     result.cycles = r.cycles;
     result.instructions = r.instructions;
@@ -78,7 +109,34 @@ Simulator::run()
                      ? 0.0
                      : static_cast<double>(r.instructions) /
                            static_cast<double>(r.cycles);
+    if (r.halted)
+        result.termination = Termination::kHalted;
+    else if (r.livelocked)
+        result.termination = Termination::kLivelock;
+    else if (r.wall_timeout)
+        result.termination = Termination::kWallTimeout;
+    else
+        result.termination = Termination::kMaxCycles;
     return result;
+}
+
+std::string
+Simulator::diagnosticsJson() const
+{
+    if (checker_ && !checker_->reports().empty())
+        return checker_->reportsJson();
+    if (livelocked_) {
+        // The core watchdog tripped without a checker attached:
+        // synthesize the same livelock evidence it would have made.
+        const DiagnosticReport report =
+            InvariantChecker::livelockReport(*core_, core_->cycle());
+        JsonWriter jw;
+        jw.beginArray();
+        report.toJson(jw);
+        jw.endArray();
+        return jw.str();
+    }
+    return "[]";
 }
 
 void

@@ -31,12 +31,24 @@
 namespace spt {
 
 class JsonWriter;
+class InvariantChecker;
+
+/** Why run() returned. */
+enum class Termination : uint8_t {
+    kHalted,      ///< the program's HALT committed
+    kMaxCycles,   ///< the cycle budget elapsed
+    kLivelock,    ///< retire-progress watchdog tripped
+    kWallTimeout, ///< host wall-clock cap tripped
+};
+
+const char *terminationName(Termination t);
 
 struct SimResult {
     uint64_t cycles = 0;
     uint64_t instructions = 0;
     bool halted = false;
     double ipc = 0.0;
+    Termination termination = Termination::kMaxCycles;
 };
 
 class Simulator
@@ -55,6 +67,18 @@ class Simulator
      * before run(); the streams must outlive it.
      */
     void enableTrace(std::ostream *text, std::ostream *pipeview);
+
+    /** Non-null after run() iff config.faults has a nonzero rate. */
+    const FaultInjector *faults() const { return injector_.get(); }
+    /** Non-null after run() iff config.invariants was set. */
+    const InvariantChecker *invariants() const
+    {
+        return checker_.get();
+    }
+    /** Structured DiagnosticReports as a JSON array: the checker's
+     *  reports when one is attached, a synthesized livelock report
+     *  when the core watchdog tripped without one, else "[]". */
+    std::string diagnosticsJson() const;
 
     /** Non-null after run() iff config.profile was set. */
     const DelayProfiler *profiler() const { return profiler_.get(); }
@@ -86,8 +110,11 @@ class Simulator
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<DelayProfiler> profiler_;
     std::unique_ptr<IntervalRecorder> intervals_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<InvariantChecker> checker_;
     ObserverMux observers_;
     bool ran_ = false;
+    bool livelocked_ = false;
 };
 
 /** Convenience: run @p program under @p engine_cfg / @p model and

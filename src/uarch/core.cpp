@@ -1,6 +1,7 @@
 #include "uarch/core.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -109,15 +110,32 @@ Core::run(uint64_t max_cycles)
 {
     uint64_t last_retired = retired_;
     uint64_t last_progress_cycle = cycle_;
+    bool livelocked = false;
+    bool wall_timeout = false;
+    const auto wall_start = std::chrono::steady_clock::now();
     while (!halted_ && cycle_ < max_cycles) {
         tick();
         if (retired_ != last_retired) {
             last_retired = retired_;
             last_progress_cycle = cycle_;
-        } else if (cycle_ - last_progress_cycle > 200'000) {
-            SPT_PANIC("no instruction committed for 200k cycles at pc "
-                      << (rob_.empty() ? fetch_pc_
-                                       : rob_.front()->pc));
+        } else if (params_.watchdog_cycles != 0 &&
+                   cycle_ - last_progress_cycle >
+                       params_.watchdog_cycles) {
+            // Bounded-time livelock failure instead of spinning to
+            // max_cycles; the caller (Simulator) reports the
+            // termination reason and any diagnostics.
+            livelocked = true;
+            stats_.inc("watchdog.livelocks");
+            break;
+        }
+        if (wall_timeout_seconds_ > 0.0 && (cycle_ & 0x1fff) == 0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - wall_start;
+            if (elapsed.count() > wall_timeout_seconds_) {
+                wall_timeout = true;
+                stats_.inc("watchdog.wall_timeouts");
+                break;
+            }
         }
     }
     stats_.set("cycles", cycle_);
@@ -131,7 +149,7 @@ Core::run(uint64_t max_cycles)
     es.set("delay.total_cycles", delay_mem_cycles_ +
                                      delay_branch_cycles_ +
                                      delay_memorder_cycles_);
-    return {cycle_, retired_, halted_};
+    return {cycle_, retired_, halted_, livelocked, wall_timeout};
 }
 
 // --------------------------------------------------------------------
@@ -298,10 +316,16 @@ Core::renameDispatchStage()
 void
 Core::issueStage()
 {
+    unsigned issue_width = params_.issue_width;
+    if (faults_ && faults_->fire(FaultSite::kIssueJitter)) {
+        // Scheduler jitter: nothing issues this cycle.
+        issue_width = 0;
+        stats_.inc("fault.issue_stall_cycles");
+    }
     unsigned issued = 0;
     // rs_ is kept in program order (dispatch order); oldest first.
     for (const DynInstPtr &d : rs_) {
-        if (issued >= params_.issue_width)
+        if (issued >= issue_width)
             break;
         if (d->issued || !operandsReady(*d))
             continue;
@@ -377,6 +401,17 @@ Core::completeInst(const DynInstPtr &d)
             stats_.inc("branch.mispredicts");
         } else {
             stats_.inc("branch.correct");
+            if (faults_ && d->is_squash_source &&
+                faults_->fire(FaultSite::kExtraSquash)) {
+                // Forced squash of a correctly predicted branch:
+                // refetches down the same (correct) path, so the
+                // architectural result is unchanged. Restricted to
+                // squash-source branches — the VP already treats
+                // them as unresolved until squash_pending clears,
+                // so no instruction past the VP is ever squashed.
+                d->squash_pending = true;
+                stats_.inc("fault.extra_squashes");
+            }
         }
     }
 }

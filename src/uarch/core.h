@@ -29,6 +29,7 @@
 
 #include "bp/bpu.h"
 #include "common/byte_memory.h"
+#include "common/fault_hooks.h"
 #include "common/stats.h"
 #include "isa/program.h"
 #include "mem/memory_system.h"
@@ -61,6 +62,10 @@ struct CoreParams {
      *  micro-tests that need deterministic backend timing. */
     bool perfect_icache = false;
     AttackModel attack_model = AttackModel::kSpectre;
+    /** Retire-progress watchdog: if no instruction commits within
+     *  this many cycles, run() stops with RunResult::livelocked
+     *  instead of spinning to max_cycles (0 disables). */
+    uint64_t watchdog_cycles = 200'000;
 };
 
 class Core
@@ -70,6 +75,10 @@ class Core
         uint64_t cycles = 0;
         uint64_t instructions = 0;
         bool halted = false;
+        /** Retire watchdog tripped (see CoreParams::watchdog_cycles). */
+        bool livelocked = false;
+        /** Cooperative wall-clock limit tripped (see setWallTimeout). */
+        bool wall_timeout = false;
     };
 
     using CommitHook = std::function<void(const DynInst &)>;
@@ -115,6 +124,27 @@ class Core
         commit_hook_ = std::move(hook);
     }
 
+    /** Installs the timing-fault injector (nullptr detaches); also
+     *  forwarded to the memory system. Faults are timing-only (see
+     *  common/fault_hooks.h) and cost one pointer test per hook site
+     *  when detached. Set before the first tick. */
+    void setFaultInjector(FaultHooks *hooks)
+    {
+        faults_ = hooks;
+        memsys_.setFaultHooks(hooks);
+    }
+    /** The engine's broadcast-starvation site reads this. */
+    FaultHooks *faultHooks() const { return faults_; }
+
+    /** Bounds run() by host wall-clock time (checked every 8192
+     *  cycles); 0 disables. The resulting RunResult is
+     *  schedule-dependent — sweeps exclude wall-timeout outcomes
+     *  from determinism comparisons. */
+    void setWallTimeout(double seconds)
+    {
+        wall_timeout_seconds_ = seconds;
+    }
+
     /** Installs the observability sink (nullptr detaches); also
      *  forwarded to the engine so it can emit taint events. Must be
      *  set before the first tick — observers never perturb simulated
@@ -150,6 +180,8 @@ class Core
     SeqNum next_seq_ = 1;
 
     PipelineObserver *observer_ = nullptr;
+    FaultHooks *faults_ = nullptr;
+    double wall_timeout_seconds_ = 0.0;
     /** Transmitter-delay cycles per gate, accumulated as plain
      *  integers on the hot path and published to the engine's StatSet
      *  (delay.*) at the end of run(). */

@@ -118,7 +118,17 @@ Core::tryLoadAccess(const DynInstPtr &ld)
     if (fwd) {
         ld->forwarded = true;
         ld->forwarding_store = fwd->seq;
-        if (engine_->stlForwardingPublic(*ld, *fwd)) {
+        bool fast_path = engine_->stlForwardingPublic(*ld, *fwd);
+        if (fast_path && faults_ &&
+            faults_->fire(FaultSite::kStlDeny)) {
+            // Deny the forwarding fast path: take the hidden
+            // cache-access route below even though STLPublic holds.
+            // The data is still forwarded from the store — only the
+            // latency (and cache state) changes.
+            fast_path = false;
+            stats_.inc("fault.stl_denials");
+        }
+        if (fast_path) {
             // Ordinary forwarding fast path, no cache access.
             latency = memsys_.l1d().params().latency;
             stats_.inc("lsu.forwards_public");

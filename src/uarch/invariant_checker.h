@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Runtime machine-wide invariant watchdog, attached through the
+ * PipelineObserver mux. Observes only — it never mutates simulated
+ * state, so golden untaint.* counters are bit-identical with the
+ * checker on (pinned by tests/test_fault_injection.cpp).
+ *
+ * Invariant catalogue (DESIGN.md §10):
+ *  - forward progress: if no instruction commits for
+ *    `watchdog_cycles`, declare livelock;
+ *  - commit order: retired seq numbers strictly increase;
+ *  - no tainted transmitter: at every gate opening (memory access,
+ *    branch resolution, memory-order squash) the engine's
+ *    ground-truth claim `transmitPublic` must hold — this is the
+ *    paper's core security property, checked against the *claim*,
+ *    not the (possibly mutation-seeded) policy gate;
+ *  - taint conservation: observed untaint events must equal the
+ *    engine's own `untaint.events` counter at the end of the run;
+ *  - structural consistency, every cycle: ROB within capacity and
+ *    seq-sorted, LQ/SQ within capacity and subsets of the ROB,
+ *    engine taint slots resolve to their owning instruction
+ *    (SecurityEngine::taintStateConsistent), and the broadcast
+ *    queue is bounded by 3 flags per ROB entry.
+ *
+ * On violation the checker records a structured DiagnosticReport
+ * (machine dump + the last 64 pipeline events) instead of aborting;
+ * the run continues so a campaign can count every violation, and
+ * sweeps classify the outcome afterwards (RunStatus::kViolation).
+ */
+
+#ifndef SPT_UARCH_INVARIANT_CHECKER_H
+#define SPT_UARCH_INVARIANT_CHECKER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uarch/pipeline_observer.h"
+#include "uarch/types.h"
+
+namespace spt {
+
+class Core;
+class JsonWriter;
+
+/** A structured post-mortem: what failed, where the machine was,
+ *  and the recent event history leading up to it. */
+struct DiagnosticReport {
+    std::string kind;    ///< "livelock", "tainted-transmitter", ...
+    std::string message; ///< one-line specifics
+    uint64_t cycle = 0;
+    SeqNum seq = 0; ///< offending instruction, 0 if machine-wide
+    uint64_t pc = 0;
+    std::vector<std::string> rob;    ///< head of the ROB, one line each
+    std::vector<std::string> events; ///< last <= 64 pipeline events
+    std::map<std::string, uint64_t> engine_counters;
+
+    void toJson(JsonWriter &jw) const;
+    std::string toText() const;
+};
+
+class InvariantChecker : public PipelineObserver
+{
+  public:
+    struct Params {
+        /** Cycles without a commit before livelock is declared;
+         *  0 disables the forward-progress check. */
+        uint64_t watchdog_cycles = 200'000;
+        /** Reports kept; violations past the cap are only counted. */
+        std::size_t max_reports = 8;
+    };
+
+    explicit InvariantChecker(Core &core);
+    InvariantChecker(Core &core, const Params &params);
+
+    // --- PipelineObserver ---------------------------------------------
+    void rename(uint64_t cycle, const DynInst &d) override;
+    void issue(uint64_t cycle, const DynInst &d) override;
+    void executed(uint64_t cycle, const DynInst &d) override;
+    void memAccess(uint64_t cycle, const DynInst &d) override;
+    void reachedVp(uint64_t cycle, const DynInst &d) override;
+    void retired(uint64_t cycle, const DynInst &d) override;
+    void squashed(uint64_t cycle, const DynInst &d) override;
+    void taintEvent(uint64_t cycle, TaintEvent ev, const DynInst &d,
+                    uint8_t slot) override;
+    void gateOpened(uint64_t cycle, const DynInst &d,
+                    DelayKind kind) override;
+    void cycleEnd(uint64_t cycle) override;
+
+    /** End-of-run checks (taint conservation); call after the core
+     *  stops, before reading verdicts. */
+    void finish(uint64_t final_cycle);
+
+    bool clean() const { return violations_ == 0; }
+    uint64_t violations() const { return violations_; }
+    /** Violations excluding forward-progress (livelock) reports —
+     *  what sweeps classify as RunStatus::kViolation. A run that
+     *  merely stalled is a livelock, not a broken invariant; a run
+     *  that stalled *and* leaked is a violation. */
+    uint64_t
+    securityViolations() const
+    {
+        return violations_ - livelock_violations_;
+    }
+    bool livelocked() const { return livelocked_; }
+    const std::vector<DiagnosticReport> &reports() const
+    {
+        return reports_;
+    }
+    /** All retained reports as one JSON array (deterministic). */
+    std::string reportsJson() const;
+
+    /** Machine dump for a livelock detected by the core's own
+     *  watchdog when no checker is attached (Simulator uses this to
+     *  still produce a structured report). */
+    static DiagnosticReport livelockReport(Core &core,
+                                           uint64_t cycle);
+
+  private:
+    struct Event {
+        uint64_t cycle;
+        uint8_t kind;
+        SeqNum seq;
+        uint64_t pc;
+    };
+    static constexpr std::size_t kEventRing = 64;
+
+    Core &core_;
+    Params params_;
+
+    uint64_t violations_ = 0;
+    uint64_t livelock_violations_ = 0;
+    bool livelocked_ = false;
+    std::vector<DiagnosticReport> reports_;
+
+    uint64_t last_commit_cycle_ = 0;
+    SeqNum last_retired_seq_ = 0;
+    uint64_t observed_untaints_ = 0;
+
+    std::vector<Event> ring_;
+    std::size_t ring_next_ = 0;
+
+    void record(uint64_t cycle, uint8_t kind, const DynInst &d);
+    void checkTransmit(uint64_t cycle, const DynInst &d,
+                       DelayKind kind, const char *what);
+    void checkStructure(uint64_t cycle);
+    void violation(const char *kind, std::string message,
+                   uint64_t cycle, const DynInst *d);
+    std::vector<std::string> eventLines() const;
+};
+
+} // namespace spt
+
+#endif // SPT_UARCH_INVARIANT_CHECKER_H

@@ -87,6 +87,33 @@ class SecurityEngine
     /** Runs at the end of every core cycle (after the VP scan). */
     virtual void tick() {}
 
+    // --- ground truth (runtime invariant checker) -----------------------
+    /**
+     * Would letting @p d transmit via @p kind right now leak a
+     * non-public operand? This is the scheme's *security claim*,
+     * separated from the policy gate (mayAccessMemory &c.) that
+     * enforces it: the gate may carry a deliberately seeded testing
+     * mutation (see SptConfig::Mutation), the claim never does. The
+     * InvariantChecker queries it at every gate opening; a scheme
+     * whose gate lets a non-public transmit through is flagged as a
+     * security violation. Must be state- and stats-pure. The default
+     * matches UnsafeEngine's contract: it makes no claims, so
+     * everything is "public" and the checker never flags it.
+     */
+    virtual bool transmitPublic(const DynInst &, DelayKind) const
+    {
+        return true;
+    }
+
+    /** Is the engine's per-instruction taint bookkeeping for the
+     *  in-flight (non-squashed) ROB entry @p d self-consistent
+     *  (index maps resolve, slot really belongs to @p d)? Checked by
+     *  the InvariantChecker on every structural scan. */
+    virtual bool taintStateConsistent(const DynInst &) const
+    {
+        return true;
+    }
+
     // --- observability -------------------------------------------------
     /** Installed by the Core (null when tracing/profiling is off);
      *  only queried behind a null check, so the hot path pays one

@@ -27,6 +27,8 @@
 #include "analysis/cfg.h"
 #include "analysis/knowledge_analysis.h"
 #include "analysis/secret_flow.h"
+#include "common/cli.h"
+#include "common/logging.h"
 #include "isa/assembler.h"
 #include "workloads/attack_programs.h"
 #include "workloads/workloads.h"
@@ -57,10 +59,8 @@ loadTarget(const std::string &name)
     if (name.size() > 2 &&
         name.compare(name.size() - 2, 2, ".s") == 0) {
         std::ifstream in(name);
-        if (!in) {
-            std::cerr << "spt_lint: cannot open " << name << "\n";
-            exit(2);
-        }
+        if (!in)
+            SPT_FATAL("cannot open " << name);
         std::ostringstream text;
         text << in.rdbuf();
         return assemble(text.str());
@@ -148,11 +148,15 @@ int
 main(int argc, char **argv)
 {
     Options opts;
+    // Exit codes: 0 clean, 1 findings / check-bundled failure, 2
+    // usage errors (unknown workload or file, malformed --window=),
+    // 70 internal errors — see common/cli.h.
+    return toolMain("spt_lint", [&] {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--window=", 0) == 0) {
-            opts.window = static_cast<unsigned>(
-                std::stoul(arg.substr(9)));
+            opts.window = static_cast<unsigned>(parseUnsigned(
+                arg.substr(9), "--window=", 1'000'000));
         } else if (arg == "--print-knowledge") {
             opts.print_knowledge = true;
         } else if (arg == "--check-bundled") {
@@ -193,4 +197,5 @@ main(int argc, char **argv)
         }
     }
     return total == 0 ? 0 : 1;
+    });
 }

@@ -43,6 +43,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cli.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "sim/simulator.h"
@@ -143,7 +144,8 @@ parse(int argc, char **argv)
             opt.shadow_mem = true;
         else if (a == "--broadcast-width")
             opt.broadcast_width = static_cast<unsigned>(
-                std::stoul(needValue(argc, argv, i)));
+                parseUnsigned(needValue(argc, argv, i),
+                              "--broadcast-width", 64));
         else if (a == "--track-insts")
             opt.track_insts = true;
         else if (a == "--output-dir")
@@ -162,8 +164,8 @@ parse(int argc, char **argv)
             opt.profile = true;
             opt.profile_out = needValue(argc, argv, i);
         } else if (a == "--interval-stats")
-            opt.interval_stats =
-                std::stoull(needValue(argc, argv, i));
+            opt.interval_stats = parseUnsigned(
+                needValue(argc, argv, i), "--interval-stats");
         else if (a == "--interval-out")
             opt.interval_out = needValue(argc, argv, i);
         else if (a == "--help" || a == "-h")
@@ -237,6 +239,11 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
+    // Exit codes: 0 the run halted, 1 it did not (livelock /
+    // cycle-budget exhaustion), 2 usage or environment errors
+    // (unknown workload, malformed flag, unwritable output), 70
+    // internal errors — see common/cli.h.
+    return toolMain("spt_run", [&] {
     const Options opt = parse(argc, argv);
 
     if (opt.list_workloads) {
@@ -251,7 +258,7 @@ main(int argc, char **argv)
     if (opt.workload.empty())
         usage(argv[0]);
 
-    try {
+    {
         const Workload &w = workloadByName(opt.workload);
         const SimConfig cfg = buildConfig(opt);
         Simulator sim(w.program, cfg);
@@ -274,6 +281,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         r.instructions));
         std::printf("ipc           %.3f\n", r.ipc);
+        std::printf("termination   %s\n",
+                    terminationName(r.termination));
+        if (!r.halted)
+            std::fprintf(stderr,
+                         "warning: run did not halt (%s)\n",
+                         terminationName(r.termination));
         if (opt.track_insts) {
             std::printf("--- untaint statistics ---\n");
             for (const auto &[name, value] :
@@ -326,9 +339,7 @@ main(int argc, char **argv)
             std::printf("stats written to %s and %s\n",
                         path.c_str(), json_path.c_str());
         }
-        return 0;
-    } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        return r.halted ? 0 : 1;
     }
+    });
 }

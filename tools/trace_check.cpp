@@ -9,6 +9,10 @@
  *
  *   trace_check <trace.txt> [<trace.txt> ...]
  *   trace_check -              (read one trace from stdin)
+ *
+ * Exit codes: 0 all traces consistent, 1 at least one trace is
+ * inconsistent, 2 usage/environment errors (no arguments, an
+ * unreadable file) — see common/cli.h.
  */
 
 #include <cstdio>
@@ -37,10 +41,11 @@ main(int argc, char **argv)
         } else {
             std::ifstream in(path);
             if (!in) {
-                std::fprintf(stderr, "%s: cannot open\n",
+                // Environment error, not a failed check: the caller
+                // handed us a path we cannot read.
+                std::fprintf(stderr, "trace_check: cannot open %s\n",
                              path.c_str());
-                ++failures;
-                continue;
+                return 2;
             }
             ok = spt::validateTraceText(in, &error);
         }

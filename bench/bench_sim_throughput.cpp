@@ -9,6 +9,13 @@
  * successive PRs can track the host-performance trajectory of the
  * per-cycle SPT machinery.
  *
+ * Every configuration is measured twice: ticking every cycle, and
+ * with fast-forward (CoreParams::fast_forward) skipping provably
+ * quiescent periods. The ff runs appear as separate "<config>+ff"
+ * entries in the artifact so the regression gate tracks both, and
+ * the table prints the per-config speedup (the PR-6 acceptance
+ * lever: >= 3x on at least one SPT config).
+ *
  * The grid runs on the parallel experiment runner. Simulated
  * results (instructions, cycles) are --jobs-independent; the host
  * timings are per-job wall-clock, so with --jobs > 1 on a busy or
@@ -22,6 +29,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -56,6 +64,17 @@ benchConfigs()
         spt.spt.shadow = ShadowKind::kShadowL1;
         configs.push_back({engineConfigName(spt), spt});
     }
+
+    // The PR-6 reference point: the pre-repack byte/map taint
+    // containers. The headline lever product (bitplane storage x
+    // fast-forward) is reported against this row ticking every
+    // cycle.
+    EngineConfig legacy;
+    legacy.scheme = ProtectionScheme::kSpt;
+    legacy.spt.method = UntaintMethod::kBackward;
+    legacy.spt.shadow = ShadowKind::kShadowL1;
+    legacy.spt.storage = SptConfig::Storage::kLegacy;
+    configs.push_back({"SPT{Bwd,ShadowL1}:legacy", legacy});
     return configs;
 }
 
@@ -90,14 +109,19 @@ main(int argc, char **argv)
 
     const std::vector<NamedConfig> configs = benchConfigs();
 
+    // Per config: one block ticking every cycle, one fast-forwarding
+    // quiescent periods (distinct memo keys, so both really run).
     std::vector<RunJob> grid;
     for (const NamedConfig &spec : configs) {
-        for (const std::string &name : names) {
-            RunJob job;
-            job.program = &workloadByName(name).program;
-            job.engine = spec.engine;
-            job.attack_model = AttackModel::kFuturistic;
-            grid.push_back(job);
+        for (bool ff : {false, true}) {
+            for (const std::string &name : names) {
+                RunJob job;
+                job.program = &workloadByName(name).program;
+                job.engine = spec.engine;
+                job.attack_model = AttackModel::kFuturistic;
+                job.fast_forward = ff;
+                grid.push_back(job);
+            }
         }
     }
 
@@ -117,53 +141,85 @@ main(int argc, char **argv)
     json.key("configs").beginArray();
 
     size_t slot = 0;
+    std::map<std::string, double> agg_rates;
     for (const NamedConfig &spec : configs) {
-        uint64_t total_instrs = 0;
-        double total_seconds = 0.0;
-        json.beginObject();
-        json.field("name", spec.name);
-        const size_t first = slot;
-        for (const std::string &name : names) {
-            const RunOutcome &out = outcomes[slot++];
-            if (!out.result.halted)
-                SPT_FATAL("workload " << name
-                                      << " did not halt under "
-                                      << spec.name);
-            total_instrs += out.result.instructions;
-            total_seconds += out.host_seconds;
-            printf("%-20s %-12s %12llu %12.1f %10.3f\n",
-                   spec.name.c_str(), name.c_str(),
-                   static_cast<unsigned long long>(
-                       out.result.instructions),
-                   out.host_seconds * 1e3,
-                   minstrPerSec(out.result.instructions,
-                                out.host_seconds));
-        }
-        const double agg = minstrPerSec(total_instrs, total_seconds);
-        printf("%-20s %-12s %12llu %12.1f %10.3f\n\n",
-               spec.name.c_str(), "TOTAL",
-               static_cast<unsigned long long>(total_instrs),
-               total_seconds * 1e3, agg);
-
-        json.field("minstr_per_sec", agg);
-        hostSecondsField(json, total_seconds);
-        json.key("workloads").beginArray();
-        for (size_t wi = 0; wi < names.size(); ++wi) {
-            const RunOutcome &out = outcomes[first + wi];
+        double agg_by_mode[2] = {0.0, 0.0};
+        for (int mode = 0; mode < 2; ++mode) {
+            const bool ff = mode == 1;
+            const std::string label =
+                ff ? spec.name + "+ff" : spec.name;
+            uint64_t total_instrs = 0;
             json.beginObject();
-            json.field("name", names[wi]);
-            json.field("instructions", out.result.instructions);
-            json.field("cycles", out.result.cycles);
-            hostSecondsField(json, out.host_seconds);
-            json.field("minstr_per_sec",
+            json.field("name", label);
+            const size_t first = slot;
+            for (const std::string &name : names) {
+                const RunOutcome &out = outcomes[slot++];
+                if (!out.result.halted)
+                    SPT_FATAL("workload " << name
+                                          << " did not halt under "
+                                          << label);
+                total_instrs += out.result.instructions;
+                printf("%-24s %-12s %12llu %12.1f %10.3f\n",
+                       label.c_str(), name.c_str(),
+                       static_cast<unsigned long long>(
+                           out.result.instructions),
+                       out.host_seconds * 1e3,
                        minstrPerSec(out.result.instructions,
                                     out.host_seconds));
+            }
+            const double total_seconds =
+                uniqueHostSeconds(outcomes, first, names.size());
+            const double agg =
+                minstrPerSec(total_instrs, total_seconds);
+            agg_by_mode[mode] = agg;
+            agg_rates[label] = agg;
+            printf("%-24s %-12s %12llu %12.1f %10.3f\n",
+                   label.c_str(), "TOTAL",
+                   static_cast<unsigned long long>(total_instrs),
+                   total_seconds * 1e3, agg);
+
+            json.field("minstr_per_sec", agg);
+            hostSecondsField(json, total_seconds);
+            if (ff && agg_by_mode[0] > 0.0)
+                json.field("ff_speedup", agg / agg_by_mode[0], 3);
+            json.key("workloads").beginArray();
+            for (size_t wi = 0; wi < names.size(); ++wi) {
+                const RunOutcome &out = outcomes[first + wi];
+                json.beginObject();
+                json.field("name", names[wi]);
+                json.field("instructions", out.result.instructions);
+                json.field("cycles", out.result.cycles);
+                hostSecondsField(json, out.host_seconds);
+                json.field("minstr_per_sec",
+                           minstrPerSec(out.result.instructions,
+                                        out.host_seconds));
+                json.endObject();
+            }
+            json.endArray();
             json.endObject();
         }
-        json.endArray();
-        json.endObject();
+        if (agg_by_mode[0] > 0.0)
+            printf("%-24s fast-forward speedup: %.2fx\n\n",
+                   spec.name.c_str(),
+                   agg_by_mode[1] / agg_by_mode[0]);
+        else
+            printf("\n");
     }
     json.endArray();
+
+    // The PR-6 acceptance number: both levers against the legacy
+    // containers ticking every cycle.
+    double combined = 0.0;
+    const auto legacy_it = agg_rates.find("SPT{Bwd,ShadowL1}:legacy");
+    const auto fast_it = agg_rates.find("SPT{Bwd,ShadowL1}+ff");
+    if (legacy_it != agg_rates.end() && fast_it != agg_rates.end() &&
+        legacy_it->second > 0.0) {
+        combined = fast_it->second / legacy_it->second;
+        printf("combined speedup, bitplane+ff vs legacy "
+               "tick-every-cycle (SPT{Bwd,ShadowL1}): %.2fx\n\n",
+               combined);
+    }
+    json.field("combined_speedup_bitplane_ff_vs_legacy", combined, 3);
     json.endObject();
     writeReportFile(opt.out_path, json.str());
     printf("wrote %s\n", opt.out_path.c_str());

@@ -113,6 +113,23 @@ hostSecondsField(JsonWriter &jw, double seconds)
     return jw.field("host_seconds", seconds, 6);
 }
 
+/** Host seconds actually spent simulating outcomes
+ *  [first, first+count): each unique run billed exactly once.
+ *  Memoized slots are skipped explicitly — they carry
+ *  host_seconds == 0 by contract (RunOutcome::memoized), but the
+ *  skip keeps the aggregation correct even if that contract ever
+ *  loosens, and documents that duplicates cost no host time. */
+inline double
+uniqueHostSeconds(const std::vector<RunOutcome> &outcomes,
+                  std::size_t first, std::size_t count)
+{
+    double total = 0.0;
+    for (std::size_t i = first; i < first + count; ++i)
+        if (!outcomes[i].memoized)
+            total += outcomes[i].host_seconds;
+    return total;
+}
+
 inline double
 geomean(const std::vector<double> &xs)
 {

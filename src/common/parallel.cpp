@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/logging.h"
 
 namespace spt {
@@ -24,15 +25,13 @@ namespace {
 unsigned
 parsePositive(const std::string &text, const char *what)
 {
-    std::size_t pos = 0;
-    unsigned long value = 0;
-    try {
-        value = std::stoul(text, &pos);
-    } catch (const std::exception &) {
-        SPT_FATAL(what << " must be a positive integer, got \""
-                       << text << "\"");
-    }
-    if (pos != text.size() || value == 0 || value > 4096)
+    // parseUnsigned is the strict digits-only parser (common/cli.h):
+    // unlike the stoul this used to ride on, it rejects trailing
+    // junk ("4x"), a leading sign ("-1" silently wrapped to a huge
+    // unsigned under stoul), embedded whitespace, and overflow — all
+    // with the FatalError -> exit-2 convention.
+    const uint64_t value = parseUnsigned(text, what, 4096);
+    if (value == 0)
         SPT_FATAL(what << " must be a positive integer, got \""
                        << text << "\"");
     return static_cast<unsigned>(value);

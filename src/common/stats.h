@@ -34,6 +34,10 @@ class Histogram
     size_t numBuckets() const { return buckets_.size(); }
     /** Largest value recorded so far (0 if no samples). */
     uint64_t maxSample() const { return max_; }
+    /** Arithmetic mean (0.0 if no samples — the dump paths derive
+     *  mean/p50/p95 for never-recorded histograms, so every derived
+     *  statistic is defined on the empty histogram and never
+     *  divides by the zero sample count; pinned in tests). */
     double mean() const;
 
     /** Fraction of samples with value <= v (cumulative). Exact for
@@ -54,6 +58,8 @@ class Histogram
     void reset();
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     std::vector<uint64_t> buckets_;
     uint64_t samples_ = 0;
     uint64_t sum_ = 0;
@@ -98,6 +104,8 @@ class StatSet
     void dumpJson(JsonWriter &jw) const;
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, Histogram> histograms_;
 };

@@ -45,6 +45,16 @@ class SecureBaselineEngine : public SecurityEngine
         // makes no claims about the other channels.
         return kind == DelayKind::kMemAccess ? d.at_vp : true;
     }
+
+    void
+    accrueBlockedTransmit(const DynInst &, DelayKind kind,
+                          uint64_t cycles) override
+    {
+        // Bulk form of the blocked mayAccessMemory stat (the only
+        // stat-carrying gate this scheme has).
+        if (kind == DelayKind::kMemAccess)
+            stats_.inc("policy.mem_blocked_checks", cycles);
+    }
 };
 
 class SttEngine : public SecurityEngine
@@ -63,6 +73,16 @@ class SttEngine : public SecurityEngine
 
     bool transmitPublic(const DynInst &d,
                         DelayKind kind) const override;
+
+    void
+    accrueBlockedTransmit(const DynInst &, DelayKind kind,
+                          uint64_t cycles) override
+    {
+        // Bulk form of the blocked mayAccessMemory stat; the other
+        // gates are stats-pure.
+        if (kind == DelayKind::kMemAccess)
+            stats_.inc("policy.mem_blocked_checks", cycles);
+    }
 
     /** Is the value in @p reg currently s-tainted? */
     bool regTainted(PhysReg reg) const;

@@ -60,17 +60,25 @@ SptEngine::attach(Core &core)
     master_.assign(core.physRegs().numRegs(), TaintMask::all());
     // The zero register is public; every other architectural
     // register (and all memory) starts tainted (Section 6.3).
-    master_[PhysRegFile::kZeroReg] = TaintMask::none();
+    master_.set(PhysRegFile::kZeroReg, TaintMask::none());
+    const bool packed = cfg_.storage == SptConfig::Storage::kBitplane;
     switch (cfg_.shadow) {
       case ShadowKind::kNone:
         taint_store_ = std::make_unique<NullTaintStore>();
         break;
       case ShadowKind::kShadowL1:
-        taint_store_ =
-            std::make_unique<ShadowL1>(core.memorySystem().l1d());
+        if (packed)
+            taint_store_ = std::make_unique<PackedShadowL1>(
+                core.memorySystem().l1d());
+        else
+            taint_store_ = std::make_unique<ShadowL1>(
+                core.memorySystem().l1d());
         break;
       case ShadowKind::kShadowMem:
-        taint_store_ = std::make_unique<ShadowMemory>();
+        if (packed)
+            taint_store_ = std::make_unique<PackedShadowMemory>();
+        else
+            taint_store_ = std::make_unique<ShadowMemory>();
         break;
     }
 
@@ -81,16 +89,16 @@ SptEngine::attach(Core &core)
     idx_mask_ = cap - 1;
     head_ = tail_ = vp_cursor_ = 0;
     local_queue_.clear();
-    pending_flags_.clear();
+    pending_flags_.assign(cap);
     reg_slots_.assign(core.physRegs().numRegs(), {});
-    stl_candidates_ = 0;
-    shadow_candidates_ = 0;
+    stl_candidates_.assign(cap);
+    shadow_candidates_.assign(cap);
 }
 
 TaintMask
 SptEngine::masterTaint(PhysReg reg) const
 {
-    return reg == kNoPhysReg ? TaintMask::none() : master_[reg];
+    return reg == kNoPhysReg ? TaintMask::none() : master_.get(reg);
 }
 
 // --------------------------------------------------------------------
@@ -159,30 +167,35 @@ SptEngine::markLocalDirty(Entry &e)
 void
 SptEngine::raiseFlag(Entry &e, int slot)
 {
-    // Key layout: seq in the high bits, slot in the low two, so set
-    // order is (older inst, dest-before-src) — the arbitration order.
-    if (!slotFlag(e.it, slot))
-        pending_flags_.insert((e.seq << 2) | uint64_t(slot));
+    // The bitmap is ring-parallel, and ring order is seq order, so a
+    // head-to-tail scan yields (older inst, dest-before-src) — the
+    // arbitration order the old ordered set encoded in its keys.
+    const uint64_t idx =
+        static_cast<uint64_t>(&e - entries_.data());
+    pending_flags_.raise(idx, static_cast<unsigned>(slot));
     slotFlag(e.it, slot) = true;
 }
 
 void
 SptEngine::clearFlag(Entry &e, int slot)
 {
-    if (slotFlag(e.it, slot))
-        pending_flags_.erase((e.seq << 2) | uint64_t(slot));
+    const uint64_t idx =
+        static_cast<uint64_t>(&e - entries_.data());
+    pending_flags_.clear(idx, static_cast<unsigned>(slot));
     slotFlag(e.it, slot) = false;
 }
 
 void
 SptEngine::freeEntry(Entry &e)
 {
+    const uint64_t idx =
+        static_cast<uint64_t>(&e - entries_.data());
     for (int slot = 0; slot < 3; ++slot)
         clearFlag(e, slot);
-    if (e.stl_candidate)
-        --stl_candidates_;
-    if (e.shadow_candidate)
-        --shadow_candidates_;
+    stl_candidates_.clear(idx);
+    shadow_candidates_.clear(idx);
+    e.stl_candidate = false;
+    e.shadow_candidate = false;
     e.live = false;
     e.inst = nullptr;
 }
@@ -273,9 +286,9 @@ SptEngine::onRename(DynInst &d)
 
     InstTaint &it = e.it;
     if (d.num_srcs >= 1)
-        it.src[0] = master_[d.prs1];
+        it.src[0] = master_.get(d.prs1);
     if (d.num_srcs >= 2)
-        it.src[1] = master_[d.prs2];
+        it.src[1] = master_.get(d.prs2);
     if (d.has_dest) {
         if (d.is_load) {
             // Loads are conservatively tainted at rename; the data's
@@ -284,7 +297,7 @@ SptEngine::onRename(DynInst &d)
         } else {
             it.dest = propagateForward(d.si.op, it.src[0], it.src[1]);
         }
-        master_[d.prd] = it.dest;
+        master_.set(d.prd, it.dest);
     }
     if (observer_ && d.has_dest && it.dest.any())
         observer_->taintEvent(core_->cycle(),
@@ -342,7 +355,7 @@ SptEngine::flushFlagsToMaster(const DynInst &d)
             continue;
         const PhysReg reg = slotReg(d, slot);
         if (reg != kNoPhysReg && reg != PhysRegFile::kZeroReg)
-            master_[reg] &= slotMask(e->it, slot);
+            master_.intersect(reg, slotMask(e->it, slot));
     }
 }
 
@@ -358,7 +371,7 @@ SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
         // Either direction of the STL rule may fire later, whatever
         // the current masks (Section 6.7).
         e->stl_candidate = true;
-        ++stl_candidates_;
+        stl_candidates_.set(d.taint_idx);
     }
 
     if (it.dest.nothing()) {
@@ -390,7 +403,7 @@ SptEngine::onLoadData(DynInst &d, bool forwarded, SeqNum)
         // May retroactively clear the read bytes once the output
         // untaints (shadowClearPhase).
         e->shadow_candidate = true;
-        ++shadow_candidates_;
+        shadow_candidates_.set(d.taint_idx);
     }
 }
 
@@ -560,19 +573,23 @@ SptEngine::untaintPendingFor(PhysReg reg) const
     // Raised-but-not-broadcast flags are the broadcast queue: if one
     // of them names `reg` with a strictly smaller mask, the operand
     // is only waiting on the structural broadcast width.
-    for (const uint64_t key : pending_flags_) {
-        const Entry *e = entryBySeq(key >> 2);
-        if (!e)
-            continue;
-        const int slot = static_cast<int>(key & 3);
-        if (slotReg(*e->inst, slot) != reg)
-            continue;
-        const TaintMask flagged =
-            slot == 0 ? e->it.dest : e->it.src[slot - 1];
-        if ((master_[reg] & flagged) != master_[reg])
+    const TaintMask cur = master_.get(reg);
+    bool pending = false;
+    pending_flags_.forEach(
+        head_, tail_, [&](uint64_t pos, unsigned k) {
+            const Entry &e = entries_[pos & idx_mask_];
+            const int slot = static_cast<int>(k);
+            if (slotReg(*e.inst, slot) != reg)
+                return true;
+            const TaintMask flagged =
+                slot == 0 ? e.it.dest : e.it.src[slot - 1];
+            if ((cur & flagged) != cur) {
+                pending = true;
+                return false;
+            }
             return true;
-    }
-    return false;
+        });
+    return pending;
 }
 
 DelayCause
@@ -605,11 +622,42 @@ SptEngine::delayCause(const DynInst &d, DelayKind kind) const
 uint64_t
 SptEngine::taintedRegCount() const
 {
-    uint64_t n = 0;
-    for (const TaintMask &m : master_)
-        if (m.any())
-            ++n;
-    return n;
+    return master_.taintedCount();
+}
+
+// --------------------------------------------------------------------
+// Fast-forward support
+// --------------------------------------------------------------------
+
+bool
+SptEngine::quiescent() const
+{
+    // tick() is a pure no-op iff no phase has queued work and the VP
+    // cursor has consumed the whole at_vp prefix. The candidate
+    // phases (STL, shadow-clear) re-check deterministic conditions
+    // each cycle, but with the core frozen their inputs cannot
+    // change: anything fireable fired on the tick that just ran, and
+    // a fire either queues follow-up work (raised flag / dirty local
+    // queue — both caught here) or is one-shot (shadow_cleared).
+    if (!pending_flags_.empty() || !local_queue_.empty())
+        return false;
+    if (vp_cursor_ < tail_ &&
+        entries_[vp_cursor_ & idx_mask_].inst->at_vp)
+        return false;
+    return true;
+}
+
+void
+SptEngine::accrueBlockedTransmit(const DynInst &d, DelayKind kind,
+                                 uint64_t cycles)
+{
+    // Bulk form of the stat side effect a blocked mayAccessMemory
+    // performs once per cycle; the branch-resolve and mem-order
+    // gates are stats-pure, so skipped cycles owe them nothing.
+    if (kind == DelayKind::kMemAccess)
+        stats_.inc(d.is_load ? "policy.load_blocked_checks"
+                             : "policy.store_blocked_checks",
+                   cycles);
 }
 
 // --------------------------------------------------------------------
@@ -725,29 +773,35 @@ SptEngine::localRulesPhase()
 bool
 SptEngine::stlPhase()
 {
-    if (stl_candidates_ == 0)
+    if (stl_candidates_.empty())
         return false; // no forwarded load in flight
+    // Candidate bits mark forwarded loads whose data arrived; ring
+    // order is seq order, so this visits the same loads in the same
+    // order as the old LSQ walk while word-skipping everything else.
     bool changed = false;
-    for (const DynInstPtr &ld : core_->loadQueue()) {
-        if (ld->squashed || !ld->forwarded)
-            continue;
-        Entry *le = entryOf(*ld);
-        if (!le || !le->it.load_data_seen)
-            continue;
+    stl_candidates_.forEach(head_, tail_, [&](uint64_t pos) {
+        Entry &le = entryAt(pos);
+        const DynInst *ld = le.inst;
+        // An MSHR retry can strip `forwarded` after the candidate
+        // bit was set; re-check the instruction like the LSQ walk
+        // did.
+        if (ld->squashed || !ld->forwarded ||
+            !le.it.load_data_seen)
+            return true;
         Entry *se = entryBySeq(ld->forwarding_store);
         if (!se)
-            continue; // store retired before the pair went public
+            return true; // store retired before the pair went public
         if (!stlPublic(*ld, *se->inst))
-            continue;
-        InstTaint &lt = le->it;
+            return true;
+        InstTaint &lt = le.it;
         InstTaint &stt = se->it;
         // Forward: store data -> load output.
         if (stt.src[1].nothing() && lt.dest.any()) {
             lt.dest = TaintMask::none();
             lt.stl_untaint = true;
-            raiseFlag(*le, 0);
-            countUntaint(UntaintReason::kStlForward, *le, 0);
-            markLocalDirty(*le);
+            raiseFlag(le, 0);
+            countUntaint(UntaintReason::kStlForward, le, 0);
+            markLocalDirty(le);
             changed = true;
         }
         // Backward: load output -> store data.
@@ -758,7 +812,8 @@ SptEngine::stlPhase()
             markLocalDirty(*se);
             changed = true;
         }
-    }
+        return true;
+    });
     return changed;
 }
 
@@ -767,7 +822,7 @@ SptEngine::shadowClearPhase()
 {
     if (cfg_.shadow == ShadowKind::kNone)
         return; // no taint-tracking structure to update
-    if (shadow_candidates_ == 0)
+    if (shadow_candidates_.empty())
         return; // no load that could still clear anything
 
     // Section 6.8 load rule, retroactive form: a non-speculative
@@ -775,26 +830,26 @@ SptEngine::shadowClearPhase()
     // declassified by a consumer transmitter at the VP) makes the
     // bytes it read publicly inferable — the attacker knows the load
     // accessed eff_addr (its address is declassified at the VP) and
-    // knows the output value.
-    for (const DynInstPtr &ld : core_->loadQueue()) {
+    // knows the output value. Candidate bits (set when load data
+    // arrives) cover every load that can still fire; visiting them
+    // in ring (= seq) order matches the old LSQ walk.
+    shadow_candidates_.forEach(head_, tail_, [&](uint64_t pos) {
+        Entry &e = entryAt(pos);
+        const DynInst *ld = e.inst;
         if (ld->squashed || !ld->at_vp || ld->forwarded ||
             !ld->access_done)
-            continue;
-        Entry *e = entryOf(*ld);
-        if (!e)
-            continue;
-        InstTaint &it = e->it;
+            return true;
+        InstTaint &it = e.it;
         if (!it.load_data_seen || it.shadow_cleared ||
             it.dest.any())
-            continue;
+            return true;
         it.shadow_cleared = true;
-        if (e->shadow_candidate) {
-            e->shadow_candidate = false;
-            --shadow_candidates_;
-        }
+        e.shadow_candidate = false;
+        shadow_candidates_.clear(pos & idx_mask_);
         taint_store_->clearTaint(ld->eff_addr, ld->mem_bytes);
         stats_.inc("shadow.load_clears");
-    }
+        return true;
+    });
 }
 
 void
@@ -805,9 +860,10 @@ SptEngine::applyBroadcast(PhysReg reg, TaintMask mask)
     // is monotone and sound either way. Dropping a non-subset mask
     // here would lose the untaint forever, since broadcastPhase has
     // already cleared the slot flag.
-    if ((master_[reg] & mask) != master_[reg])
+    const TaintMask cur = master_.get(reg);
+    if ((cur & mask) != cur)
         ++untainted_regs_this_cycle_;
-    master_[reg] &= mask;
+    master_.set(reg, cur & mask);
     // Only the in-flight slots naming `reg` can observe the
     // broadcast; walk the reverse index instead of the ROB,
     // compacting out slots that were recycled since registration.
@@ -844,18 +900,20 @@ SptEngine::broadcastPhase()
         width = 0;
         stats_.inc("fault.broadcast_starved_cycles");
     }
-    // Drain raised flags in arbitration order (the set's key order:
-    // older instruction first, destination before sources) up to
-    // the structural width.
+    // Drain raised flags in arbitration order (a head-to-tail bitmap
+    // scan: older instruction first, destination before sources) up
+    // to the structural width.
     std::vector<Broadcast> chosen;
     chosen.reserve(width);
-    while (!pending_flags_.empty() && chosen.size() < width) {
-        const uint64_t key = *pending_flags_.begin();
-        Entry *e = entryBySeq(key >> 2);
-        SPT_ASSERT(e, "pending flag references a freed slot");
-        const int slot = static_cast<int>(key & 3);
-        clearFlag(*e, slot);
-        const PhysReg reg = slotReg(*e->inst, slot);
+    uint64_t pos;
+    unsigned k;
+    while (chosen.size() < width &&
+           pending_flags_.first(head_, tail_, pos, k)) {
+        Entry &e = entryAt(pos);
+        SPT_ASSERT(e.live, "pending flag references a freed slot");
+        const int slot = static_cast<int>(k);
+        clearFlag(e, slot);
+        const PhysReg reg = slotReg(*e.inst, slot);
         if (reg == kNoPhysReg || reg == PhysRegFile::kZeroReg)
             continue;
         Broadcast *dup = nullptr;
@@ -866,10 +924,10 @@ SptEngine::broadcastPhase()
             // A second slot naming an already-chosen register
             // rides along on the same broadcast: merge its mask
             // instead of burning a slot (and a cycle) on it.
-            dup->mask &= slotMask(e->it, slot);
+            dup->mask &= slotMask(e.it, slot);
             continue;
         }
-        chosen.push_back({reg, slotMask(e->it, slot)});
+        chosen.push_back({reg, slotMask(e.it, slot)});
     }
     for (const Broadcast &b : chosen)
         applyBroadcast(b.reg, b.mask);
@@ -886,18 +944,21 @@ SptEngine::idealPropagate()
         changed |= localRulesPhase();
         changed |= stlPhase();
         // Flush every flag as an immediate broadcast. A broadcast
-        // may clear other pending flags; popping the set's head each
-        // time handles that safely and keeps arbitration order.
-        while (!pending_flags_.empty()) {
-            const uint64_t key = *pending_flags_.begin();
-            Entry *e = entryBySeq(key >> 2);
-            SPT_ASSERT(e, "pending flag references a freed slot");
-            const int slot = static_cast<int>(key & 3);
-            clearFlag(*e, slot);
-            const PhysReg reg = slotReg(*e->inst, slot);
+        // may clear other pending flags; re-finding the bitmap's
+        // first set flag each time handles that safely and keeps
+        // arbitration order.
+        uint64_t pos;
+        unsigned k;
+        while (pending_flags_.first(head_, tail_, pos, k)) {
+            Entry &e = entryAt(pos);
+            SPT_ASSERT(e.live,
+                       "pending flag references a freed slot");
+            const int slot = static_cast<int>(k);
+            clearFlag(e, slot);
+            const PhysReg reg = slotReg(*e.inst, slot);
             if (reg != kNoPhysReg &&
                 reg != PhysRegFile::kZeroReg) {
-                applyBroadcast(reg, slotMask(e->it, slot));
+                applyBroadcast(reg, slotMask(e.it, slot));
                 changed = true;
             }
         }

@@ -53,10 +53,10 @@
 #define SPT_CORE_SPT_ENGINE_H
 
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/taint_mask.h"
+#include "core/taint_planes.h"
 #include "core/taint_store.h"
 #include "uarch/security_engine.h"
 #include "uarch/types.h"
@@ -67,6 +67,17 @@ struct SptConfig {
     UntaintMethod method = UntaintMethod::kBackward;
     ShadowKind shadow = ShadowKind::kShadowL1;
     unsigned broadcast_width = 3;
+    /** Data taint-store implementation. kBitplane packs per-byte
+     *  taint into uint64 words (the PR-6 throughput repack);
+     *  kLegacy keeps the byte-vector stores. Behaviorally
+     *  equivalent — pinned by the storage-equivalence tests — so
+     *  this knob exists to keep the legacy stores testable against
+     *  the packed ones. */
+    enum class Storage : uint8_t {
+        kBitplane,
+        kLegacy,
+    };
+    Storage storage = Storage::kBitplane;
     /** Deliberately seeded policy bugs, used only to prove the
      *  runtime InvariantChecker fires (tools/spt_chaos --mutate).
      *  Mutations weaken a policy *gate*; the ground-truth claim
@@ -125,6 +136,16 @@ class SptEngine : public SecurityEngine
     {
         return pending_flags_.size();
     }
+    bool quiescent() const override;
+    bool fastForwardSafe() const override
+    {
+        // The chaos-mode gate mutations make policy queries
+        // stat-mutating and gate != claim; fast-forward models the
+        // un-mutated policy only.
+        return cfg_.mutation == SptConfig::Mutation::kNone;
+    }
+    void accrueBlockedTransmit(const DynInst &d, DelayKind kind,
+                               uint64_t cycles) override;
     uint64_t taintedRegCount() const override;
 
     // --- inspection (tests/benches) -----------------------------------
@@ -157,6 +178,8 @@ class SptEngine : public SecurityEngine
     }
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     /** One taint-storage slot, ring-buffer-parallel to a ROB slot. */
     struct Entry {
         InstTaint it;
@@ -182,7 +205,9 @@ class SptEngine : public SecurityEngine
     };
 
     SptConfig cfg_;
-    std::vector<TaintMask> master_;
+    /** Master per-physical-register taint, one bitplane per
+     *  partial-access group (word-parallel taintedRegCount). */
+    TaintPlanes master_;
     std::unique_ptr<DataTaintStore> taint_store_;
 
     // Ring buffer of taint records, ROB-parallel. Logical positions
@@ -200,20 +225,23 @@ class SptEngine : public SecurityEngine
      *  evaluation (drained by localRulesPhase). */
     std::vector<EntryRef> local_queue_;
 
-    /** Raised untaint-broadcast flags, keyed `(seq << 2) | slot` so
-     *  set order == broadcast arbitration order: older instruction
-     *  first, destination (slot 0) before sources (Section 7.3). */
-    std::set<uint64_t> pending_flags_;
+    /** Raised untaint-broadcast flags as a circular bitmap parallel
+     *  to the ring (4 bits per slot). Scanning from head_ yields
+     *  the broadcast arbitration order — older instruction first,
+     *  destination (slot 0) before sources (Section 7.3) — since
+     *  ring order is seq order. */
+    RingFlagBitmap pending_flags_;
 
     /** Per physical register: the in-flight slots naming it (built
      *  at rename, compacted lazily), so a broadcast touches only the
      *  consumers of that register instead of the whole ROB. */
     std::vector<std::vector<RegSlotRef>> reg_slots_;
 
-    /** Live entries with stl_candidate / shadow_candidate set; the
-     *  LSQ-walking phases are skipped while zero. */
-    unsigned stl_candidates_ = 0;
-    unsigned shadow_candidates_ = 0;
+    /** Ring slots with stl_candidate / shadow_candidate set; the
+     *  candidate phases iterate set bits in ring (= seq) order with
+     *  word-level skips instead of walking the core's LSQ. */
+    RingBitmap stl_candidates_;
+    RingBitmap shadow_candidates_;
 
     // Scratch for the per-cycle broadcast phase.
     struct Broadcast {

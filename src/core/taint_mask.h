@@ -28,6 +28,13 @@ class TaintMask
 
     static constexpr TaintMask none() { return TaintMask{0}; }
     static constexpr TaintMask all() { return TaintMask{0xf}; }
+    /** Rebuilds a mask from raw() group bits (bitplane gather and
+     *  snapshot restore). */
+    static constexpr TaintMask
+    fromRaw(uint8_t bits)
+    {
+        return TaintMask{static_cast<uint8_t>(bits & 0xf)};
+    }
 
     constexpr bool any() const { return bits_ != 0; }
     constexpr bool nothing() const { return bits_ == 0; }

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Word-parallel bit-set storage for the SPT engine's hot structures
+ * (the bitplane repack of the PR-6 throughput work).
+ *
+ * Three containers, all built on plain uint64 words so the per-cycle
+ * phases turn into word-parallel bit operations:
+ *
+ *  - TaintPlanes: the master per-physical-register taint bits stored
+ *    as one bitplane per partial-access group — plane g, bit r =
+ *    "group g of register r is tainted". Point accesses touch one
+ *    bit per plane; population queries (taintedRegCount) OR the four
+ *    planes and popcount whole words instead of scanning registers.
+ *  - RingFlagBitmap: the raised untaint-broadcast flags as a
+ *    circular bitmap parallel to the engine's taint ring, one 4-bit
+ *    nibble per ring slot (operand slots 0-2 used). Because ring
+ *    order is seq order, scanning from the ring head yields flags in
+ *    the paper's arbitration order — older instruction first,
+ *    destination before sources — which the old std::set encoded as
+ *    key order `(seq << 2) | slot` at O(log n) per operation.
+ *  - RingBitmap: one bit per ring slot; backs the STL/shadow-clear
+ *    candidate scans so those phases visit only candidate slots (in
+ *    ring = seq order) with word-level skips over empty regions.
+ *
+ * All three are position-addressed: callers pass *logical* ring
+ * positions (monotonically growing, `pos & (capacity-1)` is the
+ * physical slot) for iteration bounds and physical slot indices for
+ * point updates, mirroring the engine's head_/tail_ bookkeeping.
+ */
+
+#ifndef SPT_CORE_TAINT_PLANES_H
+#define SPT_CORE_TAINT_PLANES_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/taint_mask.h"
+
+namespace spt {
+
+class TaintPlanes
+{
+  public:
+    void
+    assign(std::size_t num_regs, TaintMask init)
+    {
+        num_regs_ = num_regs;
+        const std::size_t words = (num_regs + 63) / 64;
+        for (unsigned g = 0; g < TaintMask::kNumGroups; ++g)
+            planes_[g].assign(words,
+                              init.group(g) ? ~uint64_t{0} : 0);
+        // Keep tail bits past num_regs clear so word-level popcounts
+        // stay exact.
+        if ((num_regs & 63) != 0 && words > 0) {
+            const uint64_t tail_mask =
+                (uint64_t{1} << (num_regs & 63)) - 1;
+            for (unsigned g = 0; g < TaintMask::kNumGroups; ++g)
+                planes_[g].back() &= tail_mask;
+        }
+    }
+
+    TaintMask
+    get(std::size_t r) const
+    {
+        const std::size_t w = r >> 6;
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        uint8_t bits = 0;
+        for (unsigned g = 0; g < TaintMask::kNumGroups; ++g)
+            if (planes_[g][w] & bit)
+                bits |= uint8_t{1} << g;
+        return TaintMask::fromRaw(bits);
+    }
+
+    void
+    set(std::size_t r, TaintMask m)
+    {
+        const std::size_t w = r >> 6;
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        for (unsigned g = 0; g < TaintMask::kNumGroups; ++g) {
+            if (m.group(g))
+                planes_[g][w] |= bit;
+            else
+                planes_[g][w] &= ~bit;
+        }
+    }
+
+    /** master[r] &= m. */
+    void
+    intersect(std::size_t r, TaintMask m)
+    {
+        const std::size_t w = r >> 6;
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        for (unsigned g = 0; g < TaintMask::kNumGroups; ++g)
+            if (!m.group(g))
+                planes_[g][w] &= ~bit;
+    }
+
+    /** Registers with any tainted group: popcount of the OR of the
+     *  four planes, one pass over the words. */
+    uint64_t
+    taintedCount() const
+    {
+        uint64_t n = 0;
+        for (std::size_t w = 0; w < planes_[0].size(); ++w)
+            n += static_cast<uint64_t>(
+                std::popcount(planes_[0][w] | planes_[1][w] |
+                              planes_[2][w] | planes_[3][w]));
+        return n;
+    }
+
+    std::size_t numRegs() const { return num_regs_; }
+    const std::vector<uint64_t> &plane(unsigned g) const
+    {
+        return planes_[g];
+    }
+    std::vector<uint64_t> &plane(unsigned g) { return planes_[g]; }
+
+  private:
+    std::vector<uint64_t> planes_[TaintMask::kNumGroups];
+    std::size_t num_regs_ = 0;
+};
+
+class RingFlagBitmap
+{
+  public:
+    /** @param capacity ring capacity; must be a power of two. */
+    void
+    assign(uint64_t capacity)
+    {
+        cap_ = capacity;
+        words_.assign((capacity * 4 + 63) / 64, 0);
+        count_ = 0;
+    }
+
+    void
+    raise(uint64_t slot, unsigned k)
+    {
+        const uint64_t b = slot * 4 + k;
+        uint64_t &w = words_[b >> 6];
+        const uint64_t bit = uint64_t{1} << (b & 63);
+        if (!(w & bit)) {
+            w |= bit;
+            ++count_;
+        }
+    }
+
+    void
+    clear(uint64_t slot, unsigned k)
+    {
+        const uint64_t b = slot * 4 + k;
+        uint64_t &w = words_[b >> 6];
+        const uint64_t bit = uint64_t{1} << (b & 63);
+        if (w & bit) {
+            w &= ~bit;
+            --count_;
+        }
+    }
+
+    bool empty() const { return count_ == 0; }
+    uint64_t size() const { return count_; }
+
+    /** Lowest pending flag in [head, tail) by (position, operand
+     *  slot) — the broadcast arbitration order. Word-level skips
+     *  over empty spans. */
+    bool
+    first(uint64_t head, uint64_t tail, uint64_t &pos_out,
+          unsigned &slot_out) const
+    {
+        const uint64_t mask = cap_ - 1;
+        uint64_t pos = head;
+        while (pos < tail) {
+            const uint64_t phys = pos & mask;
+            const uint64_t b = phys * 4;
+            const unsigned sh = static_cast<unsigned>(b & 63);
+            const uint64_t rest = words_[b >> 6] >> sh;
+            // Ring slots this word segment covers without crossing
+            // the physical wrap (nibbles never straddle words).
+            const uint64_t span = std::min(
+                {tail - pos, cap_ - phys, uint64_t{(64 - sh) / 4}});
+            if (rest == 0) {
+                pos += span;
+                continue;
+            }
+            const uint64_t adv =
+                static_cast<uint64_t>(std::countr_zero(rest)) / 4;
+            if (adv >= span) {
+                pos += span;
+                continue;
+            }
+            pos_out = pos + adv;
+            slot_out = static_cast<unsigned>(
+                std::countr_zero((rest >> (adv * 4)) & 0xf));
+            return true;
+        }
+        return false;
+    }
+
+    /** Visits every pending flag in [head, tail) in arbitration
+     *  order; @p fn(pos, slot) returns false to stop early. Words
+     *  are re-read after each visit, so @p fn may clear flags
+     *  (including the visited one). */
+    template <typename Fn>
+    void
+    forEach(uint64_t head, uint64_t tail, Fn fn) const
+    {
+        const uint64_t mask = cap_ - 1;
+        uint64_t pos = head;
+        while (pos < tail) {
+            const uint64_t phys = pos & mask;
+            const uint64_t b = phys * 4;
+            const unsigned sh = static_cast<unsigned>(b & 63);
+            const uint64_t rest = words_[b >> 6] >> sh;
+            const uint64_t span = std::min(
+                {tail - pos, cap_ - phys, uint64_t{(64 - sh) / 4}});
+            if (rest == 0) {
+                pos += span;
+                continue;
+            }
+            const uint64_t adv =
+                static_cast<uint64_t>(std::countr_zero(rest)) / 4;
+            if (adv >= span) {
+                pos += span;
+                continue;
+            }
+            pos += adv;
+            const uint64_t nb = (pos & mask) * 4;
+            for (unsigned k = 0; k < 4; ++k)
+                if ((words_[nb >> 6] >> ((nb & 63) + k)) & 1)
+                    if (!fn(pos, k))
+                        return;
+            ++pos;
+        }
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+    uint64_t cap_ = 0;
+    uint64_t count_ = 0;
+};
+
+class RingBitmap
+{
+  public:
+    /** @param capacity ring capacity; must be a power of two. */
+    void
+    assign(uint64_t capacity)
+    {
+        cap_ = capacity;
+        words_.assign((capacity + 63) / 64, 0);
+        count_ = 0;
+    }
+
+    void
+    set(uint64_t slot)
+    {
+        uint64_t &w = words_[slot >> 6];
+        const uint64_t bit = uint64_t{1} << (slot & 63);
+        if (!(w & bit)) {
+            w |= bit;
+            ++count_;
+        }
+    }
+
+    void
+    clear(uint64_t slot)
+    {
+        uint64_t &w = words_[slot >> 6];
+        const uint64_t bit = uint64_t{1} << (slot & 63);
+        if (w & bit) {
+            w &= ~bit;
+            --count_;
+        }
+    }
+
+    bool test(uint64_t slot) const
+    {
+        return (words_[slot >> 6] >> (slot & 63)) & 1;
+    }
+    bool empty() const { return count_ == 0; }
+    uint64_t size() const { return count_; }
+
+    /** Visits every set slot at logical positions [head, tail) in
+     *  ring (= seq) order; @p fn(pos) returns false to stop. Words
+     *  are re-read after each visit, so @p fn may clear bits
+     *  (including the visited one). */
+    template <typename Fn>
+    void
+    forEach(uint64_t head, uint64_t tail, Fn fn) const
+    {
+        const uint64_t mask = cap_ - 1;
+        uint64_t pos = head;
+        while (pos < tail) {
+            const uint64_t phys = pos & mask;
+            const unsigned sh = static_cast<unsigned>(phys & 63);
+            const uint64_t rest = words_[phys >> 6] >> sh;
+            const uint64_t span = std::min(
+                {tail - pos, cap_ - phys, uint64_t{64} - sh});
+            if (rest == 0) {
+                pos += span;
+                continue;
+            }
+            const uint64_t adv =
+                static_cast<uint64_t>(std::countr_zero(rest));
+            if (adv >= span) {
+                pos += span;
+                continue;
+            }
+            pos += adv;
+            if (!fn(pos))
+                return;
+            ++pos;
+        }
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+    uint64_t cap_ = 0;
+    uint64_t count_ = 0;
+};
+
+} // namespace spt
+
+#endif // SPT_CORE_TAINT_PLANES_H

@@ -14,6 +14,12 @@
  *    all-tainted.
  *  - ShadowMemory: the idealized variant that keeps a taint bit for
  *    every byte of memory (SPT {*, ShadowMem}).
+ *
+ * PackedShadowL1 / PackedShadowMemory are the bitplane repacks of
+ * the latter two: the same geometry and stat behavior, but one taint
+ * *bit* per byte packed into uint64 words instead of one byte per
+ * byte. SptConfig::Storage selects packed (default) or legacy; the
+ * storage-equivalence tests pin them bit-identical.
  */
 
 #ifndef SPT_CORE_TAINT_STORE_H
@@ -82,6 +88,8 @@ class ShadowL1 : public DataTaintStore, public CacheObserver
     StatSet &stats() { return stats_; }
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     struct Entry {
         bool valid = false;
         uint64_t line_addr = 0;
@@ -99,6 +107,58 @@ class ShadowL1 : public DataTaintStore, public CacheObserver
     const Entry *find(uint64_t addr) const;
 };
 
+/** Bitplane repack of ShadowL1: one taint *bit* per line byte in
+ *  uint64 words. Same geometry, straddle semantics, and stat names
+ *  as the byte-vector original. */
+class PackedShadowL1 : public DataTaintStore, public CacheObserver
+{
+  public:
+    explicit PackedShadowL1(SetAssocCache &l1d);
+
+    uint8_t readTaint(uint64_t addr, unsigned bytes) const override;
+    void writeTaint(uint64_t addr, unsigned bytes,
+                    uint8_t byte_taint) override;
+    void clearTaint(uint64_t addr, unsigned bytes) override;
+
+    void onFill(uint64_t line_addr, unsigned set,
+                unsigned way) override;
+    void onEvict(uint64_t line_addr, unsigned set,
+                 unsigned way) override;
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
+    struct Entry {
+        bool valid = false;
+        uint64_t line_addr = 0;
+    };
+
+    SetAssocCache &l1d_;
+    unsigned line_bytes_;
+    unsigned words_per_line_;
+    std::vector<Entry> entries_;
+    /** Bit b of line word w = byte w*64+b tainted; laid out
+     *  contiguously, entry i at [i * words_per_line_, ...). */
+    std::vector<uint64_t> taint_;
+    StatSet stats_;
+
+    Entry *find(uint64_t addr);
+    const Entry *find(uint64_t addr) const;
+    uint64_t *lineWords(const Entry &e)
+    {
+        return taint_.data() +
+               (&e - entries_.data()) * words_per_line_;
+    }
+    const uint64_t *lineWords(const Entry &e) const
+    {
+        return taint_.data() +
+               (&e - entries_.data()) * words_per_line_;
+    }
+    void fillLine(unsigned set, unsigned way);
+};
+
 /** Idealized whole-memory byte taint (sparse: pages of "untainted"
  *  flags; absent page = fully tainted). */
 class ShadowMemory : public DataTaintStore
@@ -114,8 +174,34 @@ class ShadowMemory : public DataTaintStore
     size_t residentPages() const { return pages_.size(); }
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     /** 1 = untainted (memory defaults to tainted). */
     std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+
+    bool untainted(uint64_t addr) const;
+    void setUntainted(uint64_t addr, bool untainted);
+};
+
+/** Bitplane repack of ShadowMemory: one "untainted" *bit* per byte,
+ *  64 words per 4 KiB page; absent page = fully tainted. */
+class PackedShadowMemory : public DataTaintStore
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    uint8_t readTaint(uint64_t addr, unsigned bytes) const override;
+    void writeTaint(uint64_t addr, unsigned bytes,
+                    uint8_t byte_taint) override;
+    void clearTaint(uint64_t addr, unsigned bytes) override;
+
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
+    /** Bit set = untainted (memory defaults to tainted). */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> pages_;
 
     bool untainted(uint64_t addr) const;
     void setUntainted(uint64_t addr, bool untainted);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <unordered_map>
 
@@ -31,22 +32,28 @@ jobKey(const RunJob &job)
 {
     // Every descriptor field except `label` participates. SptConfig
     // currently has exactly {method, shadow, broadcast_width,
-    // mutation}; extend this when it grows
+    // storage, mutation}; extend this when it grows
     // (tests/test_exp_runner.cpp pins the sensitivity). The
     // observability flags must participate too: a traced run carries
     // artifacts a plain run lacks, so the two may not share a slot.
     // The wall timeout participates because it can change the
-    // outcome (a capped run may cut off early).
+    // outcome (a capped run may cut off early). fast_forward and the
+    // checkpoint knobs participate even though they are
+    // result-identical by contract: they change ff.* counters /
+    // where a run starts, and merging them would hide exactly the
+    // regressions the equivalence gates exist to catch.
     char buf[384];
     int n = std::snprintf(
         buf, sizeof buf,
-        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|mut=%u|am=%u|seed=%llu|mc=%llu"
-        "|tr=%u|pf=%u|iv=%llu|inv=%u|wd=%llu|wt=%.9g|fs=%llu",
+        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|st=%u|mut=%u|am=%u|seed=%llu"
+        "|mc=%llu|tr=%u|pf=%u|iv=%llu|inv=%u|wd=%llu|wt=%.9g|ff=%u"
+        "|ca=%llu|fs=%llu",
         static_cast<const void *>(job.program),
         static_cast<unsigned>(job.engine.scheme),
         static_cast<unsigned>(job.engine.spt.method),
         static_cast<unsigned>(job.engine.spt.shadow),
         job.engine.spt.broadcast_width,
+        static_cast<unsigned>(job.engine.spt.storage),
         static_cast<unsigned>(job.engine.spt.mutation),
         static_cast<unsigned>(job.attack_model),
         static_cast<unsigned long long>(job.seed),
@@ -57,6 +64,8 @@ jobKey(const RunJob &job)
         static_cast<unsigned>(job.invariants),
         static_cast<unsigned long long>(job.watchdog_cycles),
         job.wall_timeout_seconds,
+        static_cast<unsigned>(job.fast_forward),
+        static_cast<unsigned long long>(job.checkpoint_at),
         static_cast<unsigned long long>(job.faults.seed));
     std::string key(buf, static_cast<std::size_t>(n));
     for (std::size_t i = 0; i < kNumFaultSites; ++i) {
@@ -64,6 +73,8 @@ jobKey(const RunJob &job)
                       job.faults.rate_ppm[i]);
         key += buf;
     }
+    key += "|ck=";
+    key += job.checkpoint;
     return key;
 }
 
@@ -100,6 +111,8 @@ configFor(const RunJob &job)
     if (job.watchdog_cycles != 0)
         cfg.core.watchdog_cycles = job.watchdog_cycles;
     cfg.wall_timeout_seconds = job.wall_timeout_seconds;
+    cfg.core.fast_forward = job.fast_forward;
+    cfg.checkpoint_at_retires = job.checkpoint_at;
     return cfg;
 }
 
@@ -153,6 +166,12 @@ captureEvidence(const RunJob &job, RunOutcome &out)
         SimConfig cfg = configFor(job);
         cfg.invariants = true;
         Simulator sim(*job.program, cfg);
+        if (!job.checkpoint.empty()) {
+            std::ifstream snap(job.checkpoint, std::ios::binary);
+            if (!snap)
+                SPT_FATAL("cannot open snapshot " << job.checkpoint);
+            sim.restoreSnapshot(snap);
+        }
         std::ostringstream text, pipeview;
         sim.enableTrace(&text, &pipeview);
         const SimResult r = sim.run();
@@ -211,6 +230,14 @@ ExpRunner::run(const std::vector<RunJob> &grid,
         try {
             SimConfig cfg = configFor(job);
             Simulator sim(*job.program, cfg);
+            if (!job.checkpoint.empty()) {
+                std::ifstream snap(job.checkpoint,
+                                   std::ios::binary);
+                if (!snap)
+                    SPT_FATAL("cannot open snapshot "
+                              << job.checkpoint);
+                sim.restoreSnapshot(snap);
+            }
             std::ostringstream trace_text, trace_pipeview;
             if (job.trace)
                 sim.enableTrace(&trace_text, &trace_pipeview);
@@ -251,8 +278,14 @@ ExpRunner::run(const std::vector<RunJob> &grid,
     const auto t1 = std::chrono::steady_clock::now();
 
     for (std::size_t i = 0; i < grid.size(); ++i)
-        if (source[i] != i)
+        if (source[i] != i) {
             outcomes[i] = outcomes[source[i]];
+            // A memo hit costs no host time; copying the source
+            // slot's timing would bill the unique run once per
+            // duplicate in every per-config host-time total.
+            outcomes[i].memoized = true;
+            outcomes[i].host_seconds = 0.0;
+        }
     // Descriptors are per-slot, not per-unique-run: duplicates may
     // carry distinct labels.
     for (std::size_t i = 0; i < grid.size(); ++i)

@@ -99,6 +99,19 @@ struct RunJob {
     /** Host wall-clock cap per job; 0 disables. Non-deterministic
      *  cutoff by design — see the file comment. */
     double wall_timeout_seconds = 0.0;
+    /** Fast-forward quiescent periods (CoreParams::fast_forward).
+     *  Result- and stat-identical to ticking every cycle (pinned by
+     *  the fast-forward equivalence tests), but still part of the
+     *  memo key: the ff.* skip counters differ. */
+    bool fast_forward = false;
+    /** Checkpoint drain barrier (SimConfig::checkpoint_at_retires);
+     *  0 disables. Set on both the snapshot-producing run and every
+     *  cold run that must be comparable to a restored one. */
+    uint64_t checkpoint_at = 0;
+    /** Path of a snapshot to restore before running (fork-from-
+     *  checkpoint sweeps); empty = cold start. SPT_FATAL if the file
+     *  cannot be read. */
+    std::string checkpoint;
     /** Free-form name for reports ("pchase/SPT{Bwd,ShadowL1}").
      *  Not part of the memo key: two jobs differing only by label
      *  are the same simulation. */
@@ -121,9 +134,14 @@ struct RunOutcome {
     SimResult result;
     std::map<std::string, uint64_t> engine_counters;
     std::map<std::string, Histogram> engine_histograms;
-    /** Host wall-clock of the simulation itself. Duplicate (memoized)
-     *  slots share the unique run's timing. */
+    /** Host wall-clock of the simulation itself. Memoized slots did
+     *  not simulate and carry 0.0 here (see `memoized`): summing
+     *  host_seconds over any slot range bills each unique run
+     *  exactly once. */
     double host_seconds = 0.0;
+    /** True for duplicate slots served from an earlier slot's
+     *  outcome instead of a fresh simulation. */
+    bool memoized = false;
     /** Observability artifacts, empty unless the corresponding RunJob
      *  flag was set. Deterministic byte-for-byte (any --jobs). */
     std::string trace_text;

@@ -105,6 +105,15 @@ Core::noteTransmitterDelay(const DynInst &d, DelayKind kind)
                               engine_->delayCause(d, kind));
 }
 
+void
+Core::armCheckpoint(uint64_t retires, std::function<void()> hook)
+{
+    SPT_ASSERT(retires != 0, "checkpoint barrier needs a retire "
+                             "target");
+    ckpt_retires_ = retires;
+    ckpt_hook_ = std::move(hook);
+}
+
 Core::RunResult
 Core::run(uint64_t max_cycles)
 {
@@ -113,6 +122,12 @@ Core::run(uint64_t max_cycles)
     bool livelocked = false;
     bool wall_timeout = false;
     const auto wall_start = std::chrono::steady_clock::now();
+    // Fast-forward needs stats-pure gate prediction and an untouched
+    // event stream: observers see per-cycle callbacks and fault
+    // injectors consume per-cycle RNG draws, so either disables it.
+    const bool may_fast_forward = params_.fast_forward &&
+                                  !observer_ && !faults_ &&
+                                  engine_->fastForwardSafe();
     while (!halted_ && cycle_ < max_cycles) {
         tick();
         if (retired_ != last_retired) {
@@ -128,7 +143,23 @@ Core::run(uint64_t max_cycles)
             stats_.inc("watchdog.livelocks");
             break;
         }
-        if (wall_timeout_seconds_ > 0.0 && (cycle_ & 0x1fff) == 0) {
+        if (ckpt_retires_ != 0 && !halted_ &&
+            retired_ >= ckpt_retires_ && drained()) {
+            // Checkpoint barrier reached: the machine is empty, so a
+            // snapshot needs no in-flight state. Disarm before the
+            // hook so fetch resumes on the next tick either way.
+            ckpt_retires_ = 0;
+            if (ckpt_hook_) {
+                ckpt_hook_();
+                ckpt_hook_ = nullptr;
+            }
+        }
+        uint64_t skipped = 0;
+        if (may_fast_forward && !halted_)
+            skipped =
+                tryFastForward(max_cycles, last_progress_cycle);
+        if (wall_timeout_seconds_ > 0.0 &&
+            ((cycle_ & 0x1fff) == 0 || skipped >= 0x2000)) {
             const std::chrono::duration<double> elapsed =
                 std::chrono::steady_clock::now() - wall_start;
             if (elapsed.count() > wall_timeout_seconds_) {
@@ -153,6 +184,148 @@ Core::run(uint64_t max_cycles)
 }
 
 // --------------------------------------------------------------------
+// Fast-forward (quiescent-cycle skipping)
+// --------------------------------------------------------------------
+
+bool
+Core::quiescentCycle() const
+{
+    // A pure conjunction over tick()'s stages with stats-pure
+    // queries only; a single stage that would change state makes
+    // the cycle live. Quiescent state is frozen by construction:
+    // every gate input (taint masks, at_vp, operand readiness) can
+    // only change via the very stage activity this predicate rules
+    // out, so a dead machine stays dead until a *timed* event
+    // (completion, fetch wakeup) — exactly the wake set
+    // tryFastForward computes. The conjuncts are ordered cheapest /
+    // most-likely-live first so the predicate is O(1) on most live
+    // cycles; conjunction order cannot change the verdict.
+
+    // Fetch: an eligible fetch touches the I-cache and fetch queue.
+    if (cycle_ >= fetch_stall_until_ &&
+        fetch_queue_.size() < params_.fetch_queue_size &&
+        program_.validPc(fetch_pc_))
+        return false;
+    // Commit: the ROB head must be blocked.
+    if (!rob_.empty()) {
+        const DynInst &f = *rob_.front();
+        if (f.completed && !f.squash_pending &&
+            !f.mem_violation_pending)
+            return false;
+    }
+    // Rename: a ready, hazard-free fetch-queue head would rename.
+    if (!fetch_queue_.empty()) {
+        const FetchEntry &fe = fetch_queue_.front();
+        if (fe.ready_cycle <= cycle_ &&
+            renameHazardStat(*fe.inst) == nullptr)
+            return false;
+    }
+    // Issue: any ready reservation-station entry would issue.
+    for (const DynInstPtr &d : rs_)
+        if (operandsReady(*d))
+            return false;
+    // Squash gates (stats-pure on every engine).
+    for (const DynInstPtr &d : rob_) {
+        if (d->squash_pending && engine_->mayResolveBranch(*d))
+            return false;
+        if (d->mem_violation_pending &&
+            engine_->maySquashMemViolation(*d))
+            return false;
+    }
+    // Memory gates, via the stats-pure transmitPublic claim (equal
+    // to the gate whenever fastForwardSafe holds). A gate-open load
+    // counts as live even if the access would be refused (MSHR
+    // full / dependence stalls mutate stats and cache state).
+    for (const DynInstPtr &st : sq_) {
+        if (!st->addr_known || st->completed || st->squashed)
+            continue;
+        if (engine_->transmitPublic(*st, DelayKind::kMemAccess))
+            return false;
+        break; // stores translate in order: only the first matters
+    }
+    for (const DynInstPtr &ld : lq_) {
+        if (!ld->addr_known || ld->access_done || ld->squashed ||
+            ld->mem_violation_pending)
+            continue;
+        if (engine_->transmitPublic(*ld, DelayKind::kMemAccess))
+            return false;
+    }
+    return engine_->quiescent();
+}
+
+void
+Core::accrueSkippedCycles(uint64_t k)
+{
+    // Exactly the stat charges k blocked ticks would have made, in
+    // bulk. Structured like tick(): squash gates, then the LSU, then
+    // rename and fetch stalls.
+    for (const DynInstPtr &d : rob_) {
+        if (d->squash_pending)
+            delay_branch_cycles_ += k;
+        if (d->mem_violation_pending)
+            delay_memorder_cycles_ += k;
+    }
+    for (const DynInstPtr &st : sq_) {
+        if (!st->addr_known || st->completed || st->squashed)
+            continue;
+        delay_mem_cycles_ += k;
+        stats_.inc("lsu.store_policy_delays", k);
+        engine_->accrueBlockedTransmit(*st, DelayKind::kMemAccess,
+                                       k);
+        break;
+    }
+    for (const DynInstPtr &ld : lq_) {
+        if (!ld->addr_known || ld->access_done || ld->squashed ||
+            ld->mem_violation_pending)
+            continue;
+        delay_mem_cycles_ += k;
+        stats_.inc("lsu.load_policy_delay_cycles", k);
+        engine_->accrueBlockedTransmit(*ld, DelayKind::kMemAccess,
+                                       k);
+    }
+    if (!fetch_queue_.empty()) {
+        const FetchEntry &fe = fetch_queue_.front();
+        if (fe.ready_cycle <= cycle_)
+            if (const char *stat = renameHazardStat(*fe.inst))
+                stats_.inc(stat, k);
+    }
+    if (cycle_ >= fetch_stall_until_ &&
+        fetch_queue_.size() < params_.fetch_queue_size &&
+        !program_.validPc(fetch_pc_))
+        stats_.inc("fetch.invalid_pc_stalls", k);
+    stats_.inc("ff.skipped_cycles", k);
+}
+
+uint64_t
+Core::tryFastForward(uint64_t max_cycles,
+                     uint64_t last_progress_cycle)
+{
+    // The wake cycle: the first future cycle whose tick may do real
+    // work. max_cycles itself still ticks for real (matching the
+    // run() loop bound), as does the watchdog-tripping cycle.
+    uint64_t wake = max_cycles;
+    if (!completion_events_.empty())
+        wake = std::min(wake, completion_events_.begin()->first);
+    if (fetch_stall_until_ > cycle_)
+        wake = std::min(wake, fetch_stall_until_);
+    if (!fetch_queue_.empty() &&
+        fetch_queue_.front().ready_cycle > cycle_)
+        wake = std::min(wake, fetch_queue_.front().ready_cycle);
+    if (params_.watchdog_cycles != 0)
+        wake = std::min(wake, last_progress_cycle +
+                                  params_.watchdog_cycles + 1);
+    if (wake <= cycle_ + 1)
+        return 0; // nothing to skip
+    if (!quiescentCycle())
+        return 0;
+    const uint64_t skipped = wake - 1 - cycle_;
+    accrueSkippedCycles(skipped);
+    cycle_ += skipped;
+    stats_.inc("ff.windows");
+    return skipped;
+}
+
+// --------------------------------------------------------------------
 // Fetch
 // --------------------------------------------------------------------
 
@@ -160,6 +333,11 @@ void
 Core::fetchStage()
 {
     if (halted_ || cycle_ < fetch_stall_until_)
+        return;
+    // Checkpoint drain barrier: past the target retire count, stop
+    // feeding the pipeline so it empties (uarch/core.h
+    // armCheckpoint).
+    if (ckpt_retires_ != 0 && retired_ >= ckpt_retires_)
         return;
     if (fetch_queue_.size() >= params_.fetch_queue_size)
         return;
@@ -235,6 +413,36 @@ Core::fetchStage()
 // Rename + dispatch
 // --------------------------------------------------------------------
 
+namespace {
+
+/** NOP/HALT/plain JAL complete at dispatch and skip the RS. */
+bool
+needsReservationStation(const DynInst &d)
+{
+    return !(d.si.op == Opcode::kNop || d.si.op == Opcode::kHalt ||
+             (d.si.op == Opcode::kJal && !d.has_dest));
+}
+
+} // namespace
+
+const char *
+Core::renameHazardStat(const DynInst &d) const
+{
+    // Check order matches the charge order below: the first failing
+    // structural check is the one billed per stalled cycle.
+    if (rob_.size() >= params_.rob_size)
+        return "rename.rob_full";
+    if (d.has_dest && !prf_.hasFree())
+        return "rename.no_phys_regs";
+    if (d.is_load && lq_.size() >= params_.lq_size)
+        return "rename.lq_full";
+    if (d.is_store && sq_.size() >= params_.sq_size)
+        return "rename.sq_full";
+    if (needsReservationStation(d) && rs_.size() >= params_.rs_size)
+        return "rename.rs_full";
+    return nullptr;
+}
+
 void
 Core::renameDispatchStage()
 {
@@ -247,29 +455,11 @@ Core::renameDispatchStage()
         DynInstPtr d = fe.inst;
 
         // Structural hazards.
-        if (rob_.size() >= params_.rob_size) {
-            stats_.inc("rename.rob_full");
+        if (const char *hazard = renameHazardStat(*d)) {
+            stats_.inc(hazard);
             break;
         }
-        if (d->has_dest && !prf_.hasFree()) {
-            stats_.inc("rename.no_phys_regs");
-            break;
-        }
-        if (d->is_load && lq_.size() >= params_.lq_size) {
-            stats_.inc("rename.lq_full");
-            break;
-        }
-        if (d->is_store && sq_.size() >= params_.sq_size) {
-            stats_.inc("rename.sq_full");
-            break;
-        }
-        const bool needs_rs =
-            !(d->si.op == Opcode::kNop || d->si.op == Opcode::kHalt ||
-              (d->si.op == Opcode::kJal && !d->has_dest));
-        if (needs_rs && rs_.size() >= params_.rs_size) {
-            stats_.inc("rename.rs_full");
-            break;
-        }
+        const bool needs_rs = needsReservationStation(*d);
 
         // Rename.
         if (d->num_srcs >= 1)

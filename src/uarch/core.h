@@ -61,6 +61,15 @@ struct CoreParams {
     /** Ideal instruction fetch (no I-cache timing); useful for
      *  micro-tests that need deterministic backend timing. */
     bool perfect_icache = false;
+    /** Skip provably dead cycles in run(): when every stage is
+     *  blocked and the engine is quiescent, jump to the next timed
+     *  event (completion, fetch wakeup, watchdog bound) and
+     *  bulk-apply the per-cycle blocked-stat accruals. Stat- and
+     *  result-identical to ticking each cycle (pinned by the
+     *  fast-forward equivalence tests); auto-disabled while an
+     *  observer or fault injector is attached or the engine refuses
+     *  (fastForwardSafe). */
+    bool fast_forward = false;
     AttackModel attack_model = AttackModel::kSpectre;
     /** Retire-progress watchdog: if no instruction commits within
      *  this many cycles, run() stops with RunResult::livelocked
@@ -93,6 +102,23 @@ class Core
 
     /** Runs until HALT commits or @p max_cycles elapse. */
     RunResult run(uint64_t max_cycles);
+
+    /** Arms the checkpoint drain barrier: once @p retires
+     *  instructions have committed, run() suppresses fetch, drains
+     *  the pipeline (ROB, fetch queue, completion events empty),
+     *  invokes @p hook exactly once, and resumes normal execution.
+     *  The barrier itself is deterministic machine behavior — a run
+     *  that arms it with a null hook executes identically to one
+     *  that serializes a snapshot at it. */
+    void armCheckpoint(uint64_t retires, std::function<void()> hook);
+
+    /** Pipeline empty (checkpoint barrier / snapshot precondition). */
+    bool drained() const
+    {
+        return rob_.empty() && fetch_queue_.empty() &&
+               completion_events_.empty() && rs_.empty() &&
+               lq_.empty() && sq_.empty();
+    }
 
     bool halted() const { return halted_; }
     uint64_t cycle() const { return cycle_; }
@@ -158,6 +184,8 @@ class Core
     StatSet &stats() { return stats_; }
 
   private:
+    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+
     struct FetchEntry {
         DynInstPtr inst;
         uint64_t ready_cycle;
@@ -182,6 +210,11 @@ class Core
     PipelineObserver *observer_ = nullptr;
     FaultHooks *faults_ = nullptr;
     double wall_timeout_seconds_ = 0.0;
+    /** Checkpoint drain barrier (armCheckpoint); 0 = disarmed.
+     *  While armed and retired_ >= ckpt_retires_, fetch is
+     *  suppressed so the pipeline drains. */
+    uint64_t ckpt_retires_ = 0;
+    std::function<void()> ckpt_hook_;
     /** Transmitter-delay cycles per gate, accumulated as plain
      *  integers on the hot path and published to the engine's StatSet
      *  (delay.*) at the end of run(). */
@@ -212,6 +245,22 @@ class Core
     void renameDispatchStage();
     void fetchStage();
     void updateVp();
+
+    // --- fast-forward --------------------------------------------------
+    /** Would the next tick change any machine state? False only when
+     *  every stage is provably blocked (stats-pure queries only). */
+    bool quiescentCycle() const;
+    /** Per-cycle stat charges a blocked (quiescent) cycle makes,
+     *  applied in bulk for @p k skipped cycles. */
+    void accrueSkippedCycles(uint64_t k);
+    /** Skips dead cycles up to the next timed event; returns the
+     *  number skipped (0 when the machine is live or the next event
+     *  is imminent). */
+    uint64_t tryFastForward(uint64_t max_cycles,
+                            uint64_t last_progress_cycle);
+    /** Stat charged if renaming @p d would stall on a structural
+     *  hazard right now, or nullptr if it would proceed. */
+    const char *renameHazardStat(const DynInst &d) const;
 
     // --- helpers -------------------------------------------------------
     /** Charges one policy-gated stall cycle of @p d to @p kind: bumps

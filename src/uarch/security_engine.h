@@ -87,6 +87,28 @@ class SecurityEngine
     /** Runs at the end of every core cycle (after the VP scan). */
     virtual void tick() {}
 
+    // --- fast-forward support (uarch/core.cpp fastForward) ---------------
+    /** Would tick() be a pure no-op right now — no queued work, no
+     *  declassification the VP cursor has not consumed? Required for
+     *  the core to skip quiescent cycles; the default (true) is
+     *  correct for engines whose tick() does nothing. */
+    virtual bool quiescent() const { return true; }
+
+    /** May the core fast-forward at all under this engine? Engines
+     *  whose policy gates mutate state or deliberately diverge from
+     *  transmitPublic (chaos mutations) must refuse. */
+    virtual bool fastForwardSafe() const { return true; }
+
+    /** Bulk equivalent of the per-cycle stat accrual a blocked
+     *  policy query performs: @p d stayed blocked on @p kind for
+     *  @p cycles consecutive skipped cycles. Engines whose gates
+     *  count block decisions (SPT, SecureBaseline) override this so
+     *  fast-forwarded runs keep bit-identical counters. */
+    virtual void accrueBlockedTransmit(const DynInst &, DelayKind,
+                                       uint64_t /*cycles*/)
+    {
+    }
+
     // --- ground truth (runtime invariant checker) -----------------------
     /**
      * Would letting @p d transmit via @p kind right now leak a

@@ -1,0 +1,24 @@
+# Runs CMD (a ;-separated command line) and fails unless it exits
+# with exactly EXPECT. CTest's WILL_FAIL only checks "nonzero", but
+# the tools' exit convention distinguishes 1 (the check failed) from
+# 2 (usage error) from 70 (internal bug) — see src/common/cli.h —
+# and the negative-path CLI gates must pin the exact code.
+#
+# Usage: cmake -DCMD=<bin;arg;...> -DEXPECT=<code> -P check_exit_code.cmake
+
+if(NOT DEFINED CMD OR NOT DEFINED EXPECT)
+    message(FATAL_ERROR
+        "usage: cmake -DCMD=<bin;arg;...> -DEXPECT=<code> "
+        "-P check_exit_code.cmake")
+endif()
+
+execute_process(COMMAND ${CMD}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(NOT rc EQUAL EXPECT)
+    message(FATAL_ERROR
+        "expected exit ${EXPECT}, got '${rc}'\n"
+        "command: ${CMD}\nstdout:\n${out}\nstderr:\n${err}")
+endif()

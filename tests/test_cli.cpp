@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CLI hardening tests (common/cli.h, common/parallel.h): the strict
+ * number parser behind every tool flag, the --jobs/SPT_JOBS
+ * resolution shared by spt_run/spt_lint/spt_chaos and the bench
+ * drivers, and the toolMain exit-code mapping (0 success, 1 check
+ * failed, 2 usage, 70 internal). The binary-level companions live
+ * in tests/CMakeLists.txt (cli.* ctest entries running the real
+ * tools through tests/check_exit_code.cmake).
+ */
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace spt {
+namespace {
+
+TEST(ParseUnsigned, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseUnsigned("0", "x"), 0u);
+    EXPECT_EQ(parseUnsigned("4", "x"), 4u);
+    EXPECT_EQ(parseUnsigned("007", "x"), 7u); // decimal, not octal
+    EXPECT_EQ(parseUnsigned("18446744073709551615", "x"),
+              UINT64_MAX);
+}
+
+TEST(ParseUnsigned, RejectsTrailingJunk)
+{
+    // stoul would have accepted all of these prefixes silently.
+    EXPECT_THROW(parseUnsigned("4x", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("4 ", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned(" 4", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("4.5", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("0x10", "--jobs"), FatalError);
+}
+
+TEST(ParseUnsigned, RejectsSignsAndEmpty)
+{
+    // "-1" under stoul wraps to a huge unsigned; here it is a
+    // usage error like any other non-digit.
+    EXPECT_THROW(parseUnsigned("-1", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("+1", "--jobs"), FatalError);
+    EXPECT_THROW(parseUnsigned("", "--jobs"), FatalError);
+}
+
+TEST(ParseUnsigned, RejectsOutOfRange)
+{
+    EXPECT_THROW(parseUnsigned("18446744073709551616", "x"),
+                 FatalError); // 2^64
+    EXPECT_THROW(parseUnsigned("99999999999999999999999", "x"),
+                 FatalError);
+    EXPECT_EQ(parseUnsigned("64", "x", 64), 64u);
+    EXPECT_THROW(parseUnsigned("65", "x", 64), FatalError);
+}
+
+/** argv builder: jobsFromArgs takes char**, literals are const. */
+struct Argv {
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        for (std::string &s : strings)
+            ptrs.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+};
+
+TEST(Jobs, JobsFromArgsRejectsMalformedValues)
+{
+    for (const char *bad : {"4x", "0", "-2", "+4", "5000", "1e3",
+                            "", " 2"}) {
+        Argv split({"tool", "--jobs", bad});
+        EXPECT_THROW(jobsFromArgs(split.argc(), split.argv()),
+                     FatalError)
+            << "--jobs " << bad;
+        Argv joined({"tool", std::string("--jobs=") + bad});
+        EXPECT_THROW(jobsFromArgs(joined.argc(), joined.argv()),
+                     FatalError)
+            << "--jobs=" << bad;
+    }
+    Argv missing({"tool", "--jobs"});
+    EXPECT_THROW(jobsFromArgs(missing.argc(), missing.argv()),
+                 FatalError);
+    Argv good({"tool", "--jobs", "3"});
+    EXPECT_EQ(jobsFromArgs(good.argc(), good.argv()), 3u);
+}
+
+TEST(Jobs, ResolveJobsRejectsMalformedEnv)
+{
+    const char *saved = std::getenv("SPT_JOBS");
+    const std::string restore = saved ? saved : "";
+    for (const char *bad : {"4x", "0", "-1", "8192"}) {
+        ASSERT_EQ(setenv("SPT_JOBS", bad, 1), 0);
+        EXPECT_THROW(resolveJobs(0), FatalError)
+            << "SPT_JOBS=" << bad;
+        // An explicit request bypasses the env entirely.
+        EXPECT_EQ(resolveJobs(2), 2u);
+    }
+    ASSERT_EQ(setenv("SPT_JOBS", "7", 1), 0);
+    EXPECT_EQ(resolveJobs(0), 7u);
+    if (saved)
+        setenv("SPT_JOBS", restore.c_str(), 1);
+    else
+        unsetenv("SPT_JOBS");
+}
+
+TEST(ToolMain, MapsExceptionsToExitCodes)
+{
+    EXPECT_EQ(toolMain("t", [] { return 0; }), 0);
+    EXPECT_EQ(toolMain("t", [] { return 1; }), 1);
+    EXPECT_EQ(toolMain("t", []() -> int { SPT_FATAL("bad flag"); }),
+              2);
+    EXPECT_EQ(toolMain("t",
+                       []() -> int {
+                           throw std::runtime_error("boom");
+                       }),
+              70);
+}
+
+} // namespace
+} // namespace spt

@@ -209,6 +209,40 @@ TEST(Stats, HistogramOverflowExactWhenNoDeepOverflow)
     EXPECT_DOUBLE_EQ(h.cdfAt(7), 0.0);
 }
 
+TEST(Stats, EmptyHistogramContract)
+{
+    // The text/JSON dump paths derive mean/p50/p95 for histograms
+    // that may never record a sample (e.g. untaint.* in a run with
+    // zero untaint events). Contract: with zero samples nothing
+    // divides by the sample count — mean and cdf are 0.0 and every
+    // percentile is 0, for any p.
+    Histogram h(8);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.maxSample(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(7), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(UINT64_MAX), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(0.95), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+    EXPECT_EQ(h.percentile(2.0), 0u);
+
+    // The dump paths themselves stay well-defined on the empty
+    // histogram (their p50/p95 lines ride on percentile).
+    StatSet s;
+    s.histogram("empty", 8);
+    std::ostringstream text;
+    s.dump(text);
+    EXPECT_NE(text.str().find("empty.samples 0"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("empty.p95 0"), std::string::npos);
+    JsonWriter jw;
+    s.dumpJson(jw);
+    EXPECT_NE(jw.str().find("\"samples\": 0"), std::string::npos);
+}
+
 TEST(Stats, HistogramPercentileBoundaries)
 {
     Histogram h(8);

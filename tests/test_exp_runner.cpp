@@ -127,10 +127,36 @@ TEST(ExpRunner, MemoizesDuplicateJobs)
     expectSameOutcome(out[0], out[2], 2);
     expectSameOutcome(out[0], out[3], 3);
     expectSameOutcome(out[1], out[4], 4);
-    // Memoized slots share the unique run's host timing.
-    EXPECT_EQ(out[0].host_seconds, out[2].host_seconds);
     // The two design points genuinely differ.
     EXPECT_NE(out[0].result.cycles, out[1].result.cycles);
+}
+
+TEST(ExpRunner, MemoHitsCarryNoHostTime)
+{
+    const TestPrograms programs;
+    RunJob base;
+    base.program = &programs.pchase;
+    base.engine.scheme = ProtectionScheme::kSpt;
+
+    // 4 slots, 1 unique design point: summing host_seconds across
+    // the sweep must bill the single simulation once, not 4x —
+    // the former memo behavior copied the unique run's timing into
+    // every duplicate slot and inflated per-config totals.
+    const std::vector<RunJob> grid = {base, base, base, base};
+    const std::vector<RunOutcome> out = ExpRunner(2).run(grid);
+    EXPECT_FALSE(out[0].memoized);
+    EXPECT_GT(out[0].host_seconds, 0.0);
+    double total = 0.0;
+    unsigned memo_hits = 0;
+    for (const RunOutcome &o : out) {
+        total += o.host_seconds;
+        if (o.memoized) {
+            ++memo_hits;
+            EXPECT_EQ(o.host_seconds, 0.0);
+        }
+    }
+    EXPECT_EQ(memo_hits, 3u);
+    EXPECT_EQ(total, out[0].host_seconds);
 }
 
 TEST(ExpRunner, JobKeyCoversEveryDescriptorField)
@@ -182,6 +208,18 @@ TEST(ExpRunner, JobKeyCoversEveryDescriptorField)
     j = job;
     j.interval_stats = 1000;
     expect_fresh(j, "interval_stats");
+    j = job;
+    j.engine.spt.storage = SptConfig::Storage::kLegacy;
+    expect_fresh(j, "taint storage");
+    j = job;
+    j.fast_forward = true;
+    expect_fresh(j, "fast_forward");
+    j = job;
+    j.checkpoint_at = 1000;
+    expect_fresh(j, "checkpoint_at");
+    j = job;
+    j.checkpoint = "/tmp/somewhere.bin";
+    expect_fresh(j, "checkpoint path");
 }
 
 TEST(ExpRunner, NullProgramFailsTheSweep)

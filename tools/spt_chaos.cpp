@@ -83,16 +83,23 @@ fileSafe(const std::string &label)
     return out;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    setVerbose(false);
+struct Options {
     ChaosConfig cfg;
     bool full = false;
     std::string out_path = "spt_chaos.json";
     std::string diagnostics_dir;
+};
+
+/** Strict argument parsing; runs inside the toolMain guard so a
+ *  parseUnsigned FatalError exits 2 instead of escaping main. */
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    ChaosConfig &cfg = opt.cfg;
+    bool &full = opt.full;
+    std::string &out_path = opt.out_path;
+    std::string &diagnostics_dir = opt.diagnostics_dir;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--seed")
@@ -137,8 +144,21 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    return opt;
+}
 
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
     return toolMain("spt_chaos", [&] {
+        const Options opt = parse(argc, argv);
+        ChaosConfig cfg = opt.cfg;
+        const bool full = opt.full;
+        const std::string &out_path = opt.out_path;
+        const std::string &diagnostics_dir = opt.diagnostics_dir;
         cfg.workloads = quickChaosWorkloads();
         cfg.engines = full ? table2Configs() : chaosEngines();
         const ChaosResult result = runChaosCampaign(cfg);

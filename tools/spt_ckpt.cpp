@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Simulator checkpoint driver (PR-6): create, resume, and inspect
+ * full-machine snapshots (sim/snapshot.h).
+ *
+ *   spt_ckpt run    --workload <name> --checkpoint-at <retires>
+ *                   --snapshot <path> [--config <table2-name>]
+ *                   [--threat-model spectre|futuristic]
+ *                   [--max-cycles N] [--fast-forward]
+ *                   [--stats <path>]
+ *   spt_ckpt resume --workload <name> --snapshot <path>
+ *                   [--config <table2-name>]
+ *                   [--threat-model spectre|futuristic]
+ *                   [--max-cycles N] [--fast-forward]
+ *                   [--stats <path>]
+ *   spt_ckpt info   --snapshot <path>
+ *
+ * `run` executes the workload with the checkpoint drain barrier
+ * armed at the given retire count, serializes the snapshot when the
+ * barrier fires, and then continues to completion. `resume` restores
+ * the snapshot into a freshly configured simulator and runs to
+ * completion; because a cold `run` passes through the very same
+ * barrier, its end-of-run stats are byte-identical to the resumed
+ * run's — the determinism gates compare the two `--stats` files with
+ * cmp. `info` prints the snapshot header.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "sim/simulator.h"
+#include "sim/snapshot.h"
+#include "workloads/workloads.h"
+
+using namespace spt;
+
+namespace {
+
+struct Options {
+    std::string command;
+    std::string workload;
+    std::string config = "SPT{Bwd,ShadowL1}";
+    std::string threat_model = "spectre";
+    std::string snapshot;
+    std::string stats_out;
+    uint64_t checkpoint_at = 0;
+    uint64_t max_cycles = 500'000'000;
+    bool fast_forward = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s run    --workload <name> --checkpoint-at <n>\n"
+        "                 --snapshot <path> [options]\n"
+        "       %s resume --workload <name> --snapshot <path> "
+        "[options]\n"
+        "       %s info   --snapshot <path>\n"
+        "options:\n"
+        "  --config <name>       Table-2 engine config (default\n"
+        "                        SPT{Bwd,ShadowL1}; see spt_run)\n"
+        "  --threat-model <m>    spectre | futuristic\n"
+        "  --max-cycles <n>      cycle budget\n"
+        "  --fast-forward        skip provably dead cycles\n"
+        "  --stats <path>        write end-of-run stats.json\n",
+        argv0, argv0, argv0);
+    std::exit(2);
+}
+
+std::string
+needValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage(argv[0]);
+    return argv[++i];
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    if (argc < 2)
+        usage(argv[0]);
+    opt.command = argv[1];
+    if (opt.command != "run" && opt.command != "resume" &&
+        opt.command != "info")
+        usage(argv[0]);
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--workload")
+            opt.workload = needValue(argc, argv, i);
+        else if (a == "--config")
+            opt.config = needValue(argc, argv, i);
+        else if (a == "--threat-model")
+            opt.threat_model = needValue(argc, argv, i);
+        else if (a == "--snapshot")
+            opt.snapshot = needValue(argc, argv, i);
+        else if (a == "--stats")
+            opt.stats_out = needValue(argc, argv, i);
+        else if (a == "--checkpoint-at")
+            opt.checkpoint_at = parseUnsigned(
+                needValue(argc, argv, i), "--checkpoint-at");
+        else if (a == "--max-cycles")
+            opt.max_cycles = parseUnsigned(needValue(argc, argv, i),
+                                           "--max-cycles");
+        else if (a == "--fast-forward")
+            opt.fast_forward = true;
+        else if (a == "--help" || a == "-h")
+            usage(argv[0]);
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (opt.snapshot.empty())
+        usage(argv[0]);
+    if (opt.command != "info" && opt.workload.empty())
+        usage(argv[0]);
+    if (opt.command == "run" && opt.checkpoint_at == 0)
+        usage(argv[0]);
+    return opt;
+}
+
+SimConfig
+buildConfig(const Options &opt)
+{
+    SimConfig cfg;
+    bool found = false;
+    for (const NamedConfig &nc : table2Configs())
+        if (nc.name == opt.config) {
+            cfg.engine = nc.engine;
+            found = true;
+            break;
+        }
+    if (!found)
+        SPT_FATAL("unknown config '" << opt.config
+                  << "' (see table2Configs; e.g. SPT{Bwd,ShadowL1})");
+    if (opt.threat_model == "spectre")
+        cfg.core.attack_model = AttackModel::kSpectre;
+    else if (opt.threat_model == "futuristic")
+        cfg.core.attack_model = AttackModel::kFuturistic;
+    else
+        SPT_FATAL("unknown threat model: " << opt.threat_model);
+    cfg.max_cycles = opt.max_cycles;
+    cfg.core.fast_forward = opt.fast_forward;
+    return cfg;
+}
+
+void
+printSummary(const Options &opt, const Simulator &sim,
+             const SimResult &r)
+{
+    std::printf("workload      %s\n", opt.workload.c_str());
+    std::printf("config        %s\n", opt.config.c_str());
+    std::printf("numCycles     %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("termination   %s\n",
+                terminationName(r.termination));
+    if (!opt.stats_out.empty()) {
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("numCycles", r.cycles);
+        jw.key("stats");
+        sim.dumpStatsJson(jw);
+        jw.endObject();
+        writeReportFile(opt.stats_out, jw.str() + "\n");
+        std::printf("stats written to %s\n", opt.stats_out.c_str());
+    }
+}
+
+int
+cmdRun(const Options &opt)
+{
+    const Workload &w = workloadByName(opt.workload);
+    SimConfig cfg = buildConfig(opt);
+    cfg.checkpoint_at_retires = opt.checkpoint_at;
+    Simulator sim(w.program, cfg);
+    std::ofstream snap(opt.snapshot, std::ios::binary);
+    if (!snap)
+        SPT_FATAL("cannot write " << opt.snapshot);
+    sim.writeSnapshotTo(&snap);
+    const SimResult r = sim.run();
+    if (r.instructions < opt.checkpoint_at)
+        SPT_FATAL("workload retired only " << r.instructions
+                  << " instructions — the checkpoint barrier at "
+                  << opt.checkpoint_at << " was never reached");
+    snap.close();
+    if (!snap)
+        SPT_FATAL("snapshot write to " << opt.snapshot << " failed");
+    std::printf("snapshot written to %s (barrier at %llu retires)\n",
+                opt.snapshot.c_str(),
+                static_cast<unsigned long long>(opt.checkpoint_at));
+    printSummary(opt, sim, r);
+    return r.halted ? 0 : 1;
+}
+
+int
+cmdResume(const Options &opt)
+{
+    const Workload &w = workloadByName(opt.workload);
+    const SimConfig cfg = buildConfig(opt);
+    Simulator sim(w.program, cfg);
+    std::ifstream snap(opt.snapshot, std::ios::binary);
+    if (!snap)
+        SPT_FATAL("cannot open snapshot " << opt.snapshot);
+    sim.restoreSnapshot(snap);
+    const SimResult r = sim.run();
+    printSummary(opt, sim, r);
+    return r.halted ? 0 : 1;
+}
+
+int
+cmdInfo(const Options &opt)
+{
+    std::ifstream snap(opt.snapshot, std::ios::binary);
+    if (!snap)
+        SPT_FATAL("cannot open snapshot " << opt.snapshot);
+    const SnapshotInfo info = Snapshotter::info(snap);
+    std::printf("version     %u\n", info.version);
+    std::printf("cycle       %llu\n",
+                static_cast<unsigned long long>(info.cycle));
+    std::printf("retired     %llu\n",
+                static_cast<unsigned long long>(info.retired));
+    std::printf("engine      %s\n", info.engine_name.c_str());
+    std::printf("code_size   %llu\n",
+                static_cast<unsigned long long>(info.code_size));
+    std::printf("entry       %llu\n",
+                static_cast<unsigned long long>(info.entry));
+    std::printf("data_bytes  %llu\n",
+                static_cast<unsigned long long>(info.data_bytes));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    // Exit codes: 0 the run halted (or info succeeded), 1 it did
+    // not, 2 usage/environment errors, 70 internal errors — see
+    // common/cli.h.
+    return toolMain("spt_ckpt", [&] {
+        const Options opt = parse(argc, argv);
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "resume")
+            return cmdResume(opt);
+        return cmdInfo(opt);
+    });
+}

@@ -73,6 +73,7 @@ struct Options {
     std::string profile_out;
     uint64_t interval_stats = 0;
     std::string interval_out = "spt_intervals.json";
+    bool fast_forward = false;
 };
 
 [[noreturn]] void
@@ -105,7 +106,9 @@ usage(const char *argv0)
         "  --interval-stats <n>         sample interval metrics every "
         "n cycles\n"
         "  --interval-out <path>        interval time-series JSON "
-        "(default spt_intervals.json)\n",
+        "(default spt_intervals.json)\n"
+        "  --fast-forward               skip provably quiescent "
+        "cycles (stat-identical)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -166,6 +169,8 @@ parse(int argc, char **argv)
         } else if (a == "--interval-stats")
             opt.interval_stats = parseUnsigned(
                 needValue(argc, argv, i), "--interval-stats");
+        else if (a == "--fast-forward")
+            opt.fast_forward = true;
         else if (a == "--interval-out")
             opt.interval_out = needValue(argc, argv, i);
         else if (a == "--help" || a == "-h")
@@ -221,6 +226,7 @@ buildConfig(const Options &opt)
     }
     cfg.profile = opt.profile;
     cfg.interval_stats = opt.interval_stats;
+    cfg.core.fast_forward = opt.fast_forward;
     return cfg;
 }
 

@@ -1,0 +1,28 @@
+#include "analysis/knowledge_map.h"
+
+#include "isa/program.h"
+
+namespace spt {
+
+KnowledgeMap
+emitKnowledgeMap(const KnowledgeAnalysis &analysis,
+                 KnowledgeVpModel vp_model)
+{
+    const Program &program = analysis.cfg().program();
+    std::vector<uint32_t> masks(program.size(), 0);
+    for (uint64_t pc = 0; pc < program.size(); ++pc) {
+        const KnowledgeState *st = analysis.inState(pc);
+        if (!st)
+            continue; // unreachable: no facts hold
+        uint32_t mask = 0;
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            if (st->of(static_cast<uint8_t>(r)) ==
+                Knowledge::kRobust)
+                mask |= 1u << r;
+        masks[pc] = mask;
+    }
+    return KnowledgeMap(KnowledgeMap::fingerprintOf(program),
+                        vp_model, std::move(masks));
+}
+
+} // namespace spt

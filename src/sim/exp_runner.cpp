@@ -32,7 +32,7 @@ jobKey(const RunJob &job)
 {
     // Every descriptor field except `label` participates. SptConfig
     // currently has exactly {method, shadow, broadcast_width,
-    // storage, mutation}; extend this when it grows
+    // storage, mutation, knowledge_map}; extend this when it grows
     // (tests/test_exp_runner.cpp pins the sensitivity). The
     // observability flags must participate too: a traced run carries
     // artifacts a plain run lacks, so the two may not share a slot.
@@ -45,7 +45,8 @@ jobKey(const RunJob &job)
     char buf[384];
     int n = std::snprintf(
         buf, sizeof buf,
-        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|st=%u|mut=%u|am=%u|seed=%llu"
+        "p=%p|sch=%u|m=%u|sh=%u|bw=%u|st=%u|mut=%u|km=%p|am=%u"
+        "|seed=%llu"
         "|mc=%llu|tr=%u|pf=%u|iv=%llu|inv=%u|wd=%llu|wt=%.9g|ff=%u"
         "|ca=%llu|fs=%llu",
         static_cast<const void *>(job.program),
@@ -55,6 +56,7 @@ jobKey(const RunJob &job)
         job.engine.spt.broadcast_width,
         static_cast<unsigned>(job.engine.spt.storage),
         static_cast<unsigned>(job.engine.spt.mutation),
+        static_cast<const void *>(job.engine.spt.knowledge_map),
         static_cast<unsigned>(job.attack_model),
         static_cast<unsigned long long>(job.seed),
         static_cast<unsigned long long>(job.max_cycles),

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/knowledge_map.h"
 #include "core/spt_engine.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
@@ -27,7 +28,7 @@ namespace spt {
 namespace {
 
 constexpr uint64_t kMagic = 0x31544b4354505331ULL; // "1SPTCKT1"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2; // v2: knowledge-map tag + armed bits
 
 // --------------------------------------------------------------------
 // Primitive writers/readers
@@ -726,6 +727,12 @@ Snapshotter::save(const Simulator &sim, std::ostream &os)
     w.u8(static_cast<uint8_t>(ec.scheme));
     w.u8(static_cast<uint8_t>(ec.spt.shadow));
     w.u8(static_cast<uint8_t>(ec.spt.storage));
+    // Knowledge-map identity (0 = no map): a restore under a
+    // different map would preclear differently from the run that
+    // took the snapshot, breaking byte-identity.
+    w.u64(ec.spt.knowledge_map
+              ? ec.spt.knowledge_map->contentHash()
+              : 0);
 
     // Core scalars + architectural registers.
     w.u64(core.next_seq_);
@@ -764,6 +771,14 @@ Snapshotter::save(const Simulator &sim, std::ostream &os)
             w.u8(spt->masterTaint(core.rat_.lookup(
                                       static_cast<uint8_t>(r)))
                      .raw());
+        // Armed bits (knowledge-map preclear precondition): at the
+        // drained barrier only committed-RAT registers are live, so
+        // the arch-indexed view is complete.
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            w.u8(spt->valueArmed(core.rat_.lookup(
+                     static_cast<uint8_t>(r)))
+                     ? 1
+                     : 0);
         Codec::putTaintStore(w, *spt);
     }
 
@@ -809,6 +824,16 @@ Snapshotter::restore(Simulator &sim, std::istream &is)
          storage != static_cast<uint8_t>(ec.spt.storage)))
         SPT_FATAL("snapshot/config mismatch: SPT shadow/storage "
                   "kind");
+    const uint64_t map_hash = r.u64();
+    const uint64_t want_hash =
+        ec.scheme == ProtectionScheme::kSpt && ec.spt.knowledge_map
+            ? ec.spt.knowledge_map->contentHash()
+            : 0;
+    if (map_hash != want_hash)
+        SPT_FATAL("snapshot/config mismatch: knowledge map "
+                  "(snapshot tag 0x"
+                  << std::hex << map_hash << ", this run 0x"
+                  << want_hash << std::dec << ")");
 
     core.cycle_ = cycle;
     core.retired_ = retired;
@@ -846,6 +871,13 @@ Snapshotter::restore(Simulator &sim, std::istream &is)
             const TaintMask mask = TaintMask::fromRaw(r.u8());
             spt->master_.set(
                 core.rat_.lookup(static_cast<uint8_t>(reg)), mask);
+        }
+        for (unsigned reg = 0; reg < kNumArchRegs; ++reg) {
+            const uint8_t armed = r.u8();
+            const PhysReg preg =
+                core.rat_.lookup(static_cast<uint8_t>(reg));
+            if (preg != PhysRegFile::kZeroReg)
+                spt->armed_[preg] = armed;
         }
         Codec::getTaintStore(r, *spt);
     }

@@ -37,6 +37,7 @@ taintEventName(TaintEvent e)
       case TaintEvent::kBackwardUntaint: return "backward";
       case TaintEvent::kShadowUntaint: return "shadow-data";
       case TaintEvent::kStlUntaint: return "stl-forward";
+      case TaintEvent::kMapPreclear: return "map-preclear";
     }
     return "?";
 }

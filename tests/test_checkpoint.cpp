@@ -138,7 +138,7 @@ TEST(Checkpoint, InfoReadsTheHeader)
 
     std::istringstream in(snap.str());
     const SnapshotInfo info = Snapshotter::info(in);
-    EXPECT_EQ(info.version, 1u);
+    EXPECT_EQ(info.version, 2u);
     // Retirement continues while the pipeline drains, so the barrier
     // count is a floor, not the exact capture point.
     EXPECT_GE(info.retired, kBarrier);

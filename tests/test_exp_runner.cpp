@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.h"
+#include "core/knowledge_map.h"
 #include "sim/exp_runner.h"
 #include "sim/report.h"
 #include "workloads/workloads.h"
@@ -220,6 +221,10 @@ TEST(ExpRunner, JobKeyCoversEveryDescriptorField)
     j = job;
     j.checkpoint = "/tmp/somewhere.bin";
     expect_fresh(j, "checkpoint path");
+    j = job;
+    static const KnowledgeMap kMap;
+    j.engine.spt.knowledge_map = &kMap;
+    expect_fresh(j, "knowledge map");
 }
 
 TEST(ExpRunner, NullProgramFailsTheSweep)

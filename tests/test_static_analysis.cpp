@@ -263,6 +263,140 @@ TEST(KnowledgeAnalysis, UnreachableCodeHasNoState)
 }
 
 // ---------------------------------------------------------------
+// DefRecord kill semantics (transfer function, unit level)
+// ---------------------------------------------------------------
+
+TEST(KnowledgeAnalysis, SelfReferentialDefIsNeverRecorded)
+{
+    // `xor t0, t0, t1` relates the *new* t0 to the *old* t0; keeping
+    // a def record would let a later inference relate stale values.
+    const Program p = prog(R"(
+        .text
+        xor  t0, t0, t1
+        halt
+    )");
+    KnowledgeState st;
+    KnowledgeAnalysis::transfer(p.at(0), 0, st);
+    EXPECT_FALSE(st.def[parseRegister("t0")].valid);
+}
+
+TEST(KnowledgeAnalysis, NonSelfDefIsRecordedAndPinsItsSources)
+{
+    const Program p = prog(R"(
+        .text
+        xor  t0, t1, t2
+        addi t1, t1, 1
+        halt
+    )");
+    KnowledgeState st;
+    const unsigned t0 = parseRegister("t0");
+    KnowledgeAnalysis::transfer(p.at(0), 0, st);
+    ASSERT_TRUE(st.def[t0].valid);
+    EXPECT_EQ(st.def[t0].pc, 0u);
+    // Redefining a source register kills the dependent record: the
+    // backward rule xor would justify now relates a t1 that no
+    // longer exists.
+    KnowledgeAnalysis::transfer(p.at(1), 1, st);
+    EXPECT_FALSE(st.def[t0].valid);
+}
+
+TEST(KnowledgeAnalysis, RedefiningTheDestKillsItsOwnRecord)
+{
+    const Program p = prog(R"(
+        .text
+        xor  t0, t1, t2
+        ld   t0, 0(t3)
+        halt
+    )");
+    KnowledgeState st;
+    const unsigned t0 = parseRegister("t0");
+    KnowledgeAnalysis::transfer(p.at(0), 0, st);
+    ASSERT_TRUE(st.def[t0].valid);
+    // Loads are not recordable (memory contents unmodeled), so the
+    // overwrite must clear the slot rather than keep the xor record.
+    KnowledgeAnalysis::transfer(p.at(1), 1, st);
+    EXPECT_FALSE(st.def[t0].valid);
+}
+
+// ---------------------------------------------------------------
+// CFG edge policy under the knowledge fixpoint
+// ---------------------------------------------------------------
+
+TEST(KnowledgeAnalysis, IndirectJumpMeetsFactsToUnknown)
+{
+    // A non-ret JALR edges to every block (conservative indirect
+    // target set), so `join` sees both the fall-through state
+    // (t2 robust) and the jr-block state (t2 undefined) — the meet
+    // must drop the fact.
+    const Program p = prog(R"(
+        .text
+        li   t0, 7
+        beq  t0, x0, skip
+        jr   t1
+    skip:
+        li   t2, 3
+    join:
+        add  t3, t2, t2
+        halt
+    )");
+    const Cfg cfg(p);
+    const KnowledgeAnalysis ka(cfg);
+    const uint64_t join_pc = 4; // add t3, t2, t2
+    ASSERT_NE(ka.inState(join_pc), nullptr);
+    EXPECT_EQ(claimLevel(ka, join_pc, 0), Knowledge::kUnknown);
+    EXPECT_EQ(claimLevel(ka, join_pc, 1), Knowledge::kUnknown);
+}
+
+TEST(KnowledgeAnalysis, DisciplinedRetKeepsCallerFacts)
+{
+    // With the ra-disciplined CFG, `ret` edges only to the actual
+    // return site, so facts established before the call survive the
+    // callee (unlike the all-blocks fallback above).
+    const Program p = prog(R"(
+        .text
+        li   t0, 9
+        call fn
+        add  t1, t0, t0
+        halt
+    fn:
+        ret
+    )");
+    const Cfg cfg(p);
+    const KnowledgeAnalysis ka(cfg);
+    const uint64_t reader_pc = 2; // add t1, t0, t0
+    ASSERT_NE(ka.inState(reader_pc), nullptr);
+    EXPECT_EQ(claimLevel(ka, reader_pc, 0), Knowledge::kRobust);
+}
+
+TEST(KnowledgeAnalysis, SelfLoopReachesAFixpoint)
+{
+    // A single-block loop whose body feeds itself: the descending
+    // worklist must terminate (finite lattice, monotone transfer)
+    // and the loop-carried register must settle at the meet of the
+    // entry state and the back edge.
+    const Program p = prog(R"(
+        .text
+        li   t0, 0
+        li   t1, 4
+    loop:
+        addi t0, t0, 1
+        bne  t0, t1, loop
+        add  t2, t0, t0
+        halt
+    )");
+    const Cfg cfg(p);
+    const KnowledgeAnalysis ka(cfg);
+    const uint64_t body_pc = 2; // addi t0, t0, 1
+    ASSERT_NE(ka.inState(body_pc), nullptr);
+    // t0 is robust on entry (li) and robust around the back edge
+    // (addi of a robust value), so the fixpoint keeps it robust.
+    EXPECT_EQ(claimLevel(ka, body_pc, 0), Knowledge::kRobust);
+    // The branch's own operands are declassified by its VP, so the
+    // post-loop reader sees robust facts as well.
+    EXPECT_EQ(claimLevel(ka, 4, 0), Knowledge::kRobust);
+}
+
+// ---------------------------------------------------------------
 // Secret-flow lint goldens
 // ---------------------------------------------------------------
 

@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,10 @@
 namespace spt {
 namespace bench {
 
-/** Common bench CLI: "--jobs N" (or SPT_JOBS) and "--out PATH" for
- *  the JSON artifact. Unknown arguments are fatal. */
+/** Common bench CLI: "--jobs N" (or SPT_JOBS), "--out PATH" for the
+ *  JSON artifact, "--cache DIR" / "--cache-mode MODE" for the
+ *  on-disk result cache, and "--service SOCK" to route the sweep to
+ *  a running spt_sweepd. Unknown arguments are fatal. */
 struct BenchOptions {
     unsigned jobs = 1;
     std::string out_path;
@@ -41,21 +44,46 @@ parseBenchArgs(int argc, char **argv, const char *default_out)
     BenchOptions opt;
     opt.jobs = jobsFromArgs(argc, argv);
     opt.out_path = default_out;
+    // The cache/service flags resolve through the environment: the
+    // runner reads SPT_CACHE_DIR / SPT_CACHE_MODE / SPT_SWEEP_SOCKET
+    // itself, so every driver (and every ExpRunner a driver
+    // constructs) picks them up with no per-driver plumbing.
+    const auto set_env = [](const char *name,
+                            const std::string &value) {
+        setenv(name, value.c_str(), /*overwrite=*/1);
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto value_of = [&](const char *flag) {
+            if (i + 1 >= argc)
+                SPT_FATAL(flag << " requires a value");
+            return std::string(argv[++i]);
+        };
         if (arg == "--jobs") {
             ++i; // value consumed by jobsFromArgs
         } else if (arg.rfind("--jobs=", 0) == 0) {
             // consumed by jobsFromArgs
         } else if (arg == "--out") {
-            if (i + 1 >= argc)
-                SPT_FATAL("--out requires a path");
-            opt.out_path = argv[++i];
+            opt.out_path = value_of("--out");
         } else if (arg.rfind("--out=", 0) == 0) {
             opt.out_path = arg.substr(6);
+        } else if (arg == "--cache") {
+            set_env("SPT_CACHE_DIR", value_of("--cache"));
+        } else if (arg.rfind("--cache=", 0) == 0) {
+            set_env("SPT_CACHE_DIR", arg.substr(8));
+        } else if (arg == "--cache-mode") {
+            set_env("SPT_CACHE_MODE", value_of("--cache-mode"));
+        } else if (arg.rfind("--cache-mode=", 0) == 0) {
+            set_env("SPT_CACHE_MODE", arg.substr(13));
+        } else if (arg == "--service") {
+            set_env("SPT_SWEEP_SOCKET", value_of("--service"));
+        } else if (arg.rfind("--service=", 0) == 0) {
+            set_env("SPT_SWEEP_SOCKET", arg.substr(10));
         } else {
             SPT_FATAL("unknown argument " << arg
-                      << " (expected --jobs N / --out PATH)");
+                      << " (expected --jobs N / --out PATH / "
+                         "--cache DIR / --cache-mode MODE / "
+                         "--service SOCK)");
         }
     }
     return opt;
@@ -69,11 +97,25 @@ reportSweep(const ExpRunner &runner)
     const SweepStats &s = runner.lastSweep();
     fprintf(stderr,
             "[sweep] %u worker(s), %llu unique job(s), %llu memo "
-            "hit(s), %.2fs wall\n",
+            "hit(s), %.2fs wall%s\n",
             s.workers,
             static_cast<unsigned long long>(s.unique_jobs),
             static_cast<unsigned long long>(s.memo_hits),
-            s.wall_seconds);
+            s.wall_seconds,
+            s.via_service ? " (via sweep service)" : "");
+    if (s.cache_mode != "off")
+        fprintf(stderr,
+                "[cache] mode=%s dir=%s hits=%llu misses=%llu "
+                "verify_mismatches=%llu bytes_written=%llu "
+                "saved=%.2fs\n",
+                s.cache_mode.c_str(), s.cache_dir.c_str(),
+                static_cast<unsigned long long>(s.cache.hits),
+                static_cast<unsigned long long>(s.cache.misses),
+                static_cast<unsigned long long>(
+                    s.cache.verify_mismatches),
+                static_cast<unsigned long long>(
+                    s.cache.bytes_written),
+                s.cache.host_seconds_saved);
 }
 
 /** The workload-name lists the figure drivers sweep, honoring

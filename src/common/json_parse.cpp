@@ -1,0 +1,331 @@
+#include "common/json_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace spt {
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::kBool)
+        SPT_FATAL("json: expected bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type_ != Type::kNumber)
+        SPT_FATAL("json: expected number");
+    return num_;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (type_ != Type::kNumber)
+        SPT_FATAL("json: expected number");
+    if (token_.empty() || token_[0] == '-' ||
+        token_.find_first_of(".eE") != std::string::npos)
+        SPT_FATAL("json: expected unsigned integer, got "
+                  << token_);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(token_.c_str(), &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        SPT_FATAL("json: integer out of range: " << token_);
+    return v;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type_ != Type::kString)
+        SPT_FATAL("json: expected string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (type_ != Type::kArray)
+        SPT_FATAL("json: expected array");
+    return arr_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (type_ != Type::kObject)
+        SPT_FATAL("json: expected object");
+    return obj_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const auto &obj = asObject();
+    const auto it = obj.find(key);
+    if (it == obj.end())
+        SPT_FATAL("json: missing member \"" << key << "\"");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return type_ == Type::kObject && obj_.count(key) > 0;
+}
+
+uint64_t
+JsonValue::getU64(const std::string &key, uint64_t dflt) const
+{
+    return has(key) ? at(key).asU64() : dflt;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool dflt) const
+{
+    return has(key) ? at(key).asBool() : dflt;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &dflt) const
+{
+    return has(key) ? at(key).asString() : dflt;
+}
+
+/** Recursive-descent parser over the full input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        SPT_FATAL("json parse error at byte " << pos_ << ": "
+                                              << what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail("bad literal");
+            ++pos_;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'u': {
+                // \uXXXX: decode the code point as raw bytes for
+                // the BMP-latin subset the writer emits (control
+                // characters); anything else keeps UTF-8 intact
+                // only for < 0x80, which is all the protocol uses.
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                if (cp > 0xff)
+                    fail("non-latin \\u escape unsupported");
+                out.push_back(static_cast<char>(cp));
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        if (consumeIf('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        JsonValue v;
+        v.type_ = JsonValue::Type::kNumber;
+        v.token_ = text_.substr(start, pos_ - start);
+        errno = 0;
+        char *end = nullptr;
+        v.num_ = std::strtod(v.token_.c_str(), &end);
+        if (v.token_.empty() || end == nullptr || *end != '\0')
+            fail("malformed number");
+        return v;
+    }
+
+    JsonValue
+    value(unsigned depth)
+    {
+        if (depth > 64)
+            fail("nesting too deep");
+        skipWs();
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': {
+            ++pos_;
+            v.type_ = JsonValue::Type::kObject;
+            skipWs();
+            if (consumeIf('}'))
+                return v;
+            for (;;) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                v.obj_[std::move(key)] = value(depth + 1);
+                skipWs();
+                if (consumeIf(','))
+                    continue;
+                expect('}');
+                return v;
+            }
+          }
+          case '[': {
+            ++pos_;
+            v.type_ = JsonValue::Type::kArray;
+            skipWs();
+            if (consumeIf(']'))
+                return v;
+            for (;;) {
+                v.arr_.push_back(value(depth + 1));
+                skipWs();
+                if (consumeIf(','))
+                    continue;
+                expect(']');
+                return v;
+            }
+          }
+          case '"':
+            v.type_ = JsonValue::Type::kString;
+            v.str_ = string();
+            return v;
+          case 't':
+            literal("true");
+            v.type_ = JsonValue::Type::kBool;
+            v.bool_ = true;
+            return v;
+          case 'f':
+            literal("false");
+            v.type_ = JsonValue::Type::kBool;
+            v.bool_ = false;
+            return v;
+          case 'n':
+            literal("null");
+            v.type_ = JsonValue::Type::kNull;
+            return v;
+          default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace spt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal JSON reader, the inverse of common/json.h's JsonWriter.
+ *
+ * The sweep service (sim/sweep_service.h) speaks a small
+ * length-prefixed JSON protocol; this parser turns one request or
+ * response frame into a JsonValue tree. It accepts exactly the
+ * JSON the JsonWriter emits (objects, arrays, strings with \"
+ * escapes, integers, fixed-point doubles, booleans, null) plus
+ * arbitrary whitespace, and rejects everything else with
+ * FatalError — a malformed frame must become a structured protocol
+ * error, never undefined behavior.
+ *
+ * Numbers keep their raw token alongside the double value so
+ * 64-bit integers (seeds, cycle counts) round-trip exactly:
+ * asU64() re-parses the token instead of going through the
+ * double's 53-bit mantissa.
+ */
+
+#ifndef SPT_COMMON_JSON_PARSE_H
+#define SPT_COMMON_JSON_PARSE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class JsonValue
+{
+  public:
+    enum class Type : uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    /** Typed accessors; SPT_FATAL on a type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Exact for any uint64 the writer emitted (re-parses the raw
+     *  token); SPT_FATAL on sign/overflow/fraction. */
+    uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; SPT_FATAL if absent or not an object. */
+    const JsonValue &at(const std::string &key) const;
+    /** True iff this is an object with member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Convenience lookups with defaults for optional members. */
+    uint64_t getU64(const std::string &key, uint64_t dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+  private:
+    friend JsonValue parseJson(const std::string &);
+    friend class JsonParser;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string token_; ///< raw number token (exact u64 round-trip)
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/** Parses one JSON document; SPT_FATAL on any syntax error or
+ *  trailing garbage. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace spt
+
+#endif // SPT_COMMON_JSON_PARSE_H

@@ -58,7 +58,9 @@ class Histogram
     void reset();
 
   private:
-    friend class Snapshotter; // checkpoint wire format (sim/snapshot)
+    friend class Snapshotter;  // checkpoint wire format (sim/snapshot)
+    friend class ResultCache;  // result-record wire format
+                               // (sim/result_cache)
 
     std::vector<uint64_t> buckets_;
     uint64_t samples_ = 0;

@@ -2,14 +2,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "sim/sweep_service.h"
 #include "uarch/invariant_checker.h"
 
 namespace spt {
@@ -80,11 +83,8 @@ jobKey(const RunJob &job)
     return key;
 }
 
-namespace {
-
-/** One-line human identity of a job for failure reports. */
 std::string
-describeJob(const RunJob &job)
+describeRunJob(const RunJob &job)
 {
     if (!job.label.empty())
         return job.label;
@@ -98,6 +98,8 @@ describeJob(const RunJob &job)
         desc += "/faults@" + std::to_string(job.faults.seed);
     return desc;
 }
+
+namespace {
 
 SimConfig
 configFor(const RunJob &job)
@@ -191,6 +193,27 @@ captureEvidence(const RunJob &job, RunOutcome &out)
     }
 }
 
+/** Resolves the RunnerPolicy/environment cache configuration into
+ *  an open cache, or nullptr when disabled. */
+std::unique_ptr<ResultCache>
+openCache(const RunnerPolicy &policy)
+{
+    std::string dir = policy.cache_dir;
+    CacheMode mode = policy.cache_mode;
+    if (dir.empty()) {
+        const char *env_dir = std::getenv("SPT_CACHE_DIR");
+        if (env_dir == nullptr || *env_dir == '\0')
+            return nullptr;
+        dir = env_dir;
+        mode = CacheMode::kReadWrite;
+        if (const char *env_mode = std::getenv("SPT_CACHE_MODE"))
+            mode = parseCacheMode(env_mode);
+    }
+    if (mode == CacheMode::kOff)
+        return nullptr;
+    return std::make_unique<ResultCache>(std::move(dir), mode);
+}
+
 } // namespace
 
 ExpRunner::ExpRunner(unsigned jobs) : workers_(resolveJobs(jobs)) {}
@@ -202,6 +225,16 @@ ExpRunner::run(const std::vector<RunJob> &grid,
     for (std::size_t i = 0; i < grid.size(); ++i)
         if (grid[i].program == nullptr)
             SPT_FATAL("RunJob " << i << " has a null program");
+
+    // Route the whole grid to a sweep daemon when one is configured
+    // (it owns the warm cache and worker pool; outcomes come back
+    // byte-identical to an in-process run).
+    std::string socket = policy.service_socket;
+    if (socket.empty())
+        if (const char *env = std::getenv("SPT_SWEEP_SOCKET"))
+            socket = env;
+    if (!socket.empty() && socket != kNoSweepService)
+        return runGridViaService(socket, grid, policy, &last_);
 
     // Deduplicate up front: unique jobs run on the pool, duplicate
     // slots are filled by copy afterwards.
@@ -217,6 +250,19 @@ ExpRunner::run(const std::vector<RunJob> &grid,
             unique.push_back(i);
     }
 
+    // Canonical cache keys are computed up front on the main thread:
+    // canonicalKey may read a checkpoint file, and the memoization
+    // map it fills is shared mutable state the pool workers must not
+    // touch (common/parallel.h contract).
+    const std::unique_ptr<ResultCache> cache = openCache(policy);
+    std::vector<std::string> ckeys(grid.size());
+    if (cache) {
+        std::map<std::string, uint64_t> ckpt_hashes;
+        for (const std::size_t slot : unique)
+            ckeys[slot] =
+                ResultCache::canonicalKey(grid[slot], &ckpt_hashes);
+    }
+
     std::vector<RunOutcome> outcomes(grid.size());
     // Exceptions are caught per slot and resolved after the pool
     // drains, so a failing sweep (a) always identifies the
@@ -228,6 +274,17 @@ ExpRunner::run(const std::vector<RunJob> &grid,
     parallelFor(unique.size(), workers_, [&](std::size_t u) {
         const std::size_t slot = unique[u];
         const RunJob &job = grid[slot];
+        const std::string &ckey = ckeys[slot];
+        RunOutcome cached;
+        bool verify_hit = false;
+        if (cache && !ckey.empty() && cache->lookup(ckey, &cached)) {
+            if (cache->mode() == CacheMode::kVerify) {
+                verify_hit = true; // re-simulate, then compare
+            } else {
+                outcomes[slot] = std::move(cached);
+                return;
+            }
+        }
         RunOutcome out;
         try {
             SimConfig cfg = configFor(job);
@@ -271,6 +328,12 @@ ExpRunner::run(const std::vector<RunJob> &grid,
             out.error = e.what();
             errors[slot] = std::current_exception();
         }
+        if (verify_hit &&
+            ResultCache::encodeOutcomeDeterministic(out) !=
+                ResultCache::encodeOutcomeDeterministic(cached))
+            cache->noteVerifyMismatch(ckey);
+        if (cache && !ckey.empty() && !verify_hit)
+            cache->store(ckey, out);
         if (policy.capture_evidence &&
             (out.status == RunStatus::kCrash ||
              out.status == RunStatus::kViolation))
@@ -291,13 +354,18 @@ ExpRunner::run(const std::vector<RunJob> &grid,
     // Descriptors are per-slot, not per-unique-run: duplicates may
     // carry distinct labels.
     for (std::size_t i = 0; i < grid.size(); ++i)
-        outcomes[i].job_desc = describeJob(grid[i]);
+        outcomes[i].job_desc = describeRunJob(grid[i]);
 
     last_.workers = workers_;
     last_.unique_jobs = unique.size();
     last_.memo_hits = grid.size() - unique.size();
     last_.wall_seconds =
         std::chrono::duration<double>(t1 - t0).count();
+    last_.cache = cache ? cache->stats() : CacheStats{};
+    last_.cache_mode =
+        cache ? cacheModeName(cache->mode()) : "off";
+    last_.cache_dir = cache ? cache->dir() : "";
+    last_.via_service = false;
     last_.failed_jobs = 0;
     last_.first_failure.clear();
     for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -328,6 +396,17 @@ sweepReportJson(JsonWriter &jw, const std::vector<RunJob> &grid,
     jw.field("memo_hits", stats.memo_hits);
     jw.field("failed_jobs", stats.failed_jobs);
     jw.field("first_failure", stats.first_failure);
+    // host_seconds_saved is host-timing and deliberately excluded:
+    // this report must stay byte-identical across hosts and worker
+    // counts (the determinism gates cmp it).
+    jw.key("cache");
+    jw.beginObject();
+    jw.field("mode", stats.cache_mode);
+    jw.field("hits", stats.cache.hits);
+    jw.field("misses", stats.cache.misses);
+    jw.field("verify_mismatches", stats.cache.verify_mismatches);
+    jw.field("bytes_written", stats.cache.bytes_written);
+    jw.endObject();
     jw.key("cells");
     jw.beginArray();
     for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -36,6 +36,21 @@
  * duplicate slot. This is what spares e.g. a normalized-overhead
  * grid from re-deriving its UnsafeBaseline column per normalization.
  *
+ * Cross-process reuse (PR 8): with a cache directory configured
+ * (RunnerPolicy::cache_dir or SPT_CACHE_DIR), each unique job is
+ * first looked up in the on-disk content-addressed result cache
+ * (sim/result_cache.h) and only simulated on a miss; clean outcomes
+ * are stored back (read_write mode). A hit replays the recorded
+ * outcome including its original host_seconds, so warm-cache
+ * artifacts are byte-identical to the cold run that populated the
+ * cache. `verify` mode re-simulates every hit and counts byte
+ * mismatches into SweepStats::cache.verify_mismatches — the
+ * soundness gate for the "hits are provably exact" claim. With
+ * SPT_SWEEP_SOCKET (or RunnerPolicy::service_socket) set, run()
+ * instead ships the whole grid to a spt_sweepd daemon
+ * (sim/sweep_service.h) and collects the outcomes from its warm
+ * cache and worker pool.
+ *
  * Failure isolation (PR 5): by default any exception escaping a job
  * still fails the whole sweep — but it now fails *deterministically*
  * (the lowest-indexed failing slot's exception is rethrown, not
@@ -61,6 +76,7 @@
 
 #include "common/stats.h"
 #include "isa/instruction.h"
+#include "sim/result_cache.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
 
@@ -185,8 +201,16 @@ struct RunOutcome {
     bool failed() const { return status != RunStatus::kOk; }
 };
 
-/** Sweep-level failure handling. The default reproduces the historic
- *  contract: first failure (by slot index) aborts the sweep. */
+/** RunnerPolicy::service_socket sentinel forcing in-process
+ *  execution even when SPT_SWEEP_SOCKET is set; the daemon's own
+ *  runner uses it so a submission can never route back into the
+ *  daemon. */
+inline constexpr const char *kNoSweepService = "local";
+
+/** Sweep-level failure handling plus cross-process execution
+ *  backends. The default reproduces the historic contract: first
+ *  failure (by slot index) aborts the sweep, no cache, in-process
+ *  execution. */
 struct RunnerPolicy {
     /** Complete the sweep even when jobs fail; failures are
      *  classified into RunOutcome::status instead of thrown. */
@@ -195,6 +219,24 @@ struct RunnerPolicy {
      *  invariants to attach evidence (implies extra host time only
      *  for failing jobs). */
     bool capture_evidence = false;
+
+    // --- on-disk result cache (sim/result_cache.h) ----------------
+    /** Cache directory. Empty resolves the SPT_CACHE_DIR
+     *  environment variable (with SPT_CACHE_MODE, default
+     *  read_write), which is how every existing driver gains
+     *  cross-process reuse with zero code changes; still empty
+     *  means no cache. */
+    std::string cache_dir;
+    /** Mode used when cache_dir is set explicitly (the environment
+     *  path reads SPT_CACHE_MODE instead). kOff disables the cache
+     *  even with cache_dir set. */
+    CacheMode cache_mode = CacheMode::kReadWrite;
+
+    // --- sweep service (sim/sweep_service.h) ----------------------
+    /** Unix-domain socket of a spt_sweepd daemon to route the whole
+     *  grid through. Empty resolves SPT_SWEEP_SOCKET; the
+     *  kNoSweepService sentinel forces in-process execution. */
+    std::string service_socket;
 };
 
 /** Bookkeeping from the last ExpRunner::run call. */
@@ -206,13 +248,33 @@ struct SweepStats {
     uint64_t failed_jobs = 0; ///< slots with status != kOk
     /** job_desc of the lowest-indexed failed slot; empty if none. */
     std::string first_failure;
+    /** Result-cache traffic of this sweep (all zero with the cache
+     *  off). When the sweep ran via the service, these are the
+     *  daemon-side numbers for this batch's execution. */
+    CacheStats cache;
+    /** Resolved cache mode name ("off" when disabled). */
+    std::string cache_mode = "off";
+    /** Resolved cache directory ("" when disabled). */
+    std::string cache_dir;
+    /** True when the grid was executed by a sweep daemon rather
+     *  than in-process. */
+    bool via_service = false;
 };
 
-/** Memoization key: program identity plus every field of the job
- *  descriptor. Keep in sync with EngineConfig/SptConfig — a field
- *  missing here would merge distinct design points. Exposed for
- *  tests. */
+/** In-process memoization key: program identity (object address)
+ *  plus every field of the job descriptor. Keep in sync with
+ *  EngineConfig/SptConfig — a field missing here would merge
+ *  distinct design points — and with
+ *  ResultCache::canonicalKey, its content-addressed cross-process
+ *  counterpart (same inventory, pointers replaced by content
+ *  hashes). Exposed for tests. */
 std::string jobKey(const RunJob &job);
+
+/** One-line human identity of a job for reports: label if set,
+ *  else engine/model/seed/faults. This is what RunOutcome::job_desc
+ *  holds; the sweep-service client uses it to reassemble outcomes
+ *  identical to an in-process run's. */
+std::string describeRunJob(const RunJob &job);
 
 class ExpRunner
 {

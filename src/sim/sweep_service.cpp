@@ -1,0 +1,929 @@
+#include "sim/sweep_service.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/logging.h"
+#include "core/knowledge_map.h"
+#include "isa/program.h"
+
+namespace spt {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Wire helpers: hex blobs and 4-byte-length-prefixed frames.
+// --------------------------------------------------------------------
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const uint8_t b = static_cast<uint8_t>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+std::string
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        SPT_FATAL("sweep service: odd-length hex blob");
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexNibble(hex[i]);
+        const int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            SPT_FATAL("sweep service: invalid hex blob");
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return out;
+}
+
+constexpr uint32_t kMaxFrame = 1u << 30;
+
+/** send/recv with MSG_NOSIGNAL so a peer that vanished produces an
+ *  error return, not a process-killing SIGPIPE. */
+bool
+sendAll(int fd, const char *p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, char *p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t r = ::recv(fd, p, n, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // EOF
+        p += r;
+        n -= static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrame)
+        return false;
+    char len[4];
+    const uint32_t n = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+    return sendAll(fd, len, 4) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string *payload)
+{
+    char len[4];
+    if (!recvAll(fd, len, 4))
+        return false;
+    uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= uint32_t{static_cast<uint8_t>(len[i])} << (8 * i);
+    if (n > kMaxFrame)
+        return false;
+    payload->resize(n);
+    return n == 0 || recvAll(fd, payload->data(), n);
+}
+
+std::string
+errorResponse(const std::string &message)
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("ok", false);
+    jw.field("error", message);
+    jw.endObject();
+    return jw.str();
+}
+
+void
+requireOk(const JsonValue &resp, const char *what)
+{
+    if (!resp.getBool("ok", false))
+        SPT_FATAL("sweep service " << what << " failed: "
+                  << resp.getString("error", "(no error text)"));
+}
+
+// --------------------------------------------------------------------
+// JOB codec (client encodes, daemon decodes). The program and
+// knowledge map travel once per batch in "programs"/"maps" arrays;
+// a job references them by index.
+// --------------------------------------------------------------------
+
+void
+encodeJob(JsonWriter &jw, const RunJob &job, uint64_t prog_idx,
+          int64_t km_idx)
+{
+    jw.beginObject();
+    jw.field("prog", prog_idx);
+    if (km_idx >= 0)
+        jw.field("km", static_cast<uint64_t>(km_idx));
+    jw.field("scheme", static_cast<uint64_t>(job.engine.scheme));
+    jw.field("method",
+             static_cast<uint64_t>(job.engine.spt.method));
+    jw.field("shadow",
+             static_cast<uint64_t>(job.engine.spt.shadow));
+    jw.field("bw",
+             static_cast<uint64_t>(job.engine.spt.broadcast_width));
+    jw.field("storage",
+             static_cast<uint64_t>(job.engine.spt.storage));
+    jw.field("mutation",
+             static_cast<uint64_t>(job.engine.spt.mutation));
+    jw.field("attack", static_cast<uint64_t>(job.attack_model));
+    jw.field("seed", job.seed);
+    jw.field("max_cycles", job.max_cycles);
+    jw.field("trace", job.trace);
+    jw.field("profile", job.profile);
+    jw.field("interval_stats", job.interval_stats);
+    jw.field("fault_seed", job.faults.seed);
+    jw.key("fault_ppm");
+    jw.beginArray();
+    for (const uint32_t ppm : job.faults.rate_ppm)
+        jw.value(static_cast<uint64_t>(ppm));
+    jw.endArray();
+    jw.field("invariants", job.invariants);
+    jw.field("watchdog", job.watchdog_cycles);
+    // Bit pattern, not decimal text: the wall timeout must
+    // round-trip exactly (it participates in jobKey()).
+    jw.field("wall_timeout_bits",
+             std::bit_cast<uint64_t>(job.wall_timeout_seconds));
+    jw.field("fast_forward", job.fast_forward);
+    jw.field("checkpoint_at", job.checkpoint_at);
+    jw.field("checkpoint", job.checkpoint);
+    jw.field("label", job.label);
+    jw.endObject();
+}
+
+/** Representability check only (the enums are uint8_t): values the
+ *  engine factory considers invalid still decode, crash that one
+ *  job under the daemon's keep_going run, and come back classified
+ *  kCrash — exactly what the same descriptor does in-process. */
+template <typename Enum>
+Enum
+decodeEnum(const JsonValue &obj, const char *key)
+{
+    const uint64_t v = obj.at(key).asU64();
+    if (v > 0xff)
+        SPT_FATAL("sweep service: job field \"" << key
+                  << "\" out of range: " << v);
+    return static_cast<Enum>(v);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Daemon
+// --------------------------------------------------------------------
+
+struct SweepService::Impl {
+    /** One submitted grid plus the daemon-side objects its RunJobs
+     *  point into; released when the result is fetched. */
+    struct Batch {
+        enum class State : uint8_t { kQueued, kRunning, kDone };
+
+        bool capture_evidence = false;
+        std::vector<std::unique_ptr<Program>> programs;
+        std::vector<std::unique_ptr<KnowledgeMap>> maps;
+        std::vector<RunJob> grid;
+        State state = State::kQueued;
+        std::vector<std::string> outcome_hex;
+        std::vector<char> memoized;
+        SweepStats stats;
+        std::string error; ///< batch-level execution failure
+    };
+
+    struct HandleResult {
+        std::string json;
+        bool shutdown = false;
+    };
+
+    explicit Impl(SweepServiceOptions o)
+        : opt(std::move(o)), runner(opt.jobs)
+    {
+    }
+
+    SweepServiceOptions opt;
+    ExpRunner runner;
+
+    int listen_fd = -1;
+    std::thread accept_thread;
+    std::thread exec_thread;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+    bool started = false;
+    std::vector<std::thread> conn_threads;
+    std::set<int> conn_fds;
+    uint64_t next_batch = 1;
+    std::map<uint64_t, std::unique_ptr<Batch>> batches;
+    std::deque<Batch *> queue; ///< submission order
+    std::map<Batch *, uint64_t> batch_ids;
+    ServiceStats totals;
+
+    void
+    start()
+    {
+        listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd < 0)
+            SPT_FATAL("sweep daemon: socket(): "
+                      << std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opt.socket_path.size() >= sizeof addr.sun_path)
+            SPT_FATAL("sweep daemon: socket path too long: "
+                      << opt.socket_path);
+        std::memcpy(addr.sun_path, opt.socket_path.c_str(),
+                    opt.socket_path.size() + 1);
+        ::unlink(opt.socket_path.c_str()); // stale socket file
+        if (::bind(listen_fd,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            SPT_FATAL("sweep daemon: cannot bind "
+                      << opt.socket_path << ": "
+                      << std::strerror(errno));
+        if (::listen(listen_fd, 16) != 0)
+            SPT_FATAL("sweep daemon: listen(): "
+                      << std::strerror(errno));
+        started = true;
+        accept_thread = std::thread([this] { acceptLoop(); });
+        exec_thread = std::thread([this] { execLoop(); });
+    }
+
+    void
+    initiateStop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (stopping)
+                return;
+            stopping = true;
+        }
+        cv.notify_all();
+        // Unblocks accept() without closing the fd under the
+        // accept thread's feet.
+        if (listen_fd >= 0)
+            ::shutdown(listen_fd, SHUT_RDWR);
+    }
+
+    void
+    join()
+    {
+        if (accept_thread.joinable())
+            accept_thread.join();
+        if (exec_thread.joinable())
+            exec_thread.join();
+        // Idle connections block in recv(); break them so their
+        // threads can be joined.
+        std::vector<std::thread> conns;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            for (const int fd : conn_fds)
+                ::shutdown(fd, SHUT_RDWR);
+            conns.swap(conn_threads);
+        }
+        for (std::thread &t : conns)
+            t.join();
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+            ::unlink(opt.socket_path.c_str());
+        }
+    }
+
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // shut down (or fatal); stop accepting
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (stopping) {
+                ::close(fd);
+                continue;
+            }
+            conn_fds.insert(fd);
+            conn_threads.emplace_back(
+                [this, fd] { connLoop(fd); });
+        }
+    }
+
+    void
+    connLoop(int fd)
+    {
+        std::string request;
+        while (readFrame(fd, &request)) {
+            const HandleResult r = handle(request);
+            const bool sent = writeFrame(fd, r.json);
+            if (r.shutdown)
+                initiateStop();
+            if (!sent || r.shutdown)
+                break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            conn_fds.erase(fd);
+        }
+        ::close(fd);
+    }
+
+    void
+    execLoop()
+    {
+        for (;;) {
+            Batch *batch = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (queue.empty())
+                    return; // stopping and drained
+                batch = queue.front();
+                queue.pop_front();
+                batch->state = Batch::State::kRunning;
+            }
+            RunnerPolicy pol;
+            // Always keep_going: a crashing job is classified into
+            // its slot; the client re-imposes fail-fast semantics.
+            pol.keep_going = true;
+            pol.capture_evidence = batch->capture_evidence;
+            pol.cache_dir = opt.cache_dir;
+            pol.cache_mode = opt.cache_mode;
+            pol.service_socket = kNoSweepService; // never recurse
+            std::vector<RunOutcome> outs;
+            std::string error;
+            try {
+                outs = runner.run(batch->grid, pol);
+            } catch (const std::exception &e) {
+                error = e.what();
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (error.empty()) {
+                batch->stats = runner.lastSweep();
+                batch->outcome_hex.reserve(outs.size());
+                batch->memoized.reserve(outs.size());
+                for (const RunOutcome &out : outs) {
+                    batch->outcome_hex.push_back(
+                        hexEncode(ResultCache::encodeOutcome(out)));
+                    batch->memoized.push_back(out.memoized ? 1 : 0);
+                }
+                ++totals.batches_executed;
+                totals.jobs_executed += outs.size();
+                totals.failed_jobs += batch->stats.failed_jobs;
+                totals.cache.hits += batch->stats.cache.hits;
+                totals.cache.misses += batch->stats.cache.misses;
+                totals.cache.verify_mismatches +=
+                    batch->stats.cache.verify_mismatches;
+                totals.cache.bytes_written +=
+                    batch->stats.cache.bytes_written;
+                totals.cache.host_seconds_saved +=
+                    batch->stats.cache.host_seconds_saved;
+            } else {
+                batch->error = error;
+            }
+            batch->state = Batch::State::kDone;
+        }
+    }
+
+    HandleResult
+    handle(const std::string &request_text)
+    {
+        HandleResult r;
+        try {
+            const JsonValue req = parseJson(request_text);
+            const std::string op = req.at("op").asString();
+            if (op == "ping") {
+                JsonWriter jw;
+                jw.beginObject();
+                jw.field("ok", true);
+                jw.endObject();
+                r.json = jw.str();
+            } else if (op == "stats") {
+                r.json = handleStats();
+            } else if (op == "submit") {
+                r.json = handleSubmit(req);
+            } else if (op == "status") {
+                r.json = handleStatus(req);
+            } else if (op == "result") {
+                r.json = handleResultOp(req);
+            } else if (op == "shutdown") {
+                JsonWriter jw;
+                jw.beginObject();
+                jw.field("ok", true);
+                jw.endObject();
+                r.json = jw.str();
+                r.shutdown = true;
+            } else {
+                SPT_FATAL("unknown op \"" << op << "\"");
+            }
+        } catch (const std::exception &e) {
+            // A malformed request becomes a structured error frame;
+            // the connection and the daemon live on.
+            r.json = errorResponse(e.what());
+            r.shutdown = false;
+        }
+        return r;
+    }
+
+    std::string
+    handleStats()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.field("workers", static_cast<uint64_t>(runner.workers()));
+        jw.field("pending",
+                 static_cast<uint64_t>(queue.size()));
+        jw.field("batches_executed", totals.batches_executed);
+        jw.field("jobs_executed", totals.jobs_executed);
+        jw.field("failed_jobs", totals.failed_jobs);
+        jw.field("cache_dir", opt.cache_dir);
+        jw.field("cache_mode",
+                 opt.cache_dir.empty()
+                     ? "off"
+                     : cacheModeName(opt.cache_mode));
+        jw.key("cache");
+        writeCacheStats(jw, totals.cache);
+        jw.endObject();
+        return jw.str();
+    }
+
+    static void
+    writeCacheStats(JsonWriter &jw, const CacheStats &c)
+    {
+        jw.beginObject();
+        jw.field("hits", c.hits);
+        jw.field("misses", c.misses);
+        jw.field("verify_mismatches", c.verify_mismatches);
+        jw.field("bytes_written", c.bytes_written);
+        jw.field("host_seconds_saved", c.host_seconds_saved, 6);
+        jw.endObject();
+    }
+
+    std::string
+    handleSubmit(const JsonValue &req)
+    {
+        auto batch = std::make_unique<Batch>();
+        batch->capture_evidence =
+            req.getBool("capture_evidence", false);
+        for (const JsonValue &hex :
+             req.at("programs").asArray()) {
+            std::istringstream is(hexDecode(hex.asString()));
+            batch->programs.push_back(
+                std::make_unique<Program>(programLoad(is)));
+        }
+        if (req.has("maps"))
+            for (const JsonValue &hex : req.at("maps").asArray()) {
+                std::istringstream is(hexDecode(hex.asString()));
+                batch->maps.push_back(
+                    std::make_unique<KnowledgeMap>(
+                        KnowledgeMap::load(is)));
+            }
+        for (const JsonValue &jv : req.at("jobs").asArray())
+            batch->grid.push_back(decodeJob(jv, *batch));
+
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            SPT_FATAL("daemon is shutting down");
+        const uint64_t id = next_batch++;
+        queue.push_back(batch.get());
+        batch_ids[batch.get()] = id;
+        batches[id] = std::move(batch);
+        cv.notify_all();
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.field("batch", id);
+        jw.endObject();
+        return jw.str();
+    }
+
+    RunJob
+    decodeJob(const JsonValue &o, Batch &batch)
+    {
+        RunJob job;
+        const uint64_t prog = o.at("prog").asU64();
+        if (prog >= batch.programs.size())
+            SPT_FATAL("job program index " << prog
+                      << " out of range");
+        job.program = batch.programs[prog].get();
+        if (o.has("km")) {
+            const uint64_t km = o.at("km").asU64();
+            if (km >= batch.maps.size())
+                SPT_FATAL("job knowledge-map index " << km
+                          << " out of range");
+            job.engine.spt.knowledge_map = batch.maps[km].get();
+        }
+        job.engine.scheme =
+            decodeEnum<ProtectionScheme>(o, "scheme");
+        job.engine.spt.method =
+            decodeEnum<UntaintMethod>(o, "method");
+        job.engine.spt.shadow = decodeEnum<ShadowKind>(o, "shadow");
+        job.engine.spt.broadcast_width =
+            static_cast<unsigned>(o.at("bw").asU64());
+        job.engine.spt.storage =
+            decodeEnum<SptConfig::Storage>(o, "storage");
+        job.engine.spt.mutation =
+            decodeEnum<SptConfig::Mutation>(o, "mutation");
+        job.attack_model = decodeEnum<AttackModel>(o, "attack");
+        job.seed = o.at("seed").asU64();
+        job.max_cycles = o.at("max_cycles").asU64();
+        job.trace = o.getBool("trace", false);
+        job.profile = o.getBool("profile", false);
+        job.interval_stats = o.getU64("interval_stats", 0);
+        job.faults.seed = o.getU64("fault_seed", 0);
+        const auto &ppm = o.at("fault_ppm").asArray();
+        if (ppm.size() != kNumFaultSites)
+            SPT_FATAL("job fault_ppm has " << ppm.size()
+                      << " entries, expected " << kNumFaultSites);
+        for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+            const uint64_t rate = ppm[i].asU64();
+            if (rate > UINT32_MAX)
+                SPT_FATAL("job fault rate out of range: " << rate);
+            job.faults.rate_ppm[i] = static_cast<uint32_t>(rate);
+        }
+        job.invariants = o.getBool("invariants", false);
+        job.watchdog_cycles = o.getU64("watchdog", 0);
+        job.wall_timeout_seconds = std::bit_cast<double>(
+            o.getU64("wall_timeout_bits", 0));
+        job.fast_forward = o.getBool("fast_forward", false);
+        job.checkpoint_at = o.getU64("checkpoint_at", 0);
+        job.checkpoint = o.getString("checkpoint", "");
+        job.label = o.getString("label", "");
+        return job;
+    }
+
+    std::string
+    handleStatus(const JsonValue &req)
+    {
+        const uint64_t id = req.at("batch").asU64();
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = batches.find(id);
+        if (it == batches.end())
+            SPT_FATAL("unknown batch " << id);
+        const Batch &b = *it->second;
+        const char *state = "queued";
+        if (b.state == Batch::State::kRunning)
+            state = "running";
+        else if (b.state == Batch::State::kDone)
+            state = "done";
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.field("state", state);
+        jw.field("jobs", static_cast<uint64_t>(b.grid.size()));
+        jw.endObject();
+        return jw.str();
+    }
+
+    std::string
+    handleResultOp(const JsonValue &req)
+    {
+        const uint64_t id = req.at("batch").asU64();
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = batches.find(id);
+        if (it == batches.end())
+            SPT_FATAL("unknown batch " << id);
+        Batch &b = *it->second;
+        if (b.state != Batch::State::kDone)
+            SPT_FATAL("batch " << id << " not finished");
+        if (!b.error.empty()) {
+            const std::string error = b.error;
+            batch_ids.erase(&b);
+            batches.erase(it);
+            SPT_FATAL("batch " << id
+                      << " failed to execute: " << error);
+        }
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.key("outcomes");
+        jw.beginArray();
+        for (std::size_t i = 0; i < b.outcome_hex.size(); ++i) {
+            jw.beginObject();
+            jw.field("o", b.outcome_hex[i]);
+            jw.field("memoized", b.memoized[i] != 0);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.key("stats");
+        jw.beginObject();
+        jw.field("workers",
+                 static_cast<uint64_t>(b.stats.workers));
+        jw.field("unique_jobs", b.stats.unique_jobs);
+        jw.field("memo_hits", b.stats.memo_hits);
+        jw.field("failed_jobs", b.stats.failed_jobs);
+        jw.field("first_failure", b.stats.first_failure);
+        jw.field("wall_seconds", b.stats.wall_seconds, 6);
+        jw.field("cache_mode", b.stats.cache_mode);
+        jw.field("cache_dir", b.stats.cache_dir);
+        jw.key("cache");
+        writeCacheStats(jw, b.stats.cache);
+        jw.endObject();
+        jw.endObject();
+        // Fetching a result releases the batch (and its programs).
+        batch_ids.erase(&b);
+        batches.erase(it);
+        return jw.str();
+    }
+};
+
+SweepService::SweepService(SweepServiceOptions opt)
+    : impl_(new Impl(std::move(opt)))
+{
+}
+
+SweepService::~SweepService()
+{
+    if (impl_->started) {
+        impl_->initiateStop();
+        impl_->join();
+    }
+    delete impl_;
+}
+
+void
+SweepService::start()
+{
+    impl_->start();
+}
+
+void
+SweepService::wait()
+{
+    impl_->join();
+}
+
+void
+SweepService::stop()
+{
+    impl_->initiateStop();
+}
+
+const std::string &
+SweepService::socketPath() const
+{
+    return impl_->opt.socket_path;
+}
+
+ServiceStats
+SweepService::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->totals;
+}
+
+// --------------------------------------------------------------------
+// Client
+// --------------------------------------------------------------------
+
+namespace {
+
+int
+connectTo(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        SPT_FATAL("sweep service: socket(): "
+                  << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        SPT_FATAL("sweep service: socket path too long: " << path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        SPT_FATAL("cannot connect to sweep daemon at " << path
+                  << ": " << std::strerror(err));
+    }
+    return fd;
+}
+
+/** RAII socket so SPT_FATAL paths cannot leak the fd. */
+struct Conn {
+    explicit Conn(const std::string &path) : fd(connectTo(path)) {}
+    ~Conn() { ::close(fd); }
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+    int fd;
+};
+
+std::string
+roundTrip(int fd, const std::string &request)
+{
+    if (!writeFrame(fd, request))
+        SPT_FATAL("sweep service: connection lost while sending");
+    std::string response;
+    if (!readFrame(fd, &response))
+        SPT_FATAL("sweep service: connection closed before "
+                  "response");
+    return response;
+}
+
+} // namespace
+
+std::string
+serviceRequest(const std::string &socket_path,
+               const std::string &request_json)
+{
+    Conn conn(socket_path);
+    return roundTrip(conn.fd, request_json);
+}
+
+std::vector<RunOutcome>
+runGridViaService(const std::string &socket_path,
+                  const std::vector<RunJob> &grid,
+                  const RunnerPolicy &policy, SweepStats *stats)
+{
+    // Ship each distinct program / knowledge map once; jobs
+    // reference them by index.
+    std::vector<const Program *> programs;
+    std::map<const Program *, uint64_t> prog_idx;
+    std::vector<const KnowledgeMap *> maps;
+    std::map<const KnowledgeMap *, uint64_t> km_idx;
+    for (const RunJob &job : grid) {
+        if (prog_idx.emplace(job.program, programs.size()).second)
+            programs.push_back(job.program);
+        const KnowledgeMap *km = job.engine.spt.knowledge_map;
+        if (km != nullptr &&
+            km_idx.emplace(km, maps.size()).second)
+            maps.push_back(km);
+    }
+
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("op", "submit");
+    jw.field("capture_evidence", policy.capture_evidence);
+    jw.key("programs");
+    jw.beginArray();
+    for (const Program *p : programs) {
+        std::ostringstream os;
+        programSave(*p, os);
+        jw.value(hexEncode(os.str()));
+    }
+    jw.endArray();
+    jw.key("maps");
+    jw.beginArray();
+    for (const KnowledgeMap *km : maps) {
+        std::ostringstream os;
+        km->save(os);
+        jw.value(hexEncode(os.str()));
+    }
+    jw.endArray();
+    jw.key("jobs");
+    jw.beginArray();
+    for (const RunJob &job : grid) {
+        const KnowledgeMap *km = job.engine.spt.knowledge_map;
+        encodeJob(jw, job, prog_idx.at(job.program),
+                  km != nullptr
+                      ? static_cast<int64_t>(km_idx.at(km))
+                      : -1);
+    }
+    jw.endArray();
+    jw.endObject();
+
+    Conn conn(socket_path);
+    const JsonValue submitted =
+        parseJson(roundTrip(conn.fd, jw.str()));
+    requireOk(submitted, "submit");
+    const uint64_t batch = submitted.at("batch").asU64();
+
+    // Poll with a small backoff; the daemon answers status from
+    // memory so this stays cheap even mid-batch.
+    unsigned delay_ms = 2;
+    for (;;) {
+        JsonWriter sq;
+        sq.beginObject();
+        sq.field("op", "status");
+        sq.field("batch", batch);
+        sq.endObject();
+        const JsonValue st =
+            parseJson(roundTrip(conn.fd, sq.str()));
+        requireOk(st, "status");
+        if (st.at("state").asString() == "done")
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+        delay_ms = std::min(delay_ms * 2, 100u);
+    }
+
+    JsonWriter rq;
+    rq.beginObject();
+    rq.field("op", "result");
+    rq.field("batch", batch);
+    rq.endObject();
+    const JsonValue rv = parseJson(roundTrip(conn.fd, rq.str()));
+    requireOk(rv, "result");
+
+    const auto &arr = rv.at("outcomes").asArray();
+    if (arr.size() != grid.size())
+        SPT_FATAL("sweep service returned " << arr.size()
+                  << " outcomes for " << grid.size() << " jobs");
+    std::vector<RunOutcome> outcomes(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        outcomes[i] = ResultCache::decodeOutcome(
+            hexDecode(arr[i].at("o").asString()));
+        outcomes[i].memoized = arr[i].getBool("memoized", false);
+        outcomes[i].job_desc = describeRunJob(grid[i]);
+    }
+
+    if (stats != nullptr) {
+        const JsonValue &s = rv.at("stats");
+        *stats = SweepStats{};
+        stats->workers =
+            static_cast<unsigned>(s.getU64("workers", 1));
+        stats->unique_jobs = s.getU64("unique_jobs", 0);
+        stats->memo_hits = s.getU64("memo_hits", 0);
+        stats->failed_jobs = s.getU64("failed_jobs", 0);
+        stats->first_failure = s.getString("first_failure", "");
+        stats->wall_seconds = s.at("wall_seconds").asDouble();
+        stats->cache_mode = s.getString("cache_mode", "off");
+        stats->cache_dir = s.getString("cache_dir", "");
+        const JsonValue &c = s.at("cache");
+        stats->cache.hits = c.getU64("hits", 0);
+        stats->cache.misses = c.getU64("misses", 0);
+        stats->cache.verify_mismatches =
+            c.getU64("verify_mismatches", 0);
+        stats->cache.bytes_written = c.getU64("bytes_written", 0);
+        stats->cache.host_seconds_saved =
+            c.at("host_seconds_saved").asDouble();
+        stats->via_service = true;
+    }
+
+    // The daemon always runs keep_going (one bad job must not kill
+    // it); re-impose fail-fast here. In-process runs rethrow the
+    // original exception type — across the wire only the text
+    // survives, so this becomes a FatalError carrying it.
+    if (!policy.keep_going)
+        for (const RunOutcome &out : outcomes)
+            if (out.status == RunStatus::kCrash)
+                SPT_FATAL("job " << out.job_desc
+                          << " failed via sweep service: "
+                          << out.error);
+    return outcomes;
+}
+
+} // namespace spt

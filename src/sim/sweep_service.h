@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Sweep-as-a-service: a long-lived daemon (tools/spt_sweepd) that
+ * owns a warm result cache (sim/result_cache.h) and a worker pool,
+ * plus the client side ExpRunner routes through when
+ * SPT_SWEEP_SOCKET / RunnerPolicy::service_socket is set
+ * (DESIGN.md §14).
+ *
+ * Protocol: a Unix-domain stream socket carrying length-prefixed
+ * JSON frames — a 4-byte little-endian payload length followed by
+ * one JSON document (common/json.h on the way out, the
+ * common/json_parse.h reader on the way in). Requests are objects
+ * with an "op" member:
+ *
+ *   {"op":"ping"}                      liveness probe
+ *   {"op":"stats"}                     daemon totals + cache traffic
+ *   {"op":"submit", "capture_evidence":b, "jobs":[JOB...]}
+ *                                      enqueue a batch -> {"batch":id}
+ *   {"op":"status", "batch":id}        queued | running | done
+ *   {"op":"result", "batch":id}        outcomes of a done batch
+ *                                      (fetching releases the batch)
+ *   {"op":"shutdown"}                  drain and exit
+ *
+ * Every response carries "ok"; failures are structured
+ * ({"ok":false,"error":...}) — a malformed or unknown request gets
+ * an error frame back and the connection (and daemon) live on.
+ *
+ * A JOB ships the *content* of the run descriptor, not references:
+ * the program travels as the hex of its wire form (isa/program.h
+ * programSave) and the knowledge map as the hex of its SPTKMAP1
+ * form, so daemon-side canonical cache keys are computed from the
+ * same bytes the client holds and an arbitrary in-memory program
+ * (fuzz case, test fixture) can be shipped, not just registry
+ * workloads. Identical programs/maps within a batch are
+ * deduplicated into one daemon-side object, which keeps the
+ * runner's in-process memoization effective across the batch.
+ *
+ * Execution model: one executor thread runs batches strictly in
+ * submission order on one ExpRunner (always keep_going — a crashing
+ * job is classified into its slot, never kills the daemon; the
+ * *client* re-imposes fail-fast semantics for policies that want
+ * them). Connection threads only parse, enqueue and answer, so
+ * status/stats stay responsive mid-batch. Outcomes return as hex of
+ * the deterministic result-record payload
+ * (ResultCache::encodeOutcome), making the bytes a client
+ * reassembles identical to what an in-process sweep produces.
+ */
+
+#ifndef SPT_SIM_SWEEP_SERVICE_H
+#define SPT_SIM_SWEEP_SERVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/exp_runner.h"
+#include "sim/result_cache.h"
+
+namespace spt {
+
+/** Daemon configuration (tools/spt_sweepd flags). */
+struct SweepServiceOptions {
+    std::string socket_path;
+    /** Worker-pool size; 0 resolves SPT_JOBS then
+     *  hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Warm cache directory; empty runs uncached. */
+    std::string cache_dir;
+    CacheMode cache_mode = CacheMode::kReadWrite;
+};
+
+/** Totals since daemon start (the "stats" op). */
+struct ServiceStats {
+    uint64_t batches_executed = 0;
+    uint64_t jobs_executed = 0; ///< grid slots across all batches
+    uint64_t failed_jobs = 0;
+    CacheStats cache;           ///< summed over executed batches
+};
+
+class SweepService
+{
+  public:
+    explicit SweepService(SweepServiceOptions opt);
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Binds the socket (removing a stale file at the path) and
+     *  spawns the accept + executor threads. SPT_FATAL if the
+     *  socket cannot be bound. */
+    void start();
+
+    /** Blocks until a shutdown request (or stop()) has drained the
+     *  daemon; joins all threads. */
+    void wait();
+
+    /** Initiates shutdown from the host process (idempotent;
+     *  equivalent to receiving {"op":"shutdown"}). */
+    void stop();
+
+    const std::string &socketPath() const;
+    ServiceStats stats() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/** Client side: ships @p grid to the daemon at @p socket_path,
+ *  blocks until the batch completes, and reassembles the outcomes
+ *  exactly as an in-process ExpRunner::run would have produced
+ *  them (per-slot job_desc/memoized included). Fills @p stats with
+ *  the daemon-reported numbers for this batch (via_service=true).
+ *  Honors policy.keep_going client-side: without it, the first
+ *  failed slot's error is rethrown as FatalError. SPT_FATAL if the
+ *  daemon cannot be reached or violates the protocol. */
+std::vector<RunOutcome>
+runGridViaService(const std::string &socket_path,
+                  const std::vector<RunJob> &grid,
+                  const RunnerPolicy &policy, SweepStats *stats);
+
+/** One-shot client request: sends @p request_json to the daemon and
+ *  returns the raw JSON response (the spt_sweep CLI's transport;
+ *  also used by tests to probe protocol errors). SPT_FATAL on
+ *  connect/frame failure. */
+std::string serviceRequest(const std::string &socket_path,
+                           const std::string &request_json);
+
+} // namespace spt
+
+#endif // SPT_SIM_SWEEP_SERVICE_H

@@ -7,6 +7,8 @@
  */
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 
@@ -287,6 +289,299 @@ TEST(ParallelFor, PropagatesFirstExceptionAndStops)
     // 4 workers at most a handful of in-flight jobs finish after
     // the failure.
     EXPECT_LT(ran.load(), 1000u);
+}
+
+// --------------------------------------------------------------------
+// On-disk result cache (sim/result_cache.h)
+// --------------------------------------------------------------------
+
+std::string
+freshCacheDir(const char *name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ResultCache, ColdThenWarmOutcomesAreByteIdentical)
+{
+    const TestPrograms programs;
+    const std::vector<RunJob> grid = mixedGrid(programs);
+    RunnerPolicy policy;
+    policy.cache_dir = freshCacheDir("spt_cache_coldwarm");
+
+    ExpRunner cold(1);
+    const std::vector<RunOutcome> a = cold.run(grid, policy);
+    EXPECT_EQ(cold.lastSweep().cache_mode, "read_write");
+    EXPECT_EQ(cold.lastSweep().cache.hits, 0u);
+    EXPECT_EQ(cold.lastSweep().cache.misses, grid.size());
+    EXPECT_GT(cold.lastSweep().cache.bytes_written, 0u);
+
+    // Different process would behave identically; here a different
+    // runner at a different worker count stands in for it.
+    ExpRunner warm(4);
+    const std::vector<RunOutcome> b = warm.run(grid, policy);
+    EXPECT_EQ(warm.lastSweep().cache.hits, grid.size());
+    EXPECT_EQ(warm.lastSweep().cache.misses, 0u);
+    EXPECT_EQ(warm.lastSweep().cache.bytes_written, 0u);
+    EXPECT_GT(warm.lastSweep().cache.host_seconds_saved, 0.0);
+
+    ASSERT_EQ(b.size(), a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        expectSameOutcome(a[i], b[i], i);
+        // The full wire encoding — untaint counters, histograms,
+        // and the *replayed* host_seconds — must match, which is
+        // what makes warm JSON artifacts cmp-identical to cold.
+        EXPECT_EQ(ResultCache::encodeOutcome(a[i]),
+                  ResultCache::encodeOutcome(b[i]))
+            << "slot " << i;
+        EXPECT_EQ(a[i].job_desc, b[i].job_desc) << "slot " << i;
+    }
+}
+
+TEST(ResultCache, CorruptedEntryFallsBackToSimulation)
+{
+    const TestPrograms programs;
+    RunJob job;
+    job.program = &programs.pchase;
+    job.engine.scheme = ProtectionScheme::kSpt;
+    const std::vector<RunJob> grid = {job};
+    RunnerPolicy policy;
+    policy.cache_dir = freshCacheDir("spt_cache_corrupt");
+
+    ExpRunner runner(1);
+    const std::vector<RunOutcome> a = runner.run(grid, policy);
+
+    ResultCache cache(policy.cache_dir, CacheMode::kReadWrite);
+    const std::string key = ResultCache::canonicalKey(grid[0]);
+    ASSERT_FALSE(key.empty());
+    const std::string path = cache.entryPath(key);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Truncation: decode must degrade to a miss, the job
+    // re-simulates to the same outcome, and read_write repairs the
+    // entry.
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    const std::vector<RunOutcome> b = runner.run(grid, policy);
+    EXPECT_EQ(runner.lastSweep().cache.hits, 0u);
+    EXPECT_EQ(runner.lastSweep().cache.misses, 1u);
+    EXPECT_GT(runner.lastSweep().cache.bytes_written, 0u);
+    // The re-simulation pays fresh host time; everything
+    // deterministic is identical.
+    EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(a[0]),
+              ResultCache::encodeOutcomeDeterministic(b[0]));
+
+    // Bit rot: flip one byte mid-record; the content-hash trailer
+    // must reject it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            std::filesystem::file_size(path) / 2));
+        f.put('\xa5');
+    }
+    const std::vector<RunOutcome> c = runner.run(grid, policy);
+    EXPECT_EQ(runner.lastSweep().cache.hits, 0u);
+    EXPECT_EQ(runner.lastSweep().cache.misses, 1u);
+    EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(a[0]),
+              ResultCache::encodeOutcomeDeterministic(c[0]));
+
+    // And after the repair, a clean hit again — byte-identical to
+    // the run that repaired the entry, recorded timing included.
+    const std::vector<RunOutcome> d = runner.run(grid, policy);
+    EXPECT_EQ(runner.lastSweep().cache.hits, 1u);
+    EXPECT_EQ(ResultCache::encodeOutcome(c[0]),
+              ResultCache::encodeOutcome(d[0]));
+}
+
+TEST(ResultCache, VerifyModeDetectsPoisonedEntry)
+{
+    const TestPrograms programs;
+    RunJob job;
+    job.program = &programs.pchase;
+    job.engine.scheme = ProtectionScheme::kSpt;
+    const std::vector<RunJob> grid = {job};
+    RunnerPolicy policy;
+    policy.cache_dir = freshCacheDir("spt_cache_poison");
+
+    ExpRunner runner(1);
+    const std::vector<RunOutcome> a = runner.run(grid, policy);
+
+    // Poison the entry with a *well-formed* record whose payload
+    // lies about the outcome — only verify mode can catch this.
+    RunOutcome tampered = a[0];
+    tampered.result.cycles += 1;
+    {
+        ResultCache cache(policy.cache_dir, CacheMode::kReadWrite);
+        cache.store(ResultCache::canonicalKey(grid[0]), tampered);
+    }
+
+    // A plain warm run trusts the poisoned record...
+    const std::vector<RunOutcome> p = runner.run(grid, policy);
+    EXPECT_EQ(p[0].result.cycles, a[0].result.cycles + 1);
+
+    // ...verify mode re-simulates, counts the mismatch, and the
+    // fresh outcome wins.
+    RunnerPolicy verify = policy;
+    verify.cache_mode = CacheMode::kVerify;
+    const std::vector<RunOutcome> v = runner.run(grid, verify);
+    EXPECT_EQ(runner.lastSweep().cache_mode, "verify");
+    EXPECT_EQ(runner.lastSweep().cache.hits, 1u);
+    EXPECT_EQ(runner.lastSweep().cache.verify_mismatches, 1u);
+    EXPECT_EQ(runner.lastSweep().cache.bytes_written, 0u);
+    EXPECT_EQ(v[0].result.cycles, a[0].result.cycles);
+
+    // A clean cache verifies silently.
+    {
+        ResultCache cache(policy.cache_dir, CacheMode::kReadWrite);
+        cache.store(ResultCache::canonicalKey(grid[0]), a[0]);
+    }
+    runner.run(grid, verify);
+    EXPECT_EQ(runner.lastSweep().cache.verify_mismatches, 0u);
+}
+
+TEST(ResultCache, CanonicalKeyIsContentAddressed)
+{
+    // Two content-identical programs at distinct addresses: the
+    // pointer-based memo key must separate them, the
+    // content-addressed key must merge them.
+    const Program a = makePointerChase(256, 1);
+    const Program b = makePointerChase(256, 1);
+    const Program c = makePointerChase(300, 1);
+    RunJob ja, jb, jc;
+    ja.program = &a;
+    jb.program = &b;
+    jc.program = &c;
+    EXPECT_NE(jobKey(ja), jobKey(jb));
+    EXPECT_EQ(ResultCache::canonicalKey(ja),
+              ResultCache::canonicalKey(jb));
+    EXPECT_NE(ResultCache::canonicalKey(ja),
+              ResultCache::canonicalKey(jc));
+
+    // Uncacheable descriptors produce no key: wall-clock-capped
+    // jobs (schedule-dependent outcome) and unreadable checkpoints.
+    RunJob capped = ja;
+    capped.wall_timeout_seconds = 5.0;
+    EXPECT_EQ(ResultCache::canonicalKey(capped), "");
+    RunJob missing = ja;
+    missing.checkpoint = "/nonexistent/spt-no-such-snapshot.bin";
+    EXPECT_EQ(ResultCache::canonicalKey(missing), "");
+}
+
+TEST(ResultCache, CanonicalKeyCoversEveryDescriptorField)
+{
+    const TestPrograms programs;
+    RunJob job;
+    job.program = &programs.pchase;
+    job.engine.scheme = ProtectionScheme::kSpt;
+
+    EXPECT_EQ(ResultCache::canonicalKey(job),
+              ResultCache::canonicalKey(job));
+
+    std::set<std::string> keys;
+    keys.insert(ResultCache::canonicalKey(job));
+    auto expect_fresh = [&](const RunJob &j, const char *what) {
+        const std::string key = ResultCache::canonicalKey(j);
+        ASSERT_FALSE(key.empty()) << what;
+        EXPECT_TRUE(keys.insert(key).second)
+            << what << " not reflected in canonicalKey";
+    };
+
+    RunJob j = job;
+    j.program = &programs.hashtab;
+    expect_fresh(j, "program content");
+    j = job;
+    j.engine.scheme = ProtectionScheme::kStt;
+    expect_fresh(j, "scheme");
+    j = job;
+    j.engine.spt.method = UntaintMethod::kIdeal;
+    expect_fresh(j, "untaint method");
+    j = job;
+    j.engine.spt.shadow = ShadowKind::kShadowMem;
+    expect_fresh(j, "shadow kind");
+    j = job;
+    j.engine.spt.broadcast_width = 7;
+    expect_fresh(j, "broadcast width");
+    j = job;
+    j.engine.spt.storage = SptConfig::Storage::kLegacy;
+    expect_fresh(j, "taint storage");
+    j = job;
+    j.engine.spt.mutation = SptConfig::Mutation::kLeakyMemGate;
+    expect_fresh(j, "mutation");
+    j = job;
+    static const KnowledgeMap kMap;
+    j.engine.spt.knowledge_map = &kMap;
+    expect_fresh(j, "knowledge map");
+    j = job;
+    j.attack_model = AttackModel::kSpectre;
+    expect_fresh(j, "attack model");
+    j = job;
+    j.seed = 1;
+    expect_fresh(j, "seed");
+    j = job;
+    j.max_cycles = 12345;
+    expect_fresh(j, "max_cycles");
+    j = job;
+    j.trace = true;
+    expect_fresh(j, "trace");
+    j = job;
+    j.profile = true;
+    expect_fresh(j, "profile");
+    j = job;
+    j.interval_stats = 1000;
+    expect_fresh(j, "interval_stats");
+    j = job;
+    j.faults.seed = 7;
+    expect_fresh(j, "fault seed");
+    j = job;
+    j.faults.rate_ppm[0] = 100;
+    expect_fresh(j, "fault rate");
+    j = job;
+    j.invariants = true;
+    expect_fresh(j, "invariants");
+    j = job;
+    j.watchdog_cycles = 4096;
+    expect_fresh(j, "watchdog");
+    j = job;
+    j.fast_forward = true;
+    expect_fresh(j, "fast_forward");
+    j = job;
+    j.checkpoint_at = 1000;
+    expect_fresh(j, "checkpoint_at");
+    // label is documentation, not identity — same key.
+    j = job;
+    j.label = "a pretty name";
+    EXPECT_EQ(ResultCache::canonicalKey(j),
+              ResultCache::canonicalKey(job));
+}
+
+TEST(ResultCache, FailedOutcomesAreNotStored)
+{
+    const TestPrograms programs;
+    RunJob job;
+    job.program = &programs.pchase;
+    job.engine.scheme = static_cast<ProtectionScheme>(0xee);
+    const std::vector<RunJob> grid = {job};
+    RunnerPolicy policy;
+    policy.cache_dir = freshCacheDir("spt_cache_failed");
+    policy.keep_going = true;
+
+    ExpRunner runner(1);
+    const std::vector<RunOutcome> a = runner.run(grid, policy);
+    EXPECT_EQ(a[0].status, RunStatus::kCrash);
+    EXPECT_EQ(runner.lastSweep().cache.bytes_written, 0u);
+
+    // The rerun must re-simulate (and still rethrow under the
+    // default fail-fast policy): a failure is never frozen into
+    // the cache.
+    const std::vector<RunOutcome> b = runner.run(grid, policy);
+    EXPECT_EQ(runner.lastSweep().cache.hits, 0u);
+    EXPECT_EQ(runner.lastSweep().cache.misses, 1u);
+    EXPECT_EQ(b[0].status, RunStatus::kCrash);
+    RunnerPolicy fail_fast = policy;
+    fail_fast.keep_going = false;
+    EXPECT_THROW(runner.run(grid, fail_fast), PanicError);
 }
 
 TEST(JsonWriter, StableFormattingAndEscaping)

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Sweep-as-a-service (sim/sweep_service.h): daemon round-trips over
+ * a temp Unix socket, byte-equality of service-executed outcomes
+ * with in-process runs, concurrent-client determinism, structured
+ * protocol errors that never kill the daemon, and clean shutdown.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "analysis/knowledge_analysis.h"
+#include "analysis/knowledge_map.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "core/knowledge_map.h"
+#include "sim/exp_runner.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_service.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+/** Starts a daemon on a fresh socket in a fresh cache dir for one
+ *  test; stops and joins it on destruction. */
+struct DaemonFixture {
+    explicit DaemonFixture(const char *name)
+    {
+        // Unix sockets cap sun_path around 108 bytes; keep the
+        // path short and rooted in /tmp directly.
+        socket_path = "/tmp/spt_" + std::string(name) + "_" +
+                      std::to_string(::getpid()) + ".sock";
+        cache_dir = testing::TempDir() + name + "_cache";
+        std::filesystem::remove_all(cache_dir);
+        SweepServiceOptions opt;
+        opt.socket_path = socket_path;
+        opt.jobs = 2;
+        opt.cache_dir = cache_dir;
+        service = std::make_unique<SweepService>(opt);
+        service->start();
+    }
+
+    ~DaemonFixture()
+    {
+        service->stop();
+        service->wait();
+    }
+
+    std::string socket_path;
+    std::string cache_dir;
+    std::unique_ptr<SweepService> service;
+};
+
+std::vector<RunJob>
+smallGrid(const Program &prog)
+{
+    std::vector<RunJob> grid;
+    for (ProtectionScheme scheme :
+         {ProtectionScheme::kUnsafeBaseline, ProtectionScheme::kSpt})
+        for (AttackModel model : {AttackModel::kFuturistic,
+                                  AttackModel::kSpectre}) {
+            RunJob job;
+            job.program = &prog;
+            job.engine.scheme = scheme;
+            job.attack_model = model;
+            grid.push_back(job);
+        }
+    return grid;
+}
+
+TEST(SweepService, RoundTripMatchesInProcessRun)
+{
+    DaemonFixture daemon("svc_roundtrip");
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = smallGrid(prog);
+
+    // Route through the daemon explicitly via the policy (the env
+    // path is covered by the fig drivers / CI gate).
+    RunnerPolicy policy;
+    policy.service_socket = daemon.socket_path;
+    ExpRunner client(1);
+    const std::vector<RunOutcome> via = client.run(grid, policy);
+    EXPECT_TRUE(client.lastSweep().via_service);
+    EXPECT_EQ(client.lastSweep().workers, 2u); // daemon's pool
+    EXPECT_EQ(client.lastSweep().cache.misses, grid.size());
+
+    RunnerPolicy local;
+    local.service_socket = kNoSweepService;
+    const std::vector<RunOutcome> ref =
+        ExpRunner(1).run(grid, local);
+
+    ASSERT_EQ(via.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        // Everything but host timing must be byte-identical to the
+        // in-process run — counters, histograms, registers, status.
+        EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(via[i]),
+                  ResultCache::encodeOutcomeDeterministic(ref[i]))
+            << "slot " << i;
+        EXPECT_EQ(via[i].job_desc, ref[i].job_desc);
+    }
+
+    // Resubmitting the same grid is answered from the warm cache.
+    const std::vector<RunOutcome> warm = client.run(grid, policy);
+    EXPECT_EQ(client.lastSweep().cache.hits, grid.size());
+    for (size_t i = 0; i < warm.size(); ++i)
+        EXPECT_EQ(ResultCache::encodeOutcome(via[i]),
+                  ResultCache::encodeOutcome(warm[i]))
+            << "slot " << i;
+
+    const ServiceStats totals = daemon.service->stats();
+    EXPECT_EQ(totals.batches_executed, 2u);
+    EXPECT_EQ(totals.jobs_executed, 2 * grid.size());
+}
+
+TEST(SweepService, ShipsArbitraryProgramsAndKnowledgeMaps)
+{
+    DaemonFixture daemon("svc_payload");
+    // A locally built program + map: neither exists in any
+    // registry, so this only works if content actually travels.
+    const Program prog = makeHashTable(200, 200);
+    const Cfg cfg(prog);
+    const KnowledgeAnalysis analysis(cfg);
+    const KnowledgeMap map = emitKnowledgeMap(analysis);
+
+    RunJob job;
+    job.program = &prog;
+    job.engine.scheme = ProtectionScheme::kSpt;
+    job.engine.spt.knowledge_map = &map;
+    job.label = "shipped/km";
+    const std::vector<RunJob> grid = {job, job}; // memo dup too
+
+    RunnerPolicy policy;
+    policy.service_socket = daemon.socket_path;
+    ExpRunner client(1);
+    const std::vector<RunOutcome> via = client.run(grid, policy);
+    EXPECT_EQ(client.lastSweep().memo_hits, 1u);
+    EXPECT_TRUE(via[1].memoized);
+    EXPECT_EQ(via[0].job_desc, "shipped/km");
+
+    RunnerPolicy local;
+    local.service_socket = kNoSweepService;
+    const std::vector<RunOutcome> ref =
+        ExpRunner(1).run(grid, local);
+    EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(via[0]),
+              ResultCache::encodeOutcomeDeterministic(ref[0]));
+    EXPECT_TRUE(via[0].result.halted);
+}
+
+TEST(SweepService, ConcurrentClientsGetDeterministicResults)
+{
+    DaemonFixture daemon("svc_concurrent");
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = smallGrid(prog);
+
+    constexpr int kClients = 4;
+    std::vector<std::vector<RunOutcome>> results(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+            RunnerPolicy policy;
+            policy.service_socket = daemon.socket_path;
+            results[c] = ExpRunner(1).run(grid, policy);
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    for (int c = 1; c < kClients; ++c) {
+        ASSERT_EQ(results[c].size(), grid.size());
+        for (size_t i = 0; i < grid.size(); ++i)
+            EXPECT_EQ(
+                ResultCache::encodeOutcome(results[0][i]),
+                ResultCache::encodeOutcome(results[c][i]))
+                << "client " << c << " slot " << i;
+    }
+    // Batches executed strictly in submission order; after the
+    // first, every identical batch is all cache hits.
+    const ServiceStats totals = daemon.service->stats();
+    EXPECT_EQ(totals.batches_executed,
+              static_cast<uint64_t>(kClients));
+    EXPECT_EQ(totals.cache.misses, grid.size());
+    EXPECT_EQ(totals.cache.hits, (kClients - 1) * grid.size());
+}
+
+TEST(SweepService, FailuresSurfacePerSlotAndFailFast)
+{
+    DaemonFixture daemon("svc_failure");
+    const Program prog = makePointerChase(256, 1);
+    RunJob good;
+    good.program = &prog;
+    RunJob bad = good;
+    bad.engine.scheme = static_cast<ProtectionScheme>(0xee);
+    const std::vector<RunJob> grid = {good, bad};
+
+    RunnerPolicy keep;
+    keep.service_socket = daemon.socket_path;
+    keep.keep_going = true;
+    ExpRunner client(1);
+    const std::vector<RunOutcome> out = client.run(grid, keep);
+    EXPECT_EQ(out[0].status, RunStatus::kOk);
+    EXPECT_EQ(out[1].status, RunStatus::kCrash);
+    EXPECT_FALSE(out[1].error.empty());
+    EXPECT_EQ(client.lastSweep().failed_jobs, 1u);
+
+    // Fail-fast is re-imposed client-side; the daemon survives the
+    // crashing job either way.
+    RunnerPolicy fail_fast = keep;
+    fail_fast.keep_going = false;
+    EXPECT_THROW(client.run(grid, fail_fast), FatalError);
+    const std::string ping =
+        serviceRequest(daemon.socket_path, "{\"op\": \"ping\"}");
+    EXPECT_TRUE(parseJson(ping).getBool("ok", false));
+}
+
+TEST(SweepService, MalformedRequestsGetStructuredErrors)
+{
+    DaemonFixture daemon("svc_malformed");
+
+    // Not JSON at all.
+    JsonValue resp = parseJson(
+        serviceRequest(daemon.socket_path, "this is not json"));
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_FALSE(resp.getString("error", "").empty());
+
+    // Valid JSON, unknown op.
+    resp = parseJson(serviceRequest(daemon.socket_path,
+                                    "{\"op\": \"frobnicate\"}"));
+    EXPECT_FALSE(resp.getBool("ok", true));
+
+    // Submit with a garbage program blob.
+    resp = parseJson(serviceRequest(
+        daemon.socket_path,
+        "{\"op\": \"submit\", \"programs\": [\"deadbeef\"], "
+        "\"jobs\": []}"));
+    EXPECT_FALSE(resp.getBool("ok", true));
+
+    // Status/result of a batch that never existed.
+    resp = parseJson(serviceRequest(
+        daemon.socket_path, "{\"op\": \"status\", \"batch\": 99}"));
+    EXPECT_FALSE(resp.getBool("ok", true));
+
+    // The daemon took four bad requests and still serves good ones.
+    resp = parseJson(
+        serviceRequest(daemon.socket_path, "{\"op\": \"ping\"}"));
+    EXPECT_TRUE(resp.getBool("ok", false));
+    resp = parseJson(
+        serviceRequest(daemon.socket_path, "{\"op\": \"stats\"}"));
+    EXPECT_TRUE(resp.getBool("ok", false));
+    EXPECT_EQ(resp.at("batches_executed").asU64(), 0u);
+}
+
+TEST(SweepService, CleanShutdownViaProtocol)
+{
+    const std::string socket_path =
+        "/tmp/spt_svc_shutdown_" + std::to_string(::getpid()) +
+        ".sock";
+    SweepServiceOptions opt;
+    opt.socket_path = socket_path;
+    opt.jobs = 1;
+    SweepService service(opt);
+    service.start();
+    ASSERT_TRUE(std::filesystem::exists(socket_path));
+
+    const JsonValue resp = parseJson(
+        serviceRequest(socket_path, "{\"op\": \"shutdown\"}"));
+    EXPECT_TRUE(resp.getBool("ok", false));
+    service.wait(); // must return: the daemon drained
+    // The socket file is gone; new connections are refused.
+    EXPECT_FALSE(std::filesystem::exists(socket_path));
+    EXPECT_THROW(serviceRequest(socket_path, "{\"op\": \"ping\"}"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace spt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * spt_sweep: control-plane client for a running spt_sweepd
+ * (sim/sweep_service.h). Sends one protocol request and prints the
+ * JSON response on stdout.
+ *
+ *   spt_sweep --socket /tmp/spt.sock ping      liveness probe
+ *   spt_sweep --socket /tmp/spt.sock stats     totals + cache traffic
+ *   spt_sweep --socket /tmp/spt.sock shutdown  drain and stop
+ *
+ * Exit codes follow the tool convention (common/cli.h): 0 when the
+ * daemon answered ok, 1 when it answered with a structured error,
+ * 2 for usage/connection problems.
+ */
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/logging.h"
+#include "sim/sweep_service.h"
+
+using namespace spt;
+
+int
+main(int argc, char **argv)
+{
+    return toolMain("spt_sweep", [&]() -> int {
+        std::string socket_path, op;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--socket") {
+                if (i + 1 >= argc)
+                    SPT_FATAL("--socket requires a path");
+                socket_path = argv[++i];
+            } else if (arg == "ping" || arg == "stats" ||
+                       arg == "shutdown") {
+                if (!op.empty())
+                    SPT_FATAL("multiple commands given");
+                op = arg;
+            } else {
+                SPT_FATAL("unknown argument " << arg
+                          << " (expected --socket PATH "
+                             "ping|stats|shutdown)");
+            }
+        }
+        if (socket_path.empty() || op.empty())
+            SPT_FATAL("usage: spt_sweep --socket PATH "
+                      "ping|stats|shutdown");
+
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("op", op);
+        jw.endObject();
+        const std::string response =
+            serviceRequest(socket_path, jw.str());
+        std::printf("%s\n", response.c_str());
+        return parseJson(response).getBool("ok", false) ? 0 : 1;
+    });
+}

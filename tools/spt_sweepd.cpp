@@ -1,0 +1,73 @@
+/**
+ * @file
+ * spt_sweepd: the persistent sweep daemon (sweep-as-a-service,
+ * DESIGN.md §14). Binds a Unix-domain socket, keeps a worker pool
+ * and a warm on-disk result cache, and executes job batches
+ * submitted by ExpRunner clients (any bench/driver run with
+ * --service SOCK or SPT_SWEEP_SOCKET=SOCK) until it receives a
+ * shutdown request — e.g. `spt_sweep --socket SOCK shutdown`.
+ *
+ *   spt_sweepd --socket /tmp/spt.sock --cache /tmp/spt-cache \
+ *              [--jobs N] [--cache-mode read_write|read_only|verify]
+ */
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "sim/sweep_service.h"
+
+using namespace spt;
+
+int
+main(int argc, char **argv)
+{
+    return toolMain("spt_sweepd", [&]() -> int {
+        SweepServiceOptions opt;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value_of = [&](const char *flag) {
+                if (i + 1 >= argc)
+                    SPT_FATAL(flag << " requires a value");
+                return std::string(argv[++i]);
+            };
+            if (arg == "--socket") {
+                opt.socket_path = value_of("--socket");
+            } else if (arg == "--jobs") {
+                opt.jobs = static_cast<unsigned>(parseUnsigned(
+                    value_of("--jobs"), "--jobs", 4096));
+            } else if (arg == "--cache") {
+                opt.cache_dir = value_of("--cache");
+            } else if (arg == "--cache-mode") {
+                opt.cache_mode =
+                    parseCacheMode(value_of("--cache-mode"));
+            } else {
+                SPT_FATAL("unknown argument " << arg
+                          << " (expected --socket PATH / --jobs N /"
+                             " --cache DIR / --cache-mode MODE)");
+            }
+        }
+        if (opt.socket_path.empty())
+            SPT_FATAL("--socket PATH is required");
+
+        SweepService service(opt);
+        service.start();
+        std::fprintf(stderr,
+                     "[spt_sweepd] listening on %s (cache %s)\n",
+                     opt.socket_path.c_str(),
+                     opt.cache_dir.empty() ? "off"
+                                           : opt.cache_dir.c_str());
+        service.wait();
+        const ServiceStats totals = service.stats();
+        std::fprintf(
+            stderr,
+            "[spt_sweepd] shut down: %llu batch(es), %llu job(s), "
+            "%llu cache hit(s), %llu miss(es)\n",
+            static_cast<unsigned long long>(
+                totals.batches_executed),
+            static_cast<unsigned long long>(totals.jobs_executed),
+            static_cast<unsigned long long>(totals.cache.hits),
+            static_cast<unsigned long long>(totals.cache.misses));
+        return 0;
+    });
+}

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_log.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "sim/exp_runner.h"
@@ -31,8 +32,10 @@ namespace bench {
 
 /** Common bench CLI: "--jobs N" (or SPT_JOBS), "--out PATH" for the
  *  JSON artifact, "--cache DIR" / "--cache-mode MODE" for the
- *  on-disk result cache, and "--service SOCK" to route the sweep to
- *  a running spt_sweepd. Unknown arguments are fatal. */
+ *  on-disk result cache, "--service SOCK" to route the sweep to a
+ *  running spt_sweepd, and "--event-log FILE" for the structured
+ *  JSONL telemetry stream (DESIGN.md §15). Unknown arguments are
+ *  fatal. */
 struct BenchOptions {
     unsigned jobs = 1;
     std::string out_path;
@@ -79,43 +82,54 @@ parseBenchArgs(int argc, char **argv, const char *default_out)
             set_env("SPT_SWEEP_SOCKET", value_of("--service"));
         } else if (arg.rfind("--service=", 0) == 0) {
             set_env("SPT_SWEEP_SOCKET", arg.substr(10));
+        } else if (arg == "--event-log") {
+            EventLog::global().openFile(value_of("--event-log"));
+        } else if (arg.rfind("--event-log=", 0) == 0) {
+            EventLog::global().openFile(arg.substr(12));
         } else {
             SPT_FATAL("unknown argument " << arg
                       << " (expected --jobs N / --out PATH / "
                          "--cache DIR / --cache-mode MODE / "
-                         "--service SOCK)");
+                         "--service SOCK / --event-log FILE)");
         }
     }
     return opt;
 }
 
 /** Reports sweep scheduling metadata on stderr (stdout must stay
- *  byte-identical across --jobs values). */
+ *  byte-identical across --jobs values). Routed through
+ *  spt::report() — the unconditional operator channel — so the
+ *  `[sweep]`/`[cache]` lines CI greps out of stderr survive any
+ *  SPT_LOG_LEVEL and the benches' setVerbose(false). */
 inline void
 reportSweep(const ExpRunner &runner)
 {
     const SweepStats &s = runner.lastSweep();
-    fprintf(stderr,
-            "[sweep] %u worker(s), %llu unique job(s), %llu memo "
-            "hit(s), %.2fs wall%s\n",
-            s.workers,
-            static_cast<unsigned long long>(s.unique_jobs),
-            static_cast<unsigned long long>(s.memo_hits),
-            s.wall_seconds,
-            s.via_service ? " (via sweep service)" : "");
-    if (s.cache_mode != "off")
-        fprintf(stderr,
-                "[cache] mode=%s dir=%s hits=%llu misses=%llu "
-                "verify_mismatches=%llu bytes_written=%llu "
-                "saved=%.2fs\n",
-                s.cache_mode.c_str(), s.cache_dir.c_str(),
-                static_cast<unsigned long long>(s.cache.hits),
-                static_cast<unsigned long long>(s.cache.misses),
-                static_cast<unsigned long long>(
-                    s.cache.verify_mismatches),
-                static_cast<unsigned long long>(
-                    s.cache.bytes_written),
-                s.cache.host_seconds_saved);
+    char line[256];
+    snprintf(line, sizeof line,
+             "[sweep] %u worker(s), %llu unique job(s), %llu memo "
+             "hit(s), %.2fs wall%s",
+             s.workers,
+             static_cast<unsigned long long>(s.unique_jobs),
+             static_cast<unsigned long long>(s.memo_hits),
+             s.wall_seconds,
+             s.via_service ? " (via sweep service)" : "");
+    report(line);
+    if (s.cache_mode != "off") {
+        snprintf(line, sizeof line,
+                 "[cache] mode=%s dir=%s hits=%llu misses=%llu "
+                 "verify_mismatches=%llu bytes_written=%llu "
+                 "saved=%.2fs",
+                 s.cache_mode.c_str(), s.cache_dir.c_str(),
+                 static_cast<unsigned long long>(s.cache.hits),
+                 static_cast<unsigned long long>(s.cache.misses),
+                 static_cast<unsigned long long>(
+                     s.cache.verify_mismatches),
+                 static_cast<unsigned long long>(
+                     s.cache.bytes_written),
+                 s.cache.host_seconds_saved);
+        report(line);
+    }
 }
 
 /** The workload-name lists the figure drivers sweep, honoring

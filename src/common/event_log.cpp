@@ -1,0 +1,240 @@
+#include "common/event_log.h"
+
+#include <atomic>
+#include <unistd.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace spt {
+
+EventLevel
+parseEventLevel(const std::string &name)
+{
+    if (name == "debug")
+        return EventLevel::kDebug;
+    if (name == "info")
+        return EventLevel::kInfo;
+    if (name == "warn")
+        return EventLevel::kWarn;
+    SPT_FATAL("unknown event level '" << name
+                                      << "' (want debug|info|warn)");
+}
+
+namespace {
+
+const char *
+levelName(EventLevel level)
+{
+    switch (level) {
+    case EventLevel::kDebug: return "debug";
+    case EventLevel::kInfo: return "info";
+    case EventLevel::kWarn: return "warn";
+    }
+    return "info";
+}
+
+} // namespace
+
+EventFields &
+EventFields::str(const std::string &key, const std::string &v)
+{
+    kv_.emplace_back(key, jsonQuoted(v));
+    return *this;
+}
+
+EventFields &
+EventFields::num(const std::string &key, uint64_t v)
+{
+    kv_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+EventFields &
+EventFields::num(const std::string &key, int64_t v)
+{
+    kv_.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+EventFields &
+EventFields::real(const std::string &key, double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    kv_.emplace_back(key, buf);
+    return *this;
+}
+
+EventFields &
+EventFields::boolean(const std::string &key, bool v)
+{
+    kv_.emplace_back(key, v ? "true" : "false");
+    return *this;
+}
+
+EventFields &
+EventFields::raw(const std::string &key, const std::string &json)
+{
+    kv_.emplace_back(key, json);
+    return *this;
+}
+
+void
+FlightRecorder::record(const std::string &subsystem,
+                       const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<std::string> &ring = rings_[subsystem];
+    ring.push_back(line);
+    while (ring.size() > capacity_)
+        ring.pop_front();
+}
+
+std::vector<std::string>
+FlightRecorder::dump(const std::string &subsystem) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rings_.find(subsystem);
+    if (it == rings_.end())
+        return {};
+    return std::vector<std::string>(it->second.begin(),
+                                    it->second.end());
+}
+
+std::vector<std::string>
+FlightRecorder::dumpAll() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (const auto &kv : rings_)
+        out.insert(out.end(), kv.second.begin(), kv.second.end());
+    return out;
+}
+
+EventLog::~EventLog()
+{
+    close();
+}
+
+void
+EventLog::openFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_)
+        std::fclose(file_);
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_)
+        SPT_FATAL("cannot open event log " << path
+                                           << " for appending");
+}
+
+void
+EventLog::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+EventLog::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_ != nullptr;
+}
+
+void
+EventLog::setMinLevel(EventLevel level)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    min_level_ = static_cast<int>(level);
+}
+
+void
+EventLog::emit(EventLevel level, const std::string &subsystem,
+               const std::string &event, const EventFields &fields,
+               const std::string &span, const std::string &parent)
+{
+    // Render outside the lock; only the write is serialized.
+    std::string line;
+    line.reserve(96);
+    char ts[48];
+    std::snprintf(ts, sizeof ts, "{\"ts\":%.6f,",
+                  logMonotonicSeconds());
+    line += ts;
+    line += "\"lvl\":";
+    line += jsonQuoted(levelName(level));
+    line += ",\"sys\":";
+    line += jsonQuoted(subsystem);
+    line += ",\"ev\":";
+    line += jsonQuoted(event);
+    if (!span.empty()) {
+        line += ",\"span\":";
+        line += jsonQuoted(span);
+    }
+    if (!parent.empty()) {
+        line += ",\"parent\":";
+        line += jsonQuoted(parent);
+    }
+    for (const auto &kv : fields.fields()) {
+        line += ',';
+        line += jsonQuoted(kv.first);
+        line += ':';
+        line += kv.second;
+    }
+    line += "}\n";
+
+    // The flight recorder keeps every record (minus the trailing
+    // newline) so crash dumps see debug-level context even when the
+    // file sink filters it out or is closed.
+    recorder_.record(subsystem,
+                     line.substr(0, line.size() - 1));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_ || static_cast<int>(level) < min_level_)
+        return;
+    std::fwrite(line.data(), 1, line.size(), file_);
+    // Line-buffered flush: tail -f / spt_top style consumers and
+    // crash post-mortems should see records promptly.
+    std::fflush(file_);
+}
+
+std::string
+EventLog::newSpanId()
+{
+    static std::atomic<uint64_t> seq{0};
+    const uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "s%ld-%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(n));
+    return buf;
+}
+
+EventLog &
+EventLog::global()
+{
+    static EventLog *log = [] {
+        EventLog *l = new EventLog();
+        if (const char *lv = std::getenv("SPT_EVENT_LOG_LEVEL")) {
+            try {
+                l->setMinLevel(parseEventLevel(lv));
+            } catch (const FatalError &) {
+                warn(std::string(
+                         "ignoring unrecognised SPT_EVENT_LOG_LEVEL=") +
+                     lv + " (want debug|info|warn)");
+            }
+        }
+        if (const char *path = std::getenv("SPT_EVENT_LOG")) {
+            if (path[0] != '\0')
+                l->openFile(path);
+        }
+        return l;
+    }();
+    return *log;
+}
+
+} // namespace spt

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Structured event stream for the sweep fleet: every interesting
+ * transition (submit, dequeue, job start/finish, cache hit, batch
+ * done, crash) is one compact single-line JSON record, appended to
+ * a JSONL file and mirrored into a bounded in-memory flight
+ * recorder for post-mortems.
+ *
+ * Record schema (DESIGN.md §15):
+ *
+ *   {"ts":<host seconds since process start>,
+ *    "lvl":"debug"|"info"|"warn",
+ *    "sys":"<subsystem>", "ev":"<event name>",
+ *    "span":"<span id>", "parent":"<parent span id>",
+ *    ...caller fields in call order...}
+ *
+ * "ts" and any host-derived fields make this stream intentionally
+ * non-deterministic — it is an observability channel, disjoint by
+ * construction from stdout and the BENCH/report artifacts that the
+ * byte-equality gates compare. Values are rendered with the same
+ * escaping as common/json.h (jsonQuoted), so a JSONL consumer and
+ * a report consumer see identical string semantics.
+ *
+ * Span ids ("s<pid>-<seq>") thread one batch's causality from the
+ * client through the daemon into each ExpRunner job slot: the
+ * daemon returns the batch span to the submitting client, and job
+ * records carry it as "parent".
+ */
+
+#ifndef SPT_COMMON_EVENT_LOG_H
+#define SPT_COMMON_EVENT_LOG_H
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spt {
+
+/** Severity of an event record (mirrors LogLevel, kept separate so
+ *  the stderr log level and the event-log level can differ). */
+enum class EventLevel {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+};
+
+/** Parses "debug"/"info"/"warn" (SPT_FATAL on anything else). */
+EventLevel parseEventLevel(const std::string &name);
+
+/** Ordered field list for one record; values are pre-rendered JSON
+ *  fragments so emit() is a straight concatenation. */
+class EventFields
+{
+  public:
+    EventFields &str(const std::string &key, const std::string &v);
+    EventFields &num(const std::string &key, uint64_t v);
+    EventFields &num(const std::string &key, int64_t v);
+    EventFields &real(const std::string &key, double v,
+                      int precision = 6);
+    EventFields &boolean(const std::string &key, bool v);
+    /** Splices @p json (one valid JSON value) verbatim. */
+    EventFields &raw(const std::string &key, const std::string &json);
+
+    const std::vector<std::pair<std::string, std::string>> &
+    fields() const
+    {
+        return kv_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/** Bounded per-subsystem ring of the most recent rendered records,
+ *  kept even when no file sink is open so crash paths can dump the
+ *  events leading up to a failure. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(size_t capacity_per_subsystem = 64)
+        : capacity_(capacity_per_subsystem)
+    {}
+
+    void record(const std::string &subsystem,
+                const std::string &line);
+
+    /** Most recent records for one subsystem, oldest first. */
+    std::vector<std::string> dump(const std::string &subsystem) const;
+    /** All subsystems, each oldest first, subsystems sorted. */
+    std::vector<std::string> dumpAll() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::deque<std::string>> rings_;
+};
+
+/** Thread-safe JSONL event sink. Construction leaves it closed
+ *  (flight recorder only); openFile() attaches the file sink. */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    ~EventLog();
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** Appends to @p path (created if missing); SPT_FATAL if it
+     *  cannot be opened. */
+    void openFile(const std::string &path);
+    void close();
+    /** True when a file sink is attached. The flight recorder runs
+     *  regardless. */
+    bool enabled() const;
+
+    /** Records below @p level are dropped from the file sink (they
+     *  still enter the flight recorder). Default kInfo. */
+    void setMinLevel(EventLevel level);
+
+    void emit(EventLevel level, const std::string &subsystem,
+              const std::string &event, const EventFields &fields,
+              const std::string &span = std::string(),
+              const std::string &parent = std::string());
+
+    FlightRecorder &recorder() { return recorder_; }
+
+    /** Process-unique span id "s<pid>-<seq>". */
+    static std::string newSpanId();
+
+    /** Process-wide log. First access resolves SPT_EVENT_LOG (file
+     *  path) and SPT_EVENT_LOG_LEVEL from the environment; tools
+     *  with --event-log flags call openFile() explicitly. */
+    static EventLog &global();
+
+  private:
+    mutable std::mutex mu_; ///< file handle + write serialization
+    FILE *file_ = nullptr;
+    int min_level_ = static_cast<int>(EventLevel::kInfo);
+    FlightRecorder recorder_;
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_EVENT_LOG_H

@@ -75,10 +75,8 @@ JsonWriter::endArray()
     return *this;
 }
 
-namespace {
-
 std::string
-escaped(const std::string &s)
+jsonQuoted(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 2);
@@ -106,15 +104,13 @@ escaped(const std::string &s)
     return out;
 }
 
-} // namespace
-
 JsonWriter &
 JsonWriter::key(const std::string &name)
 {
     SPT_ASSERT(!stack_.empty() && stack_.back() == '{' && !have_key_,
                "JsonWriter::key needs an open object");
     separate();
-    out_ += escaped(name);
+    out_ += jsonQuoted(name);
     out_ += ": ";
     need_comma_ = true;
     have_key_ = true;
@@ -125,7 +121,7 @@ JsonWriter &
 JsonWriter::value(const std::string &v)
 {
     separate();
-    out_ += escaped(v);
+    out_ += jsonQuoted(v);
     need_comma_ = true;
     return *this;
 }

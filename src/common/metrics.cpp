@@ -1,0 +1,186 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace spt {
+
+BoundedHistogram::BoundedHistogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1])
+{
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        SPT_ASSERT(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly increasing");
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+BoundedHistogram::record(uint64_t value)
+{
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i])
+        ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot.reset(new Counter());
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot.reset(new Gauge());
+    return *slot;
+}
+
+BoundedHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<uint64_t> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot.reset(new BoundedHistogram(bounds));
+    else
+        SPT_ASSERT(slot->bounds() == bounds,
+                   "histogram '" << name
+                                 << "' re-registered with different "
+                                    "bounds");
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &kv : counters_)
+        snap.counters[kv.first] = kv.second->value();
+    for (const auto &kv : gauges_)
+        snap.gauges[kv.first] = kv.second->value();
+    for (const auto &kv : histograms_) {
+        MetricsSnapshot::Hist h;
+        h.bounds = kv.second->bounds();
+        h.buckets.reserve(h.bounds.size() + 1);
+        for (size_t i = 0; i <= h.bounds.size(); ++i)
+            h.buckets.push_back(kv.second->bucket(i));
+        h.count = kv.second->count();
+        h.sum = kv.second->sum();
+        snap.histograms[kv.first] = std::move(h);
+    }
+    return snap;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("counters").beginObject();
+    for (const auto &kv : counters)
+        jw.field(kv.first, kv.second);
+    jw.endObject();
+    jw.key("gauges").beginObject();
+    for (const auto &kv : gauges) {
+        // JsonWriter has no int64 overload; gauges we register are
+        // small (queue depths, slot counts), print via int when it
+        // fits and a raw literal otherwise.
+        jw.key(kv.first).raw(std::to_string(kv.second));
+    }
+    jw.endObject();
+    jw.key("histograms").beginObject();
+    for (const auto &kv : histograms) {
+        const Hist &h = kv.second;
+        jw.key(kv.first).beginObject();
+        jw.key("bounds").beginArray();
+        for (uint64_t b : h.bounds)
+            jw.value(b);
+        jw.endArray();
+        jw.key("buckets").beginArray();
+        for (uint64_t b : h.buckets)
+            jw.value(b);
+        jw.endArray();
+        jw.field("count", h.count);
+        jw.field("sum", h.sum);
+        jw.endObject();
+    }
+    jw.endObject();
+    jw.endObject();
+    return jw.str();
+}
+
+namespace {
+
+/** "svc.jobs-executed" -> "spt_svc_jobs_executed". */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "spt_";
+    out.reserve(name.size() + 4);
+    for (const char c : name)
+        out += (c == '.' || c == '-') ? '_' : c;
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::toPrometheus() const
+{
+    std::string out;
+    char buf[64];
+    for (const auto &kv : counters) {
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(kv.second) + "\n";
+    }
+    for (const auto &kv : gauges) {
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + std::to_string(kv.second) + "\n";
+    }
+    for (const auto &kv : histograms) {
+        const Hist &h = kv.second;
+        const std::string n = promName(kv.first);
+        out += "# TYPE " + n + " histogram\n";
+        uint64_t cum = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            cum += h.buckets[i];
+            std::snprintf(buf, sizeof buf, "%llu",
+                          static_cast<unsigned long long>(
+                              h.bounds[i]));
+            out += n + "_bucket{le=\"" + buf + "\"} " +
+                   std::to_string(cum) + "\n";
+        }
+        out += n + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h.count) + "\n";
+        out += n + "_sum " + std::to_string(h.sum) + "\n";
+        out += n + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+} // namespace spt

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fleet telemetry metrics: a thread-safe registry of named
+ * monotonic counters, gauges, and bounded histograms, snapshotted
+ * on demand and exported as deterministic JSON (common/json.h
+ * formatting rules) or Prometheus-style text exposition.
+ *
+ * Design rules, in the spirit of the determinism guardrail that
+ * governs every artifact channel (DESIGN.md §15):
+ *
+ *  - Updates are lock-free atomics; registration (first use of a
+ *    name) takes the registry mutex. Returned references stay
+ *    valid for the registry's lifetime, so hot paths resolve a
+ *    series once and bump a pointer afterwards.
+ *  - Metrics are an *observability* channel: host seconds, queue
+ *    depths and rates live here, never in stdout or BENCH/report
+ *    artifacts. Nothing in the simulation reads a metric back, so
+ *    enabling telemetry cannot perturb simulated behaviour.
+ *  - snapshot() is wait-free with respect to writers (it reads the
+ *    atomics); values within one snapshot may be skewed by
+ *    concurrent updates, which is fine for monitoring.
+ */
+
+#ifndef SPT_COMMON_METRICS_H
+#define SPT_COMMON_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/** Monotonically increasing counter (events, bytes, jobs). */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1)
+    {
+        v_.fetch_add(by, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Settable instantaneous value (queue depth, slots busy). Signed
+ *  so add(-1) style decrements cannot wrap a transient underflow
+ *  into 2^64. */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+    int64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Histogram over a fixed set of upper bounds chosen at
+ *  registration (classic Prometheus shape: bucket i counts samples
+ *  <= bounds[i], plus an implicit +Inf overflow bucket). record()
+ *  is a branchless scan over a handful of bounds plus three atomic
+ *  adds — cheap enough for per-job paths, not meant for per-cycle
+ *  use. */
+class BoundedHistogram
+{
+  public:
+    explicit BoundedHistogram(std::vector<uint64_t> bounds);
+
+    void record(uint64_t value);
+
+    const std::vector<uint64_t> &bounds() const { return bounds_; }
+    /** Count in bucket @p i (i == bounds().size() is +Inf). */
+    uint64_t bucket(size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<uint64_t> bounds_; ///< strictly increasing
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_; ///< size+1
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time copy of every registered series, decoupled from
+ *  the live atomics so exporters can format without holding any
+ *  lock. */
+struct MetricsSnapshot
+{
+    struct Hist
+    {
+        std::vector<uint64_t> bounds;
+        std::vector<uint64_t> buckets; ///< bounds.size()+1 (+Inf last)
+        uint64_t count = 0;
+        uint64_t sum = 0;
+    };
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Hist> histograms;
+
+    /** One JSON object {"counters":{...},"gauges":{...},
+     *  "histograms":{...}} with sorted keys — deterministic given
+     *  identical series values. */
+    std::string toJson() const;
+
+    /** Prometheus text exposition: series names are mangled
+     *  ('.'/'-' become '_') and prefixed "spt_"; histograms emit
+     *  cumulative _bucket{le="..."} series plus _sum/_count. */
+    std::string toPrometheus() const;
+};
+
+/** Thread-safe named-series registry. */
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; the reference stays valid for the registry's
+     *  lifetime. Names are dotted paths ("svc.jobs.executed"). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p bounds applies on first registration only; later lookups
+     *  of the same name return the existing series (a mismatched
+     *  re-registration is a bug — SPT_PANIC). */
+    BoundedHistogram &histogram(const std::string &name,
+                                const std::vector<uint64_t> &bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Process-wide registry used by the runner/service telemetry
+     *  (tests build private registries instead). */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mu_; ///< guards the maps, not the values
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<BoundedHistogram>>
+        histograms_;
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_METRICS_H

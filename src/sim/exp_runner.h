@@ -74,8 +74,11 @@
 #include <string>
 #include <vector>
 
+#include "common/event_log.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "isa/instruction.h"
+#include "sim/progress.h"
 #include "sim/result_cache.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
@@ -237,6 +240,36 @@ struct RunnerPolicy {
      *  grid through. Empty resolves SPT_SWEEP_SOCKET; the
      *  kNoSweepService sentinel forces in-process execution. */
     std::string service_socket;
+
+    // --- telemetry (DESIGN.md §15) --------------------------------
+    // Observability sinks only: nothing on this block can change a
+    // simulated result or any report artifact. All three default to
+    // the process-global instances so existing drivers gain
+    // telemetry with zero code changes (the event-log *file* sink
+    // only opens when SPT_EVENT_LOG / --event-log configures one;
+    // the in-memory flight recorder always runs).
+
+    /** Structured event sink for sweep/job records; nullptr uses
+     *  EventLog::global(). */
+    EventLog *event_log = nullptr;
+    /** Span id of the enclosing operation (e.g. the daemon batch
+     *  executing this grid); the sweep span nests under it. Empty =
+     *  top-level sweep. */
+    std::string parent_span;
+    /** Metrics registry receiving runner.* series; nullptr uses
+     *  MetricsRegistry::global(). */
+    MetricsRegistry *metrics = nullptr;
+    /** Live per-slot progress board; nullptr uses
+     *  ProgressBoard::global() (what the daemon's status op and
+     *  spt_top read). */
+    ProgressBoard *progress = nullptr;
+    /** Heartbeat sampling period in simulated cycles: each running
+     *  job publishes (cycles, instructions) into its progress slot
+     *  roughly this often. 0 disables mid-run heartbeats (start/
+     *  finish transitions are still recorded). The default keeps
+     *  the check off the per-cycle stats path — one integer compare
+     *  per run-loop iteration. */
+    uint64_t heartbeat_cycles = 4'000'000;
 };
 
 /** Bookkeeping from the last ExpRunner::run call. */

@@ -1,0 +1,116 @@
+#include "sim/progress.h"
+
+#include "common/logging.h"
+
+namespace spt {
+
+void
+ProgressBoard::reset(size_t num_slots)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    num_slots_ = num_slots;
+    slots_.reset(new Slot[num_slots]);
+    labels_.assign(num_slots, std::string());
+}
+
+size_t
+ProgressBoard::numSlots() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_slots_;
+}
+
+void
+ProgressBoard::setLabel(size_t slot, const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SPT_ASSERT(slot < num_slots_, "progress slot out of range");
+    labels_[slot] = label;
+}
+
+void
+ProgressBoard::start(size_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cycles.store(0, std::memory_order_relaxed);
+    s.instructions.store(0, std::memory_order_relaxed);
+    s.start_s.store(logMonotonicSeconds(),
+                    std::memory_order_relaxed);
+    s.done_s.store(0.0, std::memory_order_relaxed);
+    s.state.store(static_cast<int>(SlotState::kRunning),
+                  std::memory_order_release);
+}
+
+void
+ProgressBoard::heartbeat(size_t slot, uint64_t cycles,
+                         uint64_t instructions)
+{
+    Slot &s = slots_[slot];
+    s.cycles.store(cycles, std::memory_order_relaxed);
+    s.instructions.store(instructions, std::memory_order_relaxed);
+}
+
+void
+ProgressBoard::finish(size_t slot, uint64_t cycles,
+                      uint64_t instructions)
+{
+    Slot &s = slots_[slot];
+    s.cycles.store(cycles, std::memory_order_relaxed);
+    s.instructions.store(instructions, std::memory_order_relaxed);
+    s.done_s.store(logMonotonicSeconds(),
+                   std::memory_order_relaxed);
+    s.state.store(static_cast<int>(SlotState::kDone),
+                  std::memory_order_release);
+}
+
+std::vector<ProgressBoard::SlotProgress>
+ProgressBoard::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SlotProgress> out;
+    out.reserve(num_slots_);
+    const double now = logMonotonicSeconds();
+    for (size_t i = 0; i < num_slots_; ++i) {
+        const Slot &s = slots_[i];
+        SlotProgress p;
+        p.slot = i;
+        p.label = labels_[i];
+        p.state = static_cast<SlotState>(
+            s.state.load(std::memory_order_acquire));
+        p.cycles = s.cycles.load(std::memory_order_relaxed);
+        p.instructions =
+            s.instructions.load(std::memory_order_relaxed);
+        const double start =
+            s.start_s.load(std::memory_order_relaxed);
+        if (p.state == SlotState::kRunning)
+            p.host_seconds = now - start;
+        else if (p.state == SlotState::kDone)
+            p.host_seconds =
+                s.done_s.load(std::memory_order_relaxed) - start;
+        if (p.host_seconds < 0.0)
+            p.host_seconds = 0.0;
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+size_t
+ProgressBoard::countInState(SlotState state) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (size_t i = 0; i < num_slots_; ++i)
+        if (slots_[i].state.load(std::memory_order_acquire) ==
+            static_cast<int>(state))
+            ++n;
+    return n;
+}
+
+ProgressBoard &
+ProgressBoard::global()
+{
+    static ProgressBoard board;
+    return board;
+}
+
+} // namespace spt

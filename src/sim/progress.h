@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Live job progress for sweeps: a fixed array of per-slot atomic
+ * progress cells that ExpRunner workers update from Core heartbeats
+ * and monitoring paths (the daemon's `status` op, spt_top) snapshot
+ * without locks on the writer side.
+ *
+ * Determinism: the board is write-only from the simulation's point
+ * of view — nothing in ExpRunner or the Simulator reads it back, so
+ * its values (which include host-clock timing) can never leak into
+ * stdout or report artifacts. Snapshot readers may observe slightly
+ * torn cross-field state (cycles from one heartbeat, instructions
+ * from the next); that is acceptable for monitoring and keeps the
+ * heartbeat path to a handful of relaxed stores.
+ */
+
+#ifndef SPT_SIM_PROGRESS_H
+#define SPT_SIM_PROGRESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class ProgressBoard
+{
+  public:
+    enum class SlotState : int {
+        kIdle = 0,
+        kRunning = 1,
+        kDone = 2,
+    };
+
+    /** One slot's state as seen by a snapshot. */
+    struct SlotProgress {
+        size_t slot = 0;
+        std::string label;         ///< job description (workload…)
+        SlotState state = SlotState::kIdle;
+        uint64_t cycles = 0;       ///< simulated cycles so far
+        uint64_t instructions = 0; ///< retired so far
+        double host_seconds = 0.0; ///< host time since start()
+    };
+
+    /** Sizes the board for a sweep and clears every slot. Call on
+     *  the coordinating thread before workers start; labels are set
+     *  with setLabel() at the same point, so workers only ever
+     *  touch the atomic cells. */
+    void reset(size_t num_slots);
+
+    size_t numSlots() const;
+
+    /** Attaches a human-readable job description to @p slot (main
+     *  thread, pre-pool — see reset()). */
+    void setLabel(size_t slot, const std::string &label);
+
+    // --- worker-side (lock-free) -----------------------------------
+    void start(size_t slot);
+    void heartbeat(size_t slot, uint64_t cycles,
+                   uint64_t instructions);
+    void finish(size_t slot, uint64_t cycles,
+                uint64_t instructions);
+
+    // --- monitor-side ----------------------------------------------
+    std::vector<SlotProgress> snapshot() const;
+    size_t countInState(SlotState state) const;
+
+    /** Process-wide board (the daemon's ExpRunner publishes here;
+     *  tests build private boards). */
+    static ProgressBoard &global();
+
+  private:
+    struct Slot {
+        std::atomic<int> state{
+            static_cast<int>(SlotState::kIdle)};
+        std::atomic<uint64_t> cycles{0};
+        std::atomic<uint64_t> instructions{0};
+        std::atomic<double> start_s{0.0};
+        std::atomic<double> done_s{0.0};
+    };
+
+    /** Guards resize + labels (reset/setLabel/snapshot); the Slot
+     *  atomics themselves are touched lock-free by workers. */
+    mutable std::mutex mu_;
+    size_t num_slots_ = 0;
+    std::unique_ptr<Slot[]> slots_;
+    std::vector<std::string> labels_;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_PROGRESS_H

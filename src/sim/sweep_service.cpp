@@ -17,11 +17,14 @@
 #include <sstream>
 #include <thread>
 
+#include "common/event_log.h"
 #include "common/json.h"
 #include "common/json_parse.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "core/knowledge_map.h"
 #include "isa/program.h"
+#include "sim/progress.h"
 
 namespace spt {
 
@@ -243,6 +246,9 @@ struct SweepService::Impl {
         std::vector<char> memoized;
         SweepStats stats;
         std::string error; ///< batch-level execution failure
+        /** Daemon-side batch span (returned to the client at
+         *  submit); the runner's sweep span nests under it. */
+        std::string span;
     };
 
     struct HandleResult {
@@ -273,6 +279,8 @@ struct SweepService::Impl {
     std::deque<Batch *> queue; ///< submission order
     std::map<Batch *, uint64_t> batch_ids;
     ServiceStats totals;
+    /** Batch id the executor holds right now; 0 when idle. */
+    uint64_t inflight_batch = 0;
 
     void
     start()
@@ -387,8 +395,13 @@ struct SweepService::Impl {
     void
     execLoop()
     {
+        EventLog &elog = EventLog::global();
+        MetricsRegistry &reg = MetricsRegistry::global();
+        Gauge &g_queue = reg.gauge("svc.queue_depth");
+        Gauge &g_inflight = reg.gauge("svc.inflight_batch");
         for (;;) {
             Batch *batch = nullptr;
+            uint64_t batch_id = 0;
             {
                 std::unique_lock<std::mutex> lock(mu);
                 cv.wait(lock, [this] {
@@ -399,7 +412,17 @@ struct SweepService::Impl {
                 batch = queue.front();
                 queue.pop_front();
                 batch->state = Batch::State::kRunning;
+                batch_id = batch_ids.at(batch);
+                inflight_batch = batch_id;
+                g_queue.set(static_cast<int64_t>(queue.size()));
+                g_inflight.set(static_cast<int64_t>(batch_id));
             }
+            elog.emit(EventLevel::kInfo, "svc", "batch-start",
+                      EventFields()
+                          .num("batch", batch_id)
+                          .num("jobs", static_cast<uint64_t>(
+                                           batch->grid.size())),
+                      batch->span);
             RunnerPolicy pol;
             // Always keep_going: a crashing job is classified into
             // its slot; the client re-imposes fail-fast semantics.
@@ -408,6 +431,10 @@ struct SweepService::Impl {
             pol.cache_dir = opt.cache_dir;
             pol.cache_mode = opt.cache_mode;
             pol.service_socket = kNoSweepService; // never recurse
+            // Nest the runner's sweep span under this batch's span
+            // so one batch's records chain client -> daemon ->
+            // runner -> job slot.
+            pol.parent_span = batch->span;
             std::vector<RunOutcome> outs;
             std::string error;
             try {
@@ -415,7 +442,37 @@ struct SweepService::Impl {
             } catch (const std::exception &e) {
                 error = e.what();
             }
+            if (error.empty()) {
+                elog.emit(EventLevel::kInfo, "svc", "batch-done",
+                          EventFields()
+                              .num("batch", batch_id)
+                              .num("failed_jobs",
+                                   runner.lastSweep().failed_jobs)
+                              .real("wall_s",
+                                    runner.lastSweep().wall_seconds),
+                          batch->span);
+            } else {
+                // Batch-level execution failure (not a per-job
+                // crash — those are classified into slots): dump
+                // the flight recorder for the post-mortem before
+                // answering the client.
+                elog.emit(EventLevel::kWarn, "svc", "batch-error",
+                          EventFields()
+                              .num("batch", batch_id)
+                              .str("error", error),
+                          batch->span);
+                report("[spt_sweepd] batch " +
+                       std::to_string(batch_id) +
+                       " failed: " + error);
+                report("[spt_sweepd] flight recorder (most recent "
+                       "last):");
+                for (const std::string &line :
+                     elog.recorder().dumpAll())
+                    report("[spt_sweepd]   " + line);
+            }
             std::lock_guard<std::mutex> lock(mu);
+            inflight_batch = 0;
+            g_inflight.set(0);
             if (error.empty()) {
                 batch->stats = runner.lastSweep();
                 batch->outcome_hex.reserve(outs.size());
@@ -436,8 +493,14 @@ struct SweepService::Impl {
                     batch->stats.cache.bytes_written;
                 totals.cache.host_seconds_saved +=
                     batch->stats.cache.host_seconds_saved;
+                reg.counter("svc.batches.executed").inc();
+                reg.counter("svc.jobs.executed")
+                    .inc(static_cast<uint64_t>(outs.size()));
+                reg.counter("svc.jobs.failed")
+                    .inc(batch->stats.failed_jobs);
             } else {
                 batch->error = error;
+                reg.counter("svc.batches.errored").inc();
             }
             batch->state = Batch::State::kDone;
         }
@@ -458,6 +521,8 @@ struct SweepService::Impl {
                 r.json = jw.str();
             } else if (op == "stats") {
                 r.json = handleStats();
+            } else if (op == "metrics") {
+                r.json = handleMetrics(req);
             } else if (op == "submit") {
                 r.json = handleSubmit(req);
             } else if (op == "status") {
@@ -496,6 +561,11 @@ struct SweepService::Impl {
         jw.field("batches_executed", totals.batches_executed);
         jw.field("jobs_executed", totals.jobs_executed);
         jw.field("failed_jobs", totals.failed_jobs);
+        // Point-in-time executor state: "pending" alone could not
+        // distinguish an idle daemon from one wedged mid-batch.
+        jw.field("queue_depth",
+                 static_cast<uint64_t>(queue.size()));
+        jw.field("inflight_batch", inflight_batch);
         jw.field("cache_dir", opt.cache_dir);
         jw.field("cache_mode",
                  opt.cache_dir.empty()
@@ -517,6 +587,85 @@ struct SweepService::Impl {
         jw.field("bytes_written", c.bytes_written);
         jw.field("host_seconds_saved", c.host_seconds_saved, 6);
         jw.endObject();
+    }
+
+    static const char *
+    slotStateName(ProgressBoard::SlotState s)
+    {
+        switch (s) {
+        case ProgressBoard::SlotState::kIdle: return "idle";
+        case ProgressBoard::SlotState::kRunning: return "running";
+        case ProgressBoard::SlotState::kDone: return "done";
+        }
+        return "?";
+    }
+
+    /** Per-slot live progress of the batch the executor is running
+     *  (the global board belongs to the in-flight sweep): summary
+     *  counts plus one record per *running* slot — the tail an
+     *  operator actually reads; idle/done slots are just counts. */
+    static void
+    writeProgress(JsonWriter &jw)
+    {
+        const auto slots = ProgressBoard::global().snapshot();
+        uint64_t idle = 0, running = 0, done = 0;
+        for (const auto &s : slots) {
+            switch (s.state) {
+            case ProgressBoard::SlotState::kIdle: ++idle; break;
+            case ProgressBoard::SlotState::kRunning:
+                ++running;
+                break;
+            case ProgressBoard::SlotState::kDone: ++done; break;
+            }
+        }
+        jw.beginObject();
+        jw.field("slots", static_cast<uint64_t>(slots.size()));
+        jw.field("idle", idle);
+        jw.field("running", running);
+        jw.field("done", done);
+        jw.key("running_slots");
+        jw.beginArray();
+        for (const auto &s : slots) {
+            if (s.state != ProgressBoard::SlotState::kRunning)
+                continue;
+            jw.beginObject();
+            jw.field("slot", static_cast<uint64_t>(s.slot));
+            jw.field("job", s.label);
+            jw.field("cycles", s.cycles);
+            jw.field("instructions", s.instructions);
+            jw.field("host_s", s.host_seconds, 3);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+
+    std::string
+    handleMetrics(const JsonValue &req)
+    {
+        const std::string format = req.getString("format", "json");
+        const MetricsSnapshot snap =
+            MetricsRegistry::global().snapshot();
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        if (format == "prometheus") {
+            jw.field("text", snap.toPrometheus());
+        } else if (format == "json") {
+            jw.key("metrics");
+            jw.raw(snap.toJson());
+            jw.key("progress");
+            writeProgress(jw);
+            std::lock_guard<std::mutex> lock(mu);
+            jw.field("queue_depth",
+                     static_cast<uint64_t>(queue.size()));
+            jw.field("inflight_batch", inflight_batch);
+        } else {
+            SPT_FATAL("unknown metrics format \"" << format
+                      << "\" (want json|prometheus)");
+        }
+        jw.endObject();
+        return jw.str();
     }
 
     std::string
@@ -541,18 +690,42 @@ struct SweepService::Impl {
         for (const JsonValue &jv : req.at("jobs").asArray())
             batch->grid.push_back(decodeJob(jv, *batch));
 
-        std::lock_guard<std::mutex> lock(mu);
-        if (stopping)
-            SPT_FATAL("daemon is shutting down");
-        const uint64_t id = next_batch++;
-        queue.push_back(batch.get());
-        batch_ids[batch.get()] = id;
-        batches[id] = std::move(batch);
-        cv.notify_all();
+        // Open the batch span under the client's span (if it sent
+        // one); the submit response carries it back so both sides
+        // log the same id.
+        const std::string client_span = req.getString("span", "");
+        batch->span = EventLog::newSpanId();
+        const std::string batch_span = batch->span;
+        const uint64_t jobs = batch->grid.size();
+
+        uint64_t id = 0;
+        uint64_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (stopping)
+                SPT_FATAL("daemon is shutting down");
+            id = next_batch++;
+            queue.push_back(batch.get());
+            batch_ids[batch.get()] = id;
+            batches[id] = std::move(batch);
+            depth = queue.size();
+            cv.notify_all();
+        }
+        MetricsRegistry::global().counter("svc.batches.submitted")
+            .inc();
+        MetricsRegistry::global().gauge("svc.queue_depth")
+            .set(static_cast<int64_t>(depth));
+        EventLog::global().emit(EventLevel::kInfo, "svc", "submit",
+                                EventFields()
+                                    .num("batch", id)
+                                    .num("jobs", jobs)
+                                    .num("queue_depth", depth),
+                                batch_span, client_span);
         JsonWriter jw;
         jw.beginObject();
         jw.field("ok", true);
         jw.field("batch", id);
+        jw.field("span", batch_span);
         jw.endObject();
         return jw.str();
     }
@@ -612,25 +785,57 @@ struct SweepService::Impl {
         return job;
     }
 
+    /** {"ok":false,"code":"unknown-batch",...}: a machine-matchable
+     *  shape, distinct from a queued batch (state "queued") and
+     *  from transport errors — before this, a client polling a
+     *  fetched/mistyped id got the same unstructured error as any
+     *  malformed request. */
+    static std::string
+    unknownBatch(uint64_t id)
+    {
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", false);
+        jw.field("code", "unknown-batch");
+        jw.field("error",
+                 "unknown batch " + std::to_string(id) +
+                     " (never submitted, or already fetched)");
+        jw.endObject();
+        return jw.str();
+    }
+
     std::string
     handleStatus(const JsonValue &req)
     {
         const uint64_t id = req.at("batch").asU64();
-        std::lock_guard<std::mutex> lock(mu);
-        const auto it = batches.find(id);
-        if (it == batches.end())
-            SPT_FATAL("unknown batch " << id);
-        const Batch &b = *it->second;
         const char *state = "queued";
-        if (b.state == Batch::State::kRunning)
-            state = "running";
-        else if (b.state == Batch::State::kDone)
-            state = "done";
+        std::size_t jobs = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            const auto it = batches.find(id);
+            if (it == batches.end())
+                return unknownBatch(id);
+            const Batch &b = *it->second;
+            if (b.state == Batch::State::kRunning)
+                state = "running";
+            else if (b.state == Batch::State::kDone)
+                state = "done";
+            jobs = b.grid.size();
+        }
+        // Response rendered outside the service lock: the progress
+        // snapshot takes the board's own lock, and a status probe
+        // must never stall the executor.
         JsonWriter jw;
         jw.beginObject();
         jw.field("ok", true);
         jw.field("state", state);
-        jw.field("jobs", static_cast<uint64_t>(b.grid.size()));
+        jw.field("jobs", static_cast<uint64_t>(jobs));
+        if (std::string(state) == "running") {
+            // The global board belongs to the in-flight sweep, i.e.
+            // exactly this batch.
+            jw.key("progress");
+            writeProgress(jw);
+        }
         jw.endObject();
         return jw.str();
     }
@@ -642,7 +847,7 @@ struct SweepService::Impl {
         std::lock_guard<std::mutex> lock(mu);
         const auto it = batches.find(id);
         if (it == batches.end())
-            SPT_FATAL("unknown batch " << id);
+            return unknownBatch(id);
         Batch &b = *it->second;
         if (b.state != Batch::State::kDone)
             SPT_FATAL("batch " << id << " not finished");
@@ -729,7 +934,10 @@ ServiceStats
 SweepService::stats() const
 {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    return impl_->totals;
+    ServiceStats s = impl_->totals;
+    s.queue_depth = impl_->queue.size();
+    s.inflight_batch = impl_->inflight_batch;
+    return s;
 }
 
 // --------------------------------------------------------------------
@@ -813,10 +1021,17 @@ runGridViaService(const std::string &socket_path,
             maps.push_back(km);
     }
 
+    // Client span: every record this sweep produces — here, in the
+    // daemon, and in the daemon's runner — chains back to this id.
+    EventLog &elog =
+        policy.event_log ? *policy.event_log : EventLog::global();
+    const std::string client_span = EventLog::newSpanId();
+
     JsonWriter jw;
     jw.beginObject();
     jw.field("op", "submit");
     jw.field("capture_evidence", policy.capture_evidence);
+    jw.field("span", client_span);
     jw.key("programs");
     jw.beginArray();
     for (const Program *p : programs) {
@@ -850,6 +1065,14 @@ runGridViaService(const std::string &socket_path,
         parseJson(roundTrip(conn.fd, jw.str()));
     requireOk(submitted, "submit");
     const uint64_t batch = submitted.at("batch").asU64();
+    const std::string batch_span = submitted.getString("span", "");
+    elog.emit(EventLevel::kInfo, "client", "batch-submitted",
+              EventFields()
+                  .num("batch", batch)
+                  .num("jobs", static_cast<uint64_t>(grid.size()))
+                  .str("batch_span", batch_span)
+                  .str("socket", socket_path),
+              client_span, policy.parent_span);
 
     // Poll with a small backoff; the daemon answers status from
     // memory so this stays cheap even mid-batch.
@@ -912,6 +1135,12 @@ runGridViaService(const std::string &socket_path,
             c.at("host_seconds_saved").asDouble();
         stats->via_service = true;
     }
+
+    elog.emit(EventLevel::kInfo, "client", "batch-fetched",
+              EventFields()
+                  .num("batch", batch)
+                  .num("jobs", static_cast<uint64_t>(grid.size())),
+              client_span, policy.parent_span);
 
     // The daemon always runs keep_going (one bad job must not kill
     // it); re-impose fail-fast here. In-process runs rethrow the

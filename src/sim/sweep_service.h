@@ -14,16 +14,33 @@
  *
  *   {"op":"ping"}                      liveness probe
  *   {"op":"stats"}                     daemon totals + cache traffic
- *   {"op":"submit", "capture_evidence":b, "jobs":[JOB...]}
- *                                      enqueue a batch -> {"batch":id}
- *   {"op":"status", "batch":id}        queued | running | done
+ *                                      + queue depth + in-flight id
+ *   {"op":"metrics"}                   full metrics registry + live
+ *                                      per-slot progress (add
+ *                                      "format":"prometheus" for
+ *                                      text exposition)
+ *   {"op":"submit", "capture_evidence":b, "span":s, "jobs":[JOB...]}
+ *                                      enqueue a batch ->
+ *                                      {"batch":id,"span":batch_span}
+ *   {"op":"status", "batch":id}        queued | running | done, with
+ *                                      live slot progress while
+ *                                      running
  *   {"op":"result", "batch":id}        outcomes of a done batch
  *                                      (fetching releases the batch)
  *   {"op":"shutdown"}                  drain and exit
  *
  * Every response carries "ok"; failures are structured
- * ({"ok":false,"error":...}) — a malformed or unknown request gets
- * an error frame back and the connection (and daemon) live on.
+ * ({"ok":false,"error":...}, plus a machine-matchable "code" where
+ * the caller can act on it — "unknown-batch" for a status/result of
+ * an id the daemon does not hold) — a malformed or unknown request
+ * gets an error frame back and the connection (and daemon) live on.
+ *
+ * Telemetry (DESIGN.md §15): the daemon threads trace spans through
+ * the whole pipeline — the client sends its span with submit, the
+ * daemon opens a batch span under it (returned in the submit
+ * response) and the runner's sweep/job spans nest under the batch
+ * span — and publishes svc.* metrics into the process-global
+ * registry that the "metrics" op (and tools/spt_top) expose.
  *
  * A JOB ships the *content* of the run descriptor, not references:
  * the program travels as the hex of its wire form (isa/program.h
@@ -75,6 +92,13 @@ struct ServiceStats {
     uint64_t jobs_executed = 0; ///< grid slots across all batches
     uint64_t failed_jobs = 0;
     CacheStats cache;           ///< summed over executed batches
+    /** Batches submitted but not yet started (point-in-time). */
+    uint64_t queue_depth = 0;
+    /** Batch id the executor is running right now; 0 when idle.
+     *  Together with queue_depth this is what lets an operator
+     *  distinguish "wedged on batch 17" from "idle" — the staleness
+     *  the totals above can't express. */
+    uint64_t inflight_batch = 0;
 };
 
 class SweepService

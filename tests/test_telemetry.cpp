@@ -1,0 +1,681 @@
+/**
+ * @file
+ * Fleet telemetry (DESIGN.md §15): metrics registry units, event-log
+ * JSONL schema + span nesting, flight-recorder bounds, live progress,
+ * metrics conservation against SweepStats and engine counters, the
+ * daemon's metrics/status/unknown-batch protocol surface, and the
+ * zero-perturbation guardrail — telemetry on vs off, --jobs 1 vs 4,
+ * byte-identical outcomes.
+ */
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/event_log.h"
+#include "common/json_parse.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "sim/exp_runner.h"
+#include "sim/progress.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_service.h"
+#include "workloads/workloads.h"
+
+namespace spt {
+namespace {
+
+// ====================================================================
+// Metrics primitives
+// ====================================================================
+
+TEST(Metrics, CounterGaugeHistogramUnits)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("t.counter");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Find-or-create returns the same series.
+    EXPECT_EQ(&reg.counter("t.counter"), &c);
+
+    Gauge &g = reg.gauge("t.gauge");
+    g.set(7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3); // signed: transient underflow is fine
+
+    BoundedHistogram &h = reg.histogram("t.hist", {10, 100});
+    h.record(5);    // bucket 0 (<=10)
+    h.record(10);   // bucket 0 (inclusive upper bound)
+    h.record(50);   // bucket 1 (<=100)
+    h.record(1000); // +Inf overflow bucket
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u); // +Inf
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 5u + 10u + 50u + 1000u);
+    // Same name, same series; mismatched bounds are a bug.
+    EXPECT_EQ(&reg.histogram("t.hist", {10, 100}), &h);
+    EXPECT_THROW(reg.histogram("t.hist", {1, 2, 3}), PanicError);
+}
+
+TEST(Metrics, SnapshotJsonIsValidAndDeterministic)
+{
+    MetricsRegistry reg;
+    reg.counter("b.count").inc(3);
+    reg.counter("a.count").inc(1);
+    reg.gauge("q.depth").set(2);
+    reg.histogram("lat.ms", {1, 10}).record(4);
+
+    const std::string json = reg.snapshot().toJson();
+    // Identical series values => identical bytes.
+    EXPECT_EQ(json, reg.snapshot().toJson());
+
+    const JsonValue v = parseJson(json);
+    EXPECT_EQ(v.at("counters").getU64("a.count", 0), 1u);
+    EXPECT_EQ(v.at("counters").getU64("b.count", 0), 3u);
+    EXPECT_EQ(v.at("gauges").getU64("q.depth", 0), 2u);
+    const JsonValue &h = v.at("histograms").at("lat.ms");
+    EXPECT_EQ(h.at("count").asU64(), 1u);
+    EXPECT_EQ(h.at("sum").asU64(), 4u);
+    EXPECT_EQ(h.at("buckets").asArray().size(), 3u); // 2 bounds + Inf
+}
+
+TEST(Metrics, PrometheusExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("svc.jobs.executed").inc(5);
+    reg.gauge("svc.queue-depth").set(1);
+    BoundedHistogram &h = reg.histogram("job.host_ms", {10, 100});
+    h.record(7);
+    h.record(50);
+    h.record(5000);
+
+    const std::string text = reg.snapshot().toPrometheus();
+    // Names are mangled ('.'/'-' -> '_') and prefixed.
+    EXPECT_NE(text.find("spt_svc_jobs_executed 5"),
+              std::string::npos);
+    EXPECT_NE(text.find("spt_svc_queue_depth 1"), std::string::npos);
+    // Histogram buckets are cumulative and end at +Inf == count.
+    EXPECT_NE(text.find("spt_job_host_ms_bucket{le=\"10\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("spt_job_host_ms_bucket{le=\"100\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("spt_job_host_ms_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("spt_job_host_ms_count 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE spt_job_host_ms histogram"),
+              std::string::npos);
+}
+
+// ====================================================================
+// Event log + flight recorder
+// ====================================================================
+
+TEST(EventLogTest, JsonlSchemaAndLevelFiltering)
+{
+    const std::string path = testing::TempDir() + "telemetry_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    {
+        EventLog log;
+        log.openFile(path);
+        EXPECT_TRUE(log.enabled());
+        log.emit(EventLevel::kInfo, "test", "hello",
+                 EventFields()
+                     .str("name", "quote\"backslash\\")
+                     .num("n", uint64_t{42})
+                     .real("x", 1.5, 3)
+                     .boolean("flag", true),
+                 "s1-1", "s1-0");
+        // Below the default kInfo floor: flight recorder only.
+        log.emit(EventLevel::kDebug, "test", "dropped",
+                 EventFields());
+        log.close();
+        EXPECT_FALSE(log.enabled());
+        // Both records are in the recorder regardless of the sink.
+        EXPECT_EQ(log.recorder().dump("test").size(), 2u);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 1u); // the debug record was filtered
+
+    const JsonValue rec = parseJson(lines[0]);
+    EXPECT_GE(rec.at("ts").asDouble(), 0.0);
+    EXPECT_EQ(rec.getString("lvl", ""), "info");
+    EXPECT_EQ(rec.getString("sys", ""), "test");
+    EXPECT_EQ(rec.getString("ev", ""), "hello");
+    EXPECT_EQ(rec.getString("span", ""), "s1-1");
+    EXPECT_EQ(rec.getString("parent", ""), "s1-0");
+    // jsonQuoted escaping round-trips through the parser.
+    EXPECT_EQ(rec.getString("name", ""), "quote\"backslash\\");
+    EXPECT_EQ(rec.getU64("n", 0), 42u);
+    EXPECT_DOUBLE_EQ(rec.at("x").asDouble(), 1.5);
+    EXPECT_TRUE(rec.getBool("flag", false));
+    std::filesystem::remove(path);
+}
+
+TEST(EventLogTest, MinLevelAdjustsFileSink)
+{
+    const std::string path = testing::TempDir() + "telemetry_lvl_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    EventLog log;
+    log.openFile(path);
+    log.setMinLevel(EventLevel::kWarn);
+    log.emit(EventLevel::kInfo, "t", "filtered", EventFields());
+    log.emit(EventLevel::kWarn, "t", "kept", EventFields());
+    log.close();
+
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(parseJson(line).getString("ev", ""), "kept");
+    EXPECT_FALSE(std::getline(in, line));
+    std::filesystem::remove(path);
+}
+
+TEST(EventLogTest, SpanIdsAreProcessUnique)
+{
+    const std::string a = EventLog::newSpanId();
+    const std::string b = EventLog::newSpanId();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.rfind('s', 0), 0u); // "s<pid>-<seq>"
+    EXPECT_NE(a.find('-'), std::string::npos);
+}
+
+TEST(EventLogTest, ParseEventLevel)
+{
+    EXPECT_EQ(parseEventLevel("debug"), EventLevel::kDebug);
+    EXPECT_EQ(parseEventLevel("info"), EventLevel::kInfo);
+    EXPECT_EQ(parseEventLevel("warn"), EventLevel::kWarn);
+    EXPECT_THROW(parseEventLevel("loud"), FatalError);
+}
+
+TEST(FlightRecorderTest, BoundedPerSubsystem)
+{
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; ++i) {
+        std::string line = "a";
+        line += std::to_string(i);
+        rec.record("a", line);
+    }
+    rec.record("b", "b0");
+
+    const std::vector<std::string> a = rec.dump("a");
+    ASSERT_EQ(a.size(), 4u); // capacity, oldest dropped
+    EXPECT_EQ(a.front(), "a6");
+    EXPECT_EQ(a.back(), "a9");
+    EXPECT_EQ(rec.dump("b").size(), 1u);
+    EXPECT_TRUE(rec.dump("absent").empty());
+    // dumpAll: subsystems sorted, each oldest first.
+    const std::vector<std::string> all = rec.dumpAll();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all.front(), "a6");
+    EXPECT_EQ(all.back(), "b0");
+}
+
+// ====================================================================
+// Leveled logging (satellite: SPT_LOG_LEVEL / SPT_LOG_TS)
+// ====================================================================
+
+TEST(Logging, LevelsParseAndRoundTrip)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::kDebug);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::kInfo);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::kWarn);
+    EXPECT_THROW(parseLogLevel("verbose"), FatalError);
+
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::kWarn);
+    EXPECT_EQ(logLevel(), LogLevel::kWarn);
+    setLogLevel(before);
+
+    const bool ts = logTimestamps();
+    setLogTimestamps(!ts);
+    EXPECT_EQ(logTimestamps(), !ts);
+    setLogTimestamps(ts);
+}
+
+TEST(Logging, MonotonicSecondsAdvances)
+{
+    const double a = logMonotonicSeconds();
+    const double b = logMonotonicSeconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
+// ====================================================================
+// Progress board
+// ====================================================================
+
+TEST(Progress, LifecycleAndSnapshot)
+{
+    ProgressBoard board;
+    board.reset(3);
+    EXPECT_EQ(board.numSlots(), 3u);
+    board.setLabel(0, "job-zero");
+    board.setLabel(2, "job-two");
+
+    board.start(0);
+    board.heartbeat(0, 1'000'000, 400'000);
+    board.start(2);
+    board.finish(2, 99, 33);
+
+    std::vector<ProgressBoard::SlotProgress> snap =
+        board.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].state, ProgressBoard::SlotState::kRunning);
+    EXPECT_EQ(snap[0].label, "job-zero");
+    EXPECT_EQ(snap[0].cycles, 1'000'000u);
+    EXPECT_EQ(snap[0].instructions, 400'000u);
+    EXPECT_GE(snap[0].host_seconds, 0.0);
+    EXPECT_EQ(snap[1].state, ProgressBoard::SlotState::kIdle);
+    EXPECT_EQ(snap[2].state, ProgressBoard::SlotState::kDone);
+    EXPECT_EQ(snap[2].cycles, 99u);
+    EXPECT_EQ(
+        board.countInState(ProgressBoard::SlotState::kRunning), 1u);
+    EXPECT_EQ(board.countInState(ProgressBoard::SlotState::kDone),
+              1u);
+
+    // reset clears state and labels for the next sweep.
+    board.reset(1);
+    snap = board.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].state, ProgressBoard::SlotState::kIdle);
+    EXPECT_TRUE(snap[0].label.empty());
+}
+
+// ====================================================================
+// Runner integration: conservation, spans, progress, zero-perturbation
+// ====================================================================
+
+std::vector<RunJob>
+telemetryGrid(const Program &prog)
+{
+    std::vector<RunJob> grid;
+    for (ProtectionScheme scheme :
+         {ProtectionScheme::kUnsafeBaseline, ProtectionScheme::kSpt})
+        for (AttackModel model : {AttackModel::kFuturistic,
+                                  AttackModel::kSpectre}) {
+            RunJob job;
+            job.program = &prog;
+            job.engine.scheme = scheme;
+            job.attack_model = model;
+            grid.push_back(job);
+        }
+    grid.push_back(grid.front()); // memo duplicate
+    return grid;
+}
+
+TEST(RunnerTelemetry, MetricsConserveAgainstSweepStats)
+{
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = telemetryGrid(prog);
+
+    MetricsRegistry reg;
+    EventLog elog; // recorder-only, no file sink
+    ProgressBoard board;
+    RunnerPolicy policy;
+    policy.service_socket = kNoSweepService;
+    policy.metrics = &reg;
+    policy.event_log = &elog;
+    policy.progress = &board;
+    policy.heartbeat_cycles = 1000; // force heartbeats on tiny runs
+
+    ExpRunner runner(2);
+    const std::vector<RunOutcome> out = runner.run(grid, policy);
+    const SweepStats &s = runner.lastSweep();
+
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("runner.sweeps"), 1u);
+    EXPECT_EQ(snap.counters.at("runner.jobs.submitted"),
+              grid.size());
+    EXPECT_EQ(snap.counters.at("runner.jobs.memoized"),
+              s.memo_hits);
+    EXPECT_EQ(snap.counters.at("runner.jobs.executed"),
+              s.unique_jobs);
+    EXPECT_EQ(snap.counters.at("runner.jobs.executed") +
+                  snap.counters.at("runner.jobs.memoized"),
+              grid.size());
+    EXPECT_EQ(snap.counters.at("runner.jobs.failed"), 0u);
+    EXPECT_EQ(snap.gauges.at("runner.jobs.running"), 0);
+    EXPECT_EQ(snap.histograms.at("runner.job.host_ms").count,
+              s.unique_jobs);
+
+    // Simulated-work totals conserve against the outcomes (each
+    // executed simulation billed exactly once), which in turn
+    // conserve against the engine's delay attribution: the delay.*
+    // parts sum to delay.total_cycles, which never exceeds the
+    // cycles the registry accumulated for that job.
+    uint64_t cycles = 0, instructions = 0;
+    for (const RunOutcome &o : out)
+        if (!o.memoized) {
+            cycles += o.result.cycles;
+            instructions += o.result.instructions;
+            EXPECT_EQ(o.counter("delay.mem_cycles") +
+                          o.counter("delay.branch_cycles") +
+                          o.counter("delay.memorder_cycles"),
+                      o.counter("delay.total_cycles"));
+            EXPECT_LE(o.counter("delay.total_cycles"),
+                      o.result.cycles);
+        }
+    EXPECT_EQ(snap.counters.at("runner.sim.cycles"), cycles);
+    EXPECT_EQ(snap.counters.at("runner.sim.instructions"),
+              instructions);
+
+    // Every slot (memoized included) ends done on the board.
+    EXPECT_EQ(board.countInState(ProgressBoard::SlotState::kDone),
+              grid.size());
+    // At least one heartbeat landed mid-run: with a 1000-cycle
+    // period some slot published non-zero progress before finish,
+    // and finished slots report their final totals.
+    const std::vector<ProgressBoard::SlotProgress> prog_snap =
+        board.snapshot();
+    for (size_t i = 0; i < grid.size(); ++i) {
+        if (!out[i].memoized) {
+            EXPECT_EQ(prog_snap[i].cycles, out[i].result.cycles)
+                << "slot " << i;
+        }
+    }
+}
+
+TEST(RunnerTelemetry, CacheCountersMirrorResultCache)
+{
+    const std::string cache_dir =
+        testing::TempDir() + "telemetry_cache";
+    std::filesystem::remove_all(cache_dir);
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = telemetryGrid(prog);
+
+    MetricsRegistry reg;
+    EventLog elog;
+    ProgressBoard board;
+    RunnerPolicy policy;
+    policy.service_socket = kNoSweepService;
+    policy.cache_dir = cache_dir;
+    policy.metrics = &reg;
+    policy.event_log = &elog;
+    policy.progress = &board;
+
+    ExpRunner runner(2);
+    runner.run(grid, policy); // cold: all unique jobs miss
+    runner.run(grid, policy); // warm: all unique jobs hit
+    const SweepStats &warm = runner.lastSweep();
+
+    const MetricsSnapshot snap = reg.snapshot();
+    // Registry totals across both sweeps == the per-sweep
+    // SweepStats added up (cold misses == warm hits == unique).
+    EXPECT_EQ(snap.counters.at("runner.cache.misses"),
+              warm.unique_jobs);
+    EXPECT_EQ(snap.counters.at("runner.cache.hits"),
+              warm.cache.hits);
+    EXPECT_EQ(warm.cache.hits, warm.unique_jobs);
+    EXPECT_EQ(snap.counters.at("runner.cache.verify_mismatches"),
+              0u);
+    EXPECT_GT(snap.counters.at("runner.cache.bytes_written"), 0u);
+    // Warm sweep executed nothing.
+    EXPECT_EQ(snap.counters.at("runner.jobs.executed"),
+              warm.unique_jobs);
+    std::filesystem::remove_all(cache_dir);
+}
+
+TEST(RunnerTelemetry, SpansNestClientToJob)
+{
+    const std::string path = testing::TempDir() + "spans_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = telemetryGrid(prog);
+
+    EventLog elog;
+    elog.openFile(path);
+    elog.setMinLevel(EventLevel::kDebug); // include job-start
+    MetricsRegistry reg;
+    ProgressBoard board;
+    RunnerPolicy policy;
+    policy.service_socket = kNoSweepService;
+    policy.event_log = &elog;
+    policy.metrics = &reg;
+    policy.progress = &board;
+    policy.parent_span = "s0-root";
+    ExpRunner(2).run(grid, policy);
+    elog.close();
+
+    std::ifstream in(path);
+    std::string sweep_span;
+    size_t job_done = 0, lines = 0;
+    for (std::string line; std::getline(in, line); ++lines) {
+        const JsonValue rec = parseJson(line); // throws on bad JSON
+        ASSERT_TRUE(rec.has("ts"));
+        ASSERT_TRUE(rec.has("lvl"));
+        ASSERT_TRUE(rec.has("sys"));
+        ASSERT_TRUE(rec.has("ev"));
+        const std::string ev = rec.getString("ev", "");
+        if (ev == "sweep-start") {
+            // The sweep nests under the caller-provided span.
+            EXPECT_EQ(rec.getString("parent", ""), "s0-root");
+            sweep_span = rec.getString("span", "");
+            EXPECT_FALSE(sweep_span.empty());
+        } else if (ev == "job-start" || ev == "job-done") {
+            // Every job record nests under the sweep span.
+            EXPECT_EQ(rec.getString("parent", ""), sweep_span);
+            EXPECT_FALSE(rec.getString("span", "").empty());
+            if (ev == "job-done")
+                ++job_done;
+        } else if (ev == "sweep-done") {
+            EXPECT_EQ(rec.getString("span", ""), sweep_span);
+            EXPECT_EQ(rec.getString("parent", ""), "s0-root");
+            EXPECT_EQ(rec.getU64("jobs", 0), grid.size());
+        }
+    }
+    EXPECT_GE(lines, 2u + grid.size() - 1); // start+done+per-job
+    EXPECT_EQ(job_done, grid.size() - 1);   // memo slot emits none
+    std::filesystem::remove(path);
+}
+
+TEST(RunnerTelemetry, ZeroPerturbationAndJobsInvariance)
+{
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = telemetryGrid(prog);
+
+    // Reference: telemetry fully off (no heartbeats, private idle
+    // sinks) on one worker.
+    MetricsRegistry reg_off;
+    EventLog elog_off;
+    ProgressBoard board_off;
+    RunnerPolicy off;
+    off.service_socket = kNoSweepService;
+    off.metrics = &reg_off;
+    off.event_log = &elog_off;
+    off.progress = &board_off;
+    off.heartbeat_cycles = 0;
+    const std::vector<RunOutcome> ref =
+        ExpRunner(1).run(grid, off);
+
+    // Telemetry on, aggressive heartbeat, live file sink, 4 workers.
+    const std::string path = testing::TempDir() + "perturb_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    MetricsRegistry reg_on;
+    EventLog elog_on;
+    elog_on.openFile(path);
+    elog_on.setMinLevel(EventLevel::kDebug);
+    ProgressBoard board_on;
+    RunnerPolicy on;
+    on.service_socket = kNoSweepService;
+    on.metrics = &reg_on;
+    on.event_log = &elog_on;
+    on.progress = &board_on;
+    on.heartbeat_cycles = 500;
+    const std::vector<RunOutcome> loud =
+        ExpRunner(4).run(grid, on);
+    elog_on.close();
+    std::filesystem::remove(path);
+
+    // The guardrail: every simulated byte identical — counters,
+    // histograms, registers, status — at any worker count, with
+    // telemetry on or off.
+    ASSERT_EQ(ref.size(), loud.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(loud[i]),
+                  ResultCache::encodeOutcomeDeterministic(ref[i]))
+            << "slot " << i;
+}
+
+// ====================================================================
+// Sweep service: metrics/status/unknown-batch protocol surface
+// ====================================================================
+
+/** Daemon on a fresh socket + cache dir (mirrors
+ *  test_sweep_service.cpp). */
+struct DaemonFixture {
+    explicit DaemonFixture(const char *name)
+    {
+        socket_path = "/tmp/spt_" + std::string(name) + "_" +
+                      std::to_string(::getpid()) + ".sock";
+        cache_dir = testing::TempDir() + name + "_cache";
+        std::filesystem::remove_all(cache_dir);
+        SweepServiceOptions opt;
+        opt.socket_path = socket_path;
+        opt.jobs = 2;
+        opt.cache_dir = cache_dir;
+        service = std::make_unique<SweepService>(opt);
+        service->start();
+    }
+
+    ~DaemonFixture()
+    {
+        service->stop();
+        service->wait();
+    }
+
+    std::string socket_path;
+    std::string cache_dir;
+    std::unique_ptr<SweepService> service;
+};
+
+TEST(ServiceTelemetry, MetricsOpJsonAndPrometheus)
+{
+    DaemonFixture daemon("svc_metrics");
+    const Program prog = makePointerChase(256, 1);
+    std::vector<RunJob> grid;
+    RunJob job;
+    job.program = &prog;
+    grid.push_back(job);
+
+    RunnerPolicy policy;
+    policy.service_socket = daemon.socket_path;
+    ExpRunner(1).run(grid, policy);
+
+    JsonValue resp = parseJson(serviceRequest(
+        daemon.socket_path, "{\"op\": \"metrics\"}"));
+    ASSERT_TRUE(resp.getBool("ok", false));
+    // The daemon-side runner published into the global registry.
+    const JsonValue &counters = resp.at("metrics").at("counters");
+    EXPECT_GE(counters.getU64("runner.jobs.executed", 0), 1u);
+    EXPECT_GE(counters.getU64("svc.batches.executed", 0), 1u);
+    EXPECT_GE(counters.getU64("svc.jobs.executed", 0), 1u);
+    const JsonValue &progress = resp.at("progress");
+    EXPECT_TRUE(progress.has("slots"));
+    EXPECT_TRUE(progress.has("running"));
+    EXPECT_TRUE(progress.has("running_slots"));
+    EXPECT_TRUE(resp.has("queue_depth"));
+    EXPECT_TRUE(resp.has("inflight_batch"));
+
+    resp = parseJson(serviceRequest(
+        daemon.socket_path,
+        "{\"op\": \"metrics\", \"format\": \"prometheus\"}"));
+    ASSERT_TRUE(resp.getBool("ok", false));
+    const std::string text = resp.getString("text", "");
+    EXPECT_NE(text.find("spt_svc_batches_executed"),
+              std::string::npos);
+    EXPECT_NE(text.find("spt_runner_jobs_executed"),
+              std::string::npos);
+}
+
+TEST(ServiceTelemetry, StatsCarryQueueDepthAndInflight)
+{
+    DaemonFixture daemon("svc_qdepth");
+    const JsonValue resp = parseJson(
+        serviceRequest(daemon.socket_path, "{\"op\": \"stats\"}"));
+    ASSERT_TRUE(resp.getBool("ok", false));
+    // Idle daemon: empty queue, no batch in flight (0 sentinel).
+    EXPECT_EQ(resp.getU64("queue_depth", 99), 0u);
+    EXPECT_EQ(resp.getU64("inflight_batch", 99), 0u);
+
+    const ServiceStats s = daemon.service->stats();
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_EQ(s.inflight_batch, 0u);
+}
+
+TEST(ServiceTelemetry, UnknownBatchIsStructured)
+{
+    DaemonFixture daemon("svc_unknown");
+    for (const char *req :
+         {"{\"op\": \"status\", \"batch\": 4242}",
+          "{\"op\": \"result\", \"batch\": 4242}"}) {
+        const JsonValue resp =
+            parseJson(serviceRequest(daemon.socket_path, req));
+        EXPECT_FALSE(resp.getBool("ok", true));
+        EXPECT_EQ(resp.getString("code", ""), "unknown-batch");
+        EXPECT_NE(resp.getString("error", "").find("4242"),
+                  std::string::npos);
+    }
+    // The daemon survived and still executes work.
+    const JsonValue ping = parseJson(
+        serviceRequest(daemon.socket_path, "{\"op\": \"ping\"}"));
+    EXPECT_TRUE(ping.getBool("ok", false));
+}
+
+TEST(ServiceTelemetry, SubmitReturnsBatchSpan)
+{
+    DaemonFixture daemon("svc_span");
+    const std::string path = testing::TempDir() + "svc_span_" +
+                             std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+
+    const Program prog = makePointerChase(256, 1);
+    std::vector<RunJob> grid;
+    RunJob job;
+    job.program = &prog;
+    grid.push_back(job);
+
+    // The client logs into a private file; the daemon (in-process
+    // here) logs into the global sink, which stays closed.
+    EventLog elog;
+    elog.openFile(path);
+    RunnerPolicy policy;
+    policy.service_socket = daemon.socket_path;
+    policy.event_log = &elog;
+    ExpRunner(1).run(grid, policy);
+    elog.close();
+
+    std::ifstream in(path);
+    bool saw_submit = false;
+    for (std::string line; std::getline(in, line);) {
+        const JsonValue rec = parseJson(line);
+        if (rec.getString("ev", "") != "batch-submitted")
+            continue;
+        saw_submit = true;
+        EXPECT_EQ(rec.getString("sys", ""), "client");
+        // The daemon minted the batch span and returned it in the
+        // submit response; the client records it for correlation.
+        EXPECT_FALSE(rec.getString("batch_span", "").empty());
+        EXPECT_FALSE(rec.getString("span", "").empty());
+    }
+    EXPECT_TRUE(saw_submit);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace spt

@@ -6,6 +6,8 @@
  *
  *   spt_sweep --socket /tmp/spt.sock ping      liveness probe
  *   spt_sweep --socket /tmp/spt.sock stats     totals + cache traffic
+ *   spt_sweep --socket /tmp/spt.sock metrics   full registry + live
+ *                                              progress (JSON)
  *   spt_sweep --socket /tmp/spt.sock shutdown  drain and stop
  *
  * Exit codes follow the tool convention (common/cli.h): 0 when the
@@ -35,19 +37,19 @@ main(int argc, char **argv)
                     SPT_FATAL("--socket requires a path");
                 socket_path = argv[++i];
             } else if (arg == "ping" || arg == "stats" ||
-                       arg == "shutdown") {
+                       arg == "metrics" || arg == "shutdown") {
                 if (!op.empty())
                     SPT_FATAL("multiple commands given");
                 op = arg;
             } else {
                 SPT_FATAL("unknown argument " << arg
                           << " (expected --socket PATH "
-                             "ping|stats|shutdown)");
+                             "ping|stats|metrics|shutdown)");
             }
         }
         if (socket_path.empty() || op.empty())
             SPT_FATAL("usage: spt_sweep --socket PATH "
-                      "ping|stats|shutdown");
+                      "ping|stats|metrics|shutdown");
 
         JsonWriter jw;
         jw.beginObject();

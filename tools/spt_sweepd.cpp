@@ -8,12 +8,19 @@
  * shutdown request — e.g. `spt_sweep --socket SOCK shutdown`.
  *
  *   spt_sweepd --socket /tmp/spt.sock --cache /tmp/spt-cache \
- *              [--jobs N] [--cache-mode read_write|read_only|verify]
+ *              [--jobs N] [--cache-mode read_write|read_only|verify] \
+ *              [--event-log FILE] [--event-log-level debug|info|warn] \
+ *              [--log-level debug|info|warn]
+ *
+ * --event-log appends one JSONL record per fleet event
+ * (submit/batch/sweep/job, DESIGN.md §15) to FILE; the `metrics` op
+ * and tools/spt_top expose the live registry either way.
  */
 
 #include <cstdio>
 
 #include "common/cli.h"
+#include "common/event_log.h"
 #include "common/logging.h"
 #include "sim/sweep_service.h"
 
@@ -41,10 +48,22 @@ main(int argc, char **argv)
             } else if (arg == "--cache-mode") {
                 opt.cache_mode =
                     parseCacheMode(value_of("--cache-mode"));
+            } else if (arg == "--event-log") {
+                EventLog::global().openFile(
+                    value_of("--event-log"));
+            } else if (arg == "--event-log-level") {
+                EventLog::global().setMinLevel(parseEventLevel(
+                    value_of("--event-log-level")));
+            } else if (arg == "--log-level") {
+                setLogLevel(
+                    parseLogLevel(value_of("--log-level")));
             } else {
                 SPT_FATAL("unknown argument " << arg
                           << " (expected --socket PATH / --jobs N /"
-                             " --cache DIR / --cache-mode MODE)");
+                             " --cache DIR / --cache-mode MODE /"
+                             " --event-log FILE /"
+                             " --event-log-level LVL /"
+                             " --log-level LVL)");
             }
         }
         if (opt.socket_path.empty())
@@ -52,22 +71,23 @@ main(int argc, char **argv)
 
         SweepService service(opt);
         service.start();
-        std::fprintf(stderr,
-                     "[spt_sweepd] listening on %s (cache %s)\n",
-                     opt.socket_path.c_str(),
-                     opt.cache_dir.empty() ? "off"
-                                           : opt.cache_dir.c_str());
+        report(std::string("[spt_sweepd] listening on ") +
+               opt.socket_path + " (cache " +
+               (opt.cache_dir.empty() ? "off" : opt.cache_dir) +
+               ")");
         service.wait();
         const ServiceStats totals = service.stats();
-        std::fprintf(
-            stderr,
+        char line[160];
+        std::snprintf(
+            line, sizeof line,
             "[spt_sweepd] shut down: %llu batch(es), %llu job(s), "
-            "%llu cache hit(s), %llu miss(es)\n",
+            "%llu cache hit(s), %llu miss(es)",
             static_cast<unsigned long long>(
                 totals.batches_executed),
             static_cast<unsigned long long>(totals.jobs_executed),
             static_cast<unsigned long long>(totals.cache.hits),
             static_cast<unsigned long long>(totals.cache.misses));
+        report(line);
         return 0;
     });
 }

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * spt_top: live monitor for a running spt_sweepd (DESIGN.md §15).
+ * Polls the daemon's `metrics` and `stats` ops and renders fleet
+ * health — queue depth, in-flight batch, cache hit rate, per-slot
+ * job progress — as a terminal dashboard.
+ *
+ *   spt_top --socket /tmp/spt.sock             watch mode (2 s period)
+ *   spt_top --socket /tmp/spt.sock --interval 5
+ *   spt_top --socket /tmp/spt.sock --once      one sample, for scripts
+ *   spt_top --socket /tmp/spt.sock --once --prometheus
+ *                                              raw text exposition
+ *
+ * Exit codes follow the tool convention (common/cli.h): 0 on a
+ * clean sample/quit, 2 when the daemon is unreachable.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/logging.h"
+#include "sim/sweep_service.h"
+
+using namespace spt;
+
+namespace {
+
+uint64_t
+counterOf(const JsonValue &metrics, const std::string &name)
+{
+    return metrics.at("counters").getU64(name, 0);
+}
+
+void
+renderSample(const JsonValue &stats, const JsonValue &mx)
+{
+    const JsonValue &metrics = mx.at("metrics");
+    const uint64_t hits = stats.at("cache").getU64("hits", 0);
+    const uint64_t misses = stats.at("cache").getU64("misses", 0);
+    // Live (mid-batch) cache traffic comes from the registry; the
+    // stats op's totals lag until a batch completes.
+    const uint64_t live_hits = counterOf(metrics,
+                                         "runner.cache.hits");
+    const uint64_t live_misses =
+        counterOf(metrics, "runner.cache.misses");
+    const uint64_t inflight = mx.getU64("inflight_batch", 0);
+    char inflight_str[32] = "none";
+    if (inflight != 0)
+        std::snprintf(inflight_str, sizeof inflight_str, "#%llu",
+                      static_cast<unsigned long long>(inflight));
+
+    std::printf("batches: %llu executed | queue %llu | in-flight %s\n",
+                static_cast<unsigned long long>(
+                    stats.getU64("batches_executed", 0)),
+                static_cast<unsigned long long>(
+                    mx.getU64("queue_depth", 0)),
+                inflight_str);
+    std::printf("jobs:    %llu executed | %llu failed | workers %llu\n",
+                static_cast<unsigned long long>(
+                    stats.getU64("jobs_executed", 0)),
+                static_cast<unsigned long long>(
+                    stats.getU64("failed_jobs", 0)),
+                static_cast<unsigned long long>(
+                    stats.getU64("workers", 0)));
+    const uint64_t total = live_hits + live_misses;
+    std::printf("cache:   %s | live hits %llu misses %llu (%.1f%% hit)"
+                " | settled hits %llu misses %llu\n",
+                stats.getString("cache_mode", "off").c_str(),
+                static_cast<unsigned long long>(live_hits),
+                static_cast<unsigned long long>(live_misses),
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(live_hits) /
+                                 static_cast<double>(total),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+
+    const JsonValue &prog = mx.at("progress");
+    std::printf("slots:   %llu total | %llu running | %llu done\n",
+                static_cast<unsigned long long>(
+                    prog.getU64("slots", 0)),
+                static_cast<unsigned long long>(
+                    prog.getU64("running", 0)),
+                static_cast<unsigned long long>(
+                    prog.getU64("done", 0)));
+    for (const JsonValue &s : prog.at("running_slots").asArray()) {
+        std::printf("  slot %4llu  %-40.40s %7.1f Mcycle %7.1f "
+                    "Minstr %6.1fs\n",
+                    static_cast<unsigned long long>(
+                        s.getU64("slot", 0)),
+                    s.getString("job", "?").c_str(),
+                    static_cast<double>(s.getU64("cycles", 0)) / 1e6,
+                    static_cast<double>(
+                        s.getU64("instructions", 0)) /
+                        1e6,
+                    s.at("host_s").asDouble());
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return toolMain("spt_top", [&]() -> int {
+        std::string socket_path;
+        bool once = false;
+        bool prometheus = false;
+        unsigned interval_s = 2;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--socket") {
+                if (i + 1 >= argc)
+                    SPT_FATAL("--socket requires a path");
+                socket_path = argv[++i];
+            } else if (arg == "--once") {
+                once = true;
+            } else if (arg == "--prometheus") {
+                prometheus = true;
+            } else if (arg == "--interval") {
+                if (i + 1 >= argc)
+                    SPT_FATAL("--interval requires seconds");
+                interval_s = static_cast<unsigned>(parseUnsigned(
+                    argv[++i], "--interval", 3600));
+            } else {
+                SPT_FATAL("unknown argument " << arg
+                          << " (expected --socket PATH [--once] "
+                             "[--prometheus] [--interval SEC])");
+            }
+        }
+        if (socket_path.empty())
+            SPT_FATAL("usage: spt_top --socket PATH [--once] "
+                      "[--prometheus] [--interval SEC]");
+
+        for (;;) {
+            if (prometheus) {
+                const JsonValue mv = parseJson(serviceRequest(
+                    socket_path,
+                    "{\"op\": \"metrics\", "
+                    "\"format\": \"prometheus\"}"));
+                if (!mv.getBool("ok", false))
+                    SPT_FATAL("metrics op failed: "
+                              << mv.getString("error", "?"));
+                std::fputs(mv.getString("text", "").c_str(),
+                           stdout);
+                std::fflush(stdout);
+            } else {
+                const JsonValue sv = parseJson(serviceRequest(
+                    socket_path, "{\"op\": \"stats\"}"));
+                const JsonValue mv = parseJson(serviceRequest(
+                    socket_path, "{\"op\": \"metrics\"}"));
+                if (!sv.getBool("ok", false) ||
+                    !mv.getBool("ok", false))
+                    SPT_FATAL("daemon answered with an error");
+                if (!once && ::isatty(STDOUT_FILENO))
+                    std::printf("\033[2J\033[H");
+                std::printf("spt_sweepd @ %s\n",
+                            socket_path.c_str());
+                renderSample(sv, mv);
+            }
+            if (once)
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::seconds(interval_s));
+        }
+    });
+}

@@ -33,9 +33,10 @@ namespace bench {
 /** Common bench CLI: "--jobs N" (or SPT_JOBS), "--out PATH" for the
  *  JSON artifact, "--cache DIR" / "--cache-mode MODE" for the
  *  on-disk result cache, "--service SOCK" to route the sweep to a
- *  running spt_sweepd, and "--event-log FILE" for the structured
- *  JSONL telemetry stream (DESIGN.md §15). Unknown arguments are
- *  fatal. */
+ *  running spt_sweepd, "--poll-ms MS" for a fixed service
+ *  status-poll cadence (default: adaptive 2->100 ms doubling), and
+ *  "--event-log FILE" for the structured JSONL telemetry stream
+ *  (DESIGN.md §15). Unknown arguments are fatal. */
 struct BenchOptions {
     unsigned jobs = 1;
     std::string out_path;
@@ -82,6 +83,10 @@ parseBenchArgs(int argc, char **argv, const char *default_out)
             set_env("SPT_SWEEP_SOCKET", value_of("--service"));
         } else if (arg.rfind("--service=", 0) == 0) {
             set_env("SPT_SWEEP_SOCKET", arg.substr(10));
+        } else if (arg == "--poll-ms") {
+            set_env("SPT_SWEEP_POLL_MS", value_of("--poll-ms"));
+        } else if (arg.rfind("--poll-ms=", 0) == 0) {
+            set_env("SPT_SWEEP_POLL_MS", arg.substr(10));
         } else if (arg == "--event-log") {
             EventLog::global().openFile(value_of("--event-log"));
         } else if (arg.rfind("--event-log=", 0) == 0) {
@@ -90,7 +95,8 @@ parseBenchArgs(int argc, char **argv, const char *default_out)
             SPT_FATAL("unknown argument " << arg
                       << " (expected --jobs N / --out PATH / "
                          "--cache DIR / --cache-mode MODE / "
-                         "--service SOCK / --event-log FILE)");
+                         "--service SOCK / --poll-ms MS / "
+                         "--event-log FILE)");
         }
     }
     return opt;
@@ -106,14 +112,28 @@ reportSweep(const ExpRunner &runner)
 {
     const SweepStats &s = runner.lastSweep();
     char line[256];
-    snprintf(line, sizeof line,
-             "[sweep] %u worker(s), %llu unique job(s), %llu memo "
-             "hit(s), %.2fs wall%s",
-             s.workers,
-             static_cast<unsigned long long>(s.unique_jobs),
-             static_cast<unsigned long long>(s.memo_hits),
-             s.wall_seconds,
-             s.via_service ? " (via sweep service)" : "");
+    if (s.via_service) {
+        // The service-specific tail answers "where did the wall
+        // time go": cumulative client-side poll wait vs the
+        // daemon's execution wall. Stderr only — host timing.
+        snprintf(line, sizeof line,
+                 "[sweep] %u worker(s), %llu unique job(s), "
+                 "%llu memo hit(s), %.2fs wall (via sweep "
+                 "service, %.2fs polling in %llu poll(s))",
+                 s.workers,
+                 static_cast<unsigned long long>(s.unique_jobs),
+                 static_cast<unsigned long long>(s.memo_hits),
+                 s.wall_seconds, s.poll_wait_seconds,
+                 static_cast<unsigned long long>(s.polls));
+    } else {
+        snprintf(line, sizeof line,
+                 "[sweep] %u worker(s), %llu unique job(s), "
+                 "%llu memo hit(s), %.2fs wall",
+                 s.workers,
+                 static_cast<unsigned long long>(s.unique_jobs),
+                 static_cast<unsigned long long>(s.memo_hits),
+                 s.wall_seconds);
+    }
     report(line);
     if (s.cache_mode != "off") {
         snprintf(line, sizeof line,

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic exponential backoff with jitter, shared by the
+ * sweep-service client (sim/sweep_service.cpp), the spt_sweep CLI
+ * and the service-chaos harness (DESIGN.md §16).
+ *
+ * Retry delays must be jittered — a fleet of clients reconnecting
+ * to a restarted daemon in lockstep is its own outage — but this
+ * repo's reproducibility bar extends to its failure handling: a
+ * chaos campaign that retries must do so on the same schedule every
+ * run. The jitter therefore comes from the deterministic xoshiro
+ * Rng (common/rng.h) seeded by the caller (clients seed from their
+ * batch token hash, so two concurrent clients still decorrelate),
+ * never from wall-clock entropy.
+ *
+ * Schedule: attempt k (0-based) sleeps uniformly in
+ * [d/2, d] where d = min(base_ms << k, max_ms) — "equal jitter",
+ * which keeps a floor under the delay (pure full-jitter can draw
+ * ~0ms repeatedly and hammer a dying daemon) while still spreading
+ * a thundering herd over half a window.
+ */
+
+#ifndef SPT_COMMON_RETRY_H
+#define SPT_COMMON_RETRY_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace spt {
+
+/** Retry budget + backoff shape. The defaults ride out a daemon
+ *  kill-and-restart gap of a few seconds (the service-recovery
+ *  gate's window) without making a genuinely dead daemon hang a
+ *  client for more than ~10s. */
+struct RetryPolicy {
+    /** Consecutive transport failures tolerated before giving up
+     *  (a success resets the count). */
+    unsigned max_attempts = 8;
+    uint32_t base_ms = 25;
+    uint32_t max_ms = 2000;
+};
+
+/** One retry sequence: owns the attempt counter and the jitter
+ *  stream. Function-local use only (the Rng it holds is not
+ *  thread-safe, rng.h contract). */
+class RetryBackoff
+{
+  public:
+    RetryBackoff(const RetryPolicy &policy, uint64_t jitter_seed)
+        : policy_(policy), rng_(jitter_seed | 1)
+    {
+    }
+
+    /** True while another attempt is allowed. */
+    bool canRetry() const { return attempt_ < policy_.max_attempts; }
+
+    unsigned attempt() const { return attempt_; }
+
+    /** Consumes one attempt and returns the jittered delay to sleep
+     *  before it. */
+    uint32_t
+    nextDelayMs()
+    {
+        uint64_t d = policy_.base_ms;
+        // Saturating shift: attempt counts past 32 must not wrap.
+        for (unsigned k = 0; k < attempt_ && d < policy_.max_ms; ++k)
+            d <<= 1;
+        if (d > policy_.max_ms)
+            d = policy_.max_ms;
+        ++attempt_;
+        const uint64_t half = d / 2;
+        return static_cast<uint32_t>(
+            half + rng_.nextBelow(d - half + 1));
+    }
+
+    /** A successful round trip ends the failure streak. */
+    void reset() { attempt_ = 0; }
+
+  private:
+    RetryPolicy policy_;
+    Rng rng_;
+    unsigned attempt_ = 0;
+};
+
+} // namespace spt
+
+#endif // SPT_COMMON_RETRY_H

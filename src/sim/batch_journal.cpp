@@ -1,0 +1,614 @@
+#include "sim/batch_journal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace spt {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Record codec, following the result-cache conventions
+// (sim/result_cache.cpp): explicit little-endian, bounds-checked
+// reads that throw FatalError, FNV-1a trailers.
+// --------------------------------------------------------------------
+
+constexpr uint64_t kSegMagic = 0x5350544a524e4c31ull; // "SPTJRNL1"
+constexpr uint32_t kSegVersion = 1;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnvBytes(const char *data, std::size_t len, uint64_t h = kFnvOffset)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= static_cast<uint8_t>(data[i]);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+// Record types. Values are wire format — append only, never renumber.
+enum : uint8_t {
+    kRecSubmit = 1,
+    kRecSlotDone = 2,
+    kRecBatchDone = 3,
+    kRecReleased = 4,
+    kRecCut = 5,
+    kRecRecovered = 6,
+};
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        putU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<uint64_t>(v));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out += s;
+}
+
+class Reader
+{
+  public:
+    Reader(const std::string &buf, std::size_t pos = 0)
+        : buf_(buf), pos_(pos)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<uint8_t>(buf_[pos_++]);
+    }
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t{u8()} << (8 * i);
+        return v;
+    }
+    double
+    d()
+    {
+        return std::bit_cast<double>(u64());
+    }
+    std::string
+    str()
+    {
+        const uint64_t n = u64();
+        need(n);
+        std::string s = buf_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+    bool
+    atEnd() const
+    {
+        return pos_ == buf_.size();
+    }
+
+  private:
+    void
+    need(uint64_t n) const
+    {
+        if (n > buf_.size() || pos_ > buf_.size() - n)
+            SPT_FATAL("journal record truncated");
+    }
+
+    const std::string &buf_;
+    std::size_t pos_;
+};
+
+void
+putStats(std::string &out, const SweepStats &s)
+{
+    putU64(out, s.workers);
+    putU64(out, s.unique_jobs);
+    putU64(out, s.memo_hits);
+    putDouble(out, s.wall_seconds);
+    putU64(out, s.failed_jobs);
+    putStr(out, s.first_failure);
+    putU64(out, s.cache.hits);
+    putU64(out, s.cache.misses);
+    putU64(out, s.cache.verify_mismatches);
+    putU64(out, s.cache.bytes_written);
+    putDouble(out, s.cache.host_seconds_saved);
+    putStr(out, s.cache_mode);
+    putStr(out, s.cache_dir);
+}
+
+SweepStats
+readStats(Reader &r)
+{
+    SweepStats s;
+    s.workers = static_cast<unsigned>(r.u64());
+    s.unique_jobs = r.u64();
+    s.memo_hits = r.u64();
+    s.wall_seconds = r.d();
+    s.failed_jobs = r.u64();
+    s.first_failure = r.str();
+    s.cache.hits = r.u64();
+    s.cache.misses = r.u64();
+    s.cache.verify_mismatches = r.u64();
+    s.cache.bytes_written = r.u64();
+    s.cache.host_seconds_saved = r.d();
+    s.cache_mode = r.str();
+    s.cache_dir = r.str();
+    return s;
+}
+
+/** One framed record: type, payload length, payload, FNV-1a of
+ *  type + payload. The trailer covers the type byte so a flipped
+ *  type cannot reinterpret a valid payload. */
+std::string
+frameRecord(uint8_t type, const std::string &payload)
+{
+    std::string rec;
+    rec.reserve(payload.size() + 17);
+    putU8(rec, type);
+    putU64(rec, payload.size());
+    rec += payload;
+    uint64_t h = kFnvOffset;
+    const char t = static_cast<char>(type);
+    h = fnvBytes(&t, 1, h);
+    h = fnvBytes(payload.data(), payload.size(), h);
+    putU64(rec, h);
+    return rec;
+}
+
+} // namespace
+
+BatchJournal::BatchJournal(std::string dir) : dir_(std::move(dir))
+{
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        SPT_FATAL("batch journal: cannot create directory " << dir_
+                  << ": " << std::strerror(errno));
+
+    // Replay whatever the previous incarnation left behind. Every
+    // malformed condition from here on — short header, oversized
+    // length, trailer mismatch, undecodable payload — means a torn
+    // or rotten tail: keep what replayed, drop the rest, and say so.
+    std::string blob;
+    {
+        std::ifstream is(segmentPath(), std::ios::binary);
+        if (is) {
+            std::ostringstream os;
+            os << is.rdbuf();
+            blob = os.str();
+        }
+    }
+    std::size_t pos = 0;
+    bool header_ok = false;
+    if (blob.size() >= 12) {
+        Reader hdr(blob);
+        const uint64_t magic = hdr.u64();
+        uint32_t version = 0;
+        for (int i = 0; i < 4; ++i)
+            version |= uint32_t{static_cast<uint8_t>(blob[8 + i])}
+                       << (8 * i);
+        if (magic == kSegMagic && version == kSegVersion) {
+            header_ok = true;
+            pos = 12;
+        }
+    }
+    if (!blob.empty() && !header_ok) {
+        warn("batch journal: unrecognized segment header in " +
+             segmentPath() + "; starting fresh");
+        recovery_.dropped_bytes = blob.size();
+    }
+
+    while (header_ok && pos < blob.size()) {
+        // Frame: 1 type + 8 length + payload + 8 trailer.
+        if (blob.size() - pos < 17) {
+            recovery_.dropped_bytes = blob.size() - pos;
+            break;
+        }
+        const uint8_t type = static_cast<uint8_t>(blob[pos]);
+        uint64_t len = 0;
+        for (int i = 0; i < 8; ++i)
+            len |= uint64_t{static_cast<uint8_t>(blob[pos + 1 + i])}
+                   << (8 * i);
+        if (len > blob.size() - pos - 17) {
+            recovery_.dropped_bytes = blob.size() - pos;
+            break;
+        }
+        const std::string payload = blob.substr(pos + 9, len);
+        uint64_t stored = 0;
+        for (int i = 0; i < 8; ++i)
+            stored |= uint64_t{static_cast<uint8_t>(
+                          blob[pos + 9 + len + i])}
+                      << (8 * i);
+        uint64_t h = kFnvOffset;
+        const char t = static_cast<char>(type);
+        h = fnvBytes(&t, 1, h);
+        h = fnvBytes(payload.data(), payload.size(), h);
+        if (h != stored) {
+            recovery_.dropped_bytes = blob.size() - pos;
+            break;
+        }
+        try {
+            Reader r(payload);
+            switch (type) {
+            case kRecSubmit: {
+                BatchRecord b;
+                b.id = r.u64();
+                b.token = r.str();
+                b.request_json = r.str();
+                if (b.id >= recovery_.next_batch)
+                    recovery_.next_batch = b.id + 1;
+                if (b.id > max_id_)
+                    max_id_ = b.id;
+                live_[b.id] = std::move(b);
+                break;
+            }
+            case kRecSlotDone: {
+                const uint64_t id = r.u64();
+                const uint64_t slot = r.u64();
+                const uint8_t memo = r.u8();
+                std::string bytes = r.str();
+                const auto it = live_.find(id);
+                if (it != live_.end()) {
+                    it->second.slot_payloads[slot] =
+                        std::move(bytes);
+                    it->second.slot_memoized[slot] = memo != 0;
+                }
+                break;
+            }
+            case kRecBatchDone: {
+                const uint64_t id = r.u64();
+                std::string error = r.str();
+                SweepStats stats = readStats(r);
+                const auto it = live_.find(id);
+                if (it != live_.end()) {
+                    it->second.done = true;
+                    it->second.error = std::move(error);
+                    it->second.stats = stats;
+                }
+                break;
+            }
+            case kRecReleased:
+                live_.erase(r.u64());
+                break;
+            case kRecCut:
+                // Informational marker; nothing to rebuild.
+                break;
+            case kRecRecovered: {
+                // Carries the next-batch hint that survives
+                // compaction of released batches (whose SUBMIT
+                // records — the other id source — are gone).
+                r.u64(); // recovered_at
+                r.u64(); // batches
+                r.u64(); // dropped_bytes
+                const uint64_t hint = r.atEnd() ? 0 : r.u64();
+                if (hint > recovery_.next_batch)
+                    recovery_.next_batch = hint;
+                if (hint > 0 && hint - 1 > max_id_)
+                    max_id_ = hint - 1;
+                break;
+            }
+            default:
+                // Unknown type with a valid trailer: a future
+                // format. Skip it — forward compatibility.
+                break;
+            }
+        } catch (const std::exception &) {
+            // Trailer matched but the payload does not decode: a
+            // same-version encoding bug, not bit rot. Treat as the
+            // corruption point all the same.
+            recovery_.dropped_bytes = blob.size() - pos;
+            break;
+        }
+        ++recovery_.records;
+        pos += 17 + len;
+    }
+
+    recovery_.recovered_at =
+        static_cast<uint64_t>(::time(nullptr));
+    if (recovery_.next_batch > 0 &&
+        recovery_.next_batch - 1 > max_id_)
+        max_id_ = recovery_.next_batch - 1;
+    for (auto &[id, b] : live_)
+        recovery_.batches.push_back(b);
+
+    // Compact: rewrite live state only, atomically, which also
+    // truncates away any corrupt tail found above and stamps the
+    // recovery marker the next health probe / recovery reads.
+    rotate();
+}
+
+BatchJournal::~BatchJournal()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seg_ != nullptr)
+        std::fclose(seg_);
+}
+
+std::string
+BatchJournal::segmentPath() const
+{
+    return dir_ + "/journal.seg";
+}
+
+void
+BatchJournal::openSegment(const char *mode)
+{
+    if (seg_ != nullptr)
+        std::fclose(seg_);
+    seg_ = std::fopen(segmentPath().c_str(), mode);
+    if (seg_ == nullptr)
+        SPT_FATAL("batch journal: cannot open " << segmentPath()
+                  << ": " << std::strerror(errno));
+}
+
+void
+BatchJournal::append(uint8_t type, const std::string &payload)
+{
+    const std::string rec = frameRecord(type, payload);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (seg_ == nullptr) {
+        ++write_failures_;
+        return;
+    }
+    const bool ok =
+        std::fwrite(rec.data(), 1, rec.size(), seg_) ==
+            rec.size() &&
+        std::fflush(seg_) == 0;
+    if (!ok) {
+        // Durability is lost but the daemon must keep serving; the
+        // health op surfaces the count.
+        if (write_failures_++ == 0)
+            warn("batch journal: append to " + segmentPath() +
+                 " failed: " + std::strerror(errno));
+        return;
+    }
+    seg_bytes_ += rec.size();
+}
+
+void
+BatchJournal::submit(uint64_t id, const std::string &token,
+                     const std::string &request_json)
+{
+    std::string p;
+    putU64(p, id);
+    putStr(p, token);
+    putStr(p, request_json);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BatchRecord &b = live_[id];
+        b.id = id;
+        b.token = token;
+        b.request_json = request_json;
+        if (id > max_id_)
+            max_id_ = id;
+    }
+    append(kRecSubmit, p);
+}
+
+void
+BatchJournal::slotDone(uint64_t id, uint64_t slot,
+                       const std::string &payload, bool memoized)
+{
+    std::string p;
+    putU64(p, id);
+    putU64(p, slot);
+    putU8(p, memoized ? 1 : 0);
+    putStr(p, payload);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = live_.find(id);
+        if (it != live_.end()) {
+            it->second.slot_payloads[slot] = payload;
+            it->second.slot_memoized[slot] = memoized;
+        }
+    }
+    append(kRecSlotDone, p);
+}
+
+void
+BatchJournal::batchDone(uint64_t id, const SweepStats &stats,
+                        const std::string &error)
+{
+    std::string p;
+    putU64(p, id);
+    putStr(p, error);
+    putStats(p, stats);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = live_.find(id);
+        if (it != live_.end()) {
+            it->second.done = true;
+            it->second.error = error;
+            it->second.stats = stats;
+        }
+    }
+    append(kRecBatchDone, p);
+}
+
+void
+BatchJournal::released(uint64_t id)
+{
+    std::string p;
+    putU64(p, id);
+    bool compact = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = live_.find(id);
+        if (it != live_.end()) {
+            // Everything this batch ever appended is dead weight
+            // now; estimate it by its mirrored footprint.
+            uint64_t footprint = it->second.request_json.size();
+            for (const auto &[slot, bytes] :
+                 it->second.slot_payloads)
+                footprint += bytes.size();
+            dead_bytes_ += footprint;
+            live_.erase(it);
+        }
+        // Compact once released garbage dominates, with a floor so
+        // small journals never churn.
+        compact = dead_bytes_ > (1u << 16) &&
+                  dead_bytes_ > seg_bytes_ / 2;
+    }
+    append(kRecReleased, p);
+    if (compact)
+        rotate();
+}
+
+void
+BatchJournal::cut(uint64_t inflight,
+                  const std::vector<uint64_t> &queued)
+{
+    std::string p;
+    putU64(p, inflight);
+    putU64(p, queued.size());
+    for (const uint64_t id : queued)
+        putU64(p, id);
+    append(kRecCut, p);
+}
+
+void
+BatchJournal::rotate()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string tmp = segmentPath() + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        ++write_failures_;
+        warn("batch journal: cannot rotate into " + tmp + ": " +
+             std::strerror(errno));
+        return;
+    }
+    std::string out;
+    putU64(out, kSegMagic);
+    putU32(out, kSegVersion);
+    for (const auto &[id, b] : live_) {
+        std::string p;
+        putU64(p, b.id);
+        putStr(p, b.token);
+        putStr(p, b.request_json);
+        out += frameRecord(kRecSubmit, p);
+        for (const auto &[slot, bytes] : b.slot_payloads) {
+            std::string sp;
+            putU64(sp, b.id);
+            putU64(sp, slot);
+            const auto mit = b.slot_memoized.find(slot);
+            putU8(sp, mit != b.slot_memoized.end() && mit->second
+                          ? 1
+                          : 0);
+            putStr(sp, bytes);
+            out += frameRecord(kRecSlotDone, sp);
+        }
+        if (b.done) {
+            std::string dp;
+            putU64(dp, b.id);
+            putStr(dp, b.error);
+            putStats(dp, b.stats);
+            out += frameRecord(kRecBatchDone, dp);
+        }
+    }
+    // Recovery marker, carrying the id high-water mark: released
+    // batches' SUBMIT records were just dropped, so without this
+    // hint a fully-drained journal would restart ids from 1 and
+    // collide with ids clients already hold.
+    {
+        std::string mp;
+        putU64(mp, recovery_.recovered_at);
+        putU64(mp, recovery_.batches.size());
+        putU64(mp, recovery_.dropped_bytes);
+        putU64(mp, max_id_ + 1);
+        out += frameRecord(kRecRecovered, mp);
+    }
+    const bool ok =
+        std::fwrite(out.data(), 1, out.size(), f) == out.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), segmentPath().c_str()) != 0) {
+        ++write_failures_;
+        warn("batch journal: rotation of " + segmentPath() +
+             " failed: " + std::strerror(errno));
+        std::remove(tmp.c_str());
+        return;
+    }
+    seg_bytes_ = out.size();
+    dead_bytes_ = 0;
+    // Reopen for appending behind the renamed segment.
+    if (seg_ != nullptr) {
+        std::fclose(seg_);
+        seg_ = nullptr;
+    }
+    seg_ = std::fopen(segmentPath().c_str(), "ab");
+    if (seg_ == nullptr) {
+        ++write_failures_;
+        warn("batch journal: cannot reopen " + segmentPath() +
+             ": " + std::strerror(errno));
+    }
+}
+
+uint64_t
+BatchJournal::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seg_bytes_;
+}
+
+uint64_t
+BatchJournal::liveBatches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_.size();
+}
+
+uint64_t
+BatchJournal::incompleteBatches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t n = 0;
+    for (const auto &[id, b] : live_)
+        if (!b.done)
+            ++n;
+    return n;
+}
+
+uint64_t
+BatchJournal::writeFailures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_failures_;
+}
+
+} // namespace spt

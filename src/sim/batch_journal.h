@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Crash-safe batch journal: the durability layer under
+ * sweep-as-a-service (sim/sweep_service.h, DESIGN.md §16).
+ *
+ * Without it, `kill -9` of spt_sweepd loses every in-flight slot
+ * and every submitted-but-unfetched batch. With `--journal DIR`
+ * the daemon appends one record per state transition —
+ *
+ *   SUBMIT    batch id + client token + the submit request verbatim
+ *             (the request already carries program/map content in
+ *             their SPTPRRG1/SPTKMAP1 wire forms and every job
+ *             scalar, so replaying it reconstructs the exact grid)
+ *   SLOTDONE  batch id + slot index + the slot's SPTRES01 outcome
+ *             payload (ResultCache::encodeOutcome bytes)
+ *   BATCHDONE batch id + sweep stats (or the batch-level error)
+ *   RELEASED  batch id (result fetched; the batch may be dropped)
+ *   CUT       SIGTERM drain point: the in-flight batch id and the
+ *             queue it left behind
+ *   RECOVERED replay summary stamped at the next startup
+ *
+ * — to a single append-only segment ("SPTJRNL1"). Every record is
+ * length-prefixed and FNV-1a-trailered following the result-cache
+ * record conventions; `recover()` replays records until the first
+ * truncated or bit-rotten one and drops the tail, so the worst a
+ * torn write costs is a clean re-run of the slots whose records
+ * were lost — never a wrong result. Slot outcomes are pure
+ * functions of their descriptors (exp_runner.h determinism
+ * contract), which is what makes "re-enqueue the incomplete
+ * subgrid" byte-identical to never having crashed, in the same
+ * deterministic domain the cache-verify gate pins (everything but
+ * host_seconds).
+ *
+ * The journal keeps an in-memory mirror of every unreleased batch,
+ * so compaction (`rotate()`) can rewrite the segment from live
+ * state alone: the rewrite goes to a temp file and renames over
+ * the segment, the same atomicity discipline as result-cache
+ * stores. Rotation happens at the end of every recovery (dropping
+ * released/corrupt garbage) and whenever dead bytes dominate the
+ * segment.
+ *
+ * Thread safety: every method takes an internal mutex — appends
+ * arrive from connection threads (SUBMIT/RELEASED), pool workers
+ * (SLOTDONE via RunnerPolicy::on_slot_complete) and the executor
+ * (BATCHDONE) concurrently. Each append is flushed to the OS
+ * before the mutex drops: surviving `kill -9` needs the write() to
+ * have happened, not the stdio buffer.
+ */
+
+#ifndef SPT_SIM_BATCH_JOURNAL_H
+#define SPT_SIM_BATCH_JOURNAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/exp_runner.h"
+
+namespace spt {
+
+class BatchJournal
+{
+  public:
+    /** One unreleased batch as reconstructed by replay (and
+     *  mirrored live for compaction). */
+    struct BatchRecord {
+        uint64_t id = 0;
+        std::string token;        ///< client resubmission token
+        std::string request_json; ///< the submit request, verbatim
+        /** slot index -> SPTRES01 payload of the completed slot. */
+        std::map<uint64_t, std::string> slot_payloads;
+        /** slot index -> served-by-memo flag (not part of the
+         *  outcome payload; per-slot runner state). */
+        std::map<uint64_t, bool> slot_memoized;
+        bool done = false;
+        SweepStats stats;  ///< valid when done && error.empty()
+        std::string error; ///< batch-level failure when done
+    };
+
+    /** What replay found. */
+    struct Recovery {
+        /** Unreleased batches in submission (id) order. */
+        std::vector<BatchRecord> batches;
+        uint64_t next_batch = 1; ///< first unused batch id
+        uint64_t records = 0;    ///< well-formed records replayed
+        /** Bytes dropped behind the first torn/corrupt record; 0 on
+         *  a clean shutdown. */
+        uint64_t dropped_bytes = 0;
+        /** Unix time of this recovery (stamped into the segment so
+         *  the health op can report it). */
+        uint64_t recovered_at = 0;
+    };
+
+    /** Opens (creating if needed) journal directory @p dir, replays
+     *  the existing segment, compacts it, and arms appending.
+     *  SPT_FATAL if the directory or segment cannot be created. */
+    explicit BatchJournal(std::string dir);
+    ~BatchJournal();
+
+    BatchJournal(const BatchJournal &) = delete;
+    BatchJournal &operator=(const BatchJournal &) = delete;
+
+    /** Replay result of the segment found at construction. */
+    const Recovery &recovery() const { return recovery_; }
+
+    const std::string &dir() const { return dir_; }
+    std::string segmentPath() const;
+
+    // --- appends (all thread-safe, all flushed) -------------------
+    void submit(uint64_t id, const std::string &token,
+                const std::string &request_json);
+    void slotDone(uint64_t id, uint64_t slot,
+                  const std::string &payload, bool memoized);
+    void batchDone(uint64_t id, const SweepStats &stats,
+                   const std::string &error);
+    void released(uint64_t id);
+    /** SIGTERM drain point: @p inflight is the batch the executor
+     *  was running (0 if idle), @p queued the ids left queued. */
+    void cut(uint64_t inflight, const std::vector<uint64_t> &queued);
+
+    /** Rewrites the segment from the live mirror (temp + rename),
+     *  dropping released batches and any corrupt tail. Called
+     *  internally; exposed for tests. */
+    void rotate();
+
+    // --- health ---------------------------------------------------
+    /** Current segment size in bytes. */
+    uint64_t bytes() const;
+    /** Unreleased batches mirrored (live + replayed). */
+    uint64_t liveBatches() const;
+    /** Mirrored batches not yet done (queued or mid-run). */
+    uint64_t incompleteBatches() const;
+    /** Appends that failed (disk full …); the daemon keeps serving
+     *  but durability is gone — surfaced via the health op. */
+    uint64_t writeFailures() const;
+
+  private:
+    void append(uint8_t type, const std::string &payload);
+    void openSegment(const char *mode);
+
+    std::string dir_;
+    Recovery recovery_;
+    mutable std::mutex mutex_;
+    /** Highest batch id ever journaled: persisted as a next-batch
+     *  hint in the RECOVERED marker so compaction (which drops
+     *  released batches' SUBMIT records) can never make a restarted
+     *  daemon reissue an id a client has already seen. */
+    uint64_t max_id_ = 0;
+    std::FILE *seg_ = nullptr;
+    uint64_t seg_bytes_ = 0;
+    uint64_t dead_bytes_ = 0; ///< bytes belonging to released batches
+    uint64_t write_failures_ = 0;
+    std::map<uint64_t, BatchRecord> live_;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_BATCH_JOURNAL_H

@@ -339,6 +339,8 @@ ExpRunner::run(const std::vector<RunJob> &grid,
                               .str("cache", "hit"),
                           EventLog::newSpanId(), sweep_span);
                 outcomes[slot] = std::move(cached);
+                if (policy.on_slot_complete)
+                    policy.on_slot_complete(slot, outcomes[slot]);
                 return;
             }
         }
@@ -437,6 +439,8 @@ ExpRunner::run(const std::vector<RunJob> &grid,
                                                : "miss"),
                   job_span, sweep_span);
         outcomes[slot] = std::move(out);
+        if (policy.on_slot_complete)
+            policy.on_slot_complete(slot, outcomes[slot]);
     });
     const auto t1 = std::chrono::steady_clock::now();
 
@@ -453,6 +457,8 @@ ExpRunner::run(const std::vector<RunJob> &grid,
             board.start(i);
             board.finish(i, outcomes[i].result.cycles,
                          outcomes[i].result.instructions);
+            if (policy.on_slot_complete)
+                policy.on_slot_complete(i, outcomes[i]);
         }
     // Descriptors are per-slot, not per-unique-run: duplicates may
     // carry distinct labels.

@@ -70,6 +70,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -210,6 +211,34 @@ struct RunOutcome {
  *  daemon. */
 inline constexpr const char *kNoSweepService = "local";
 
+/** Client-side resilience knobs for sweeps routed through a
+ *  spt_sweepd daemon (sim/sweep_service.h, DESIGN.md §16). All
+ *  timeouts are *stall* timeouts — they bound how long the peer may
+ *  go silent, not how long an operation may take overall; the
+ *  overall bound is `deadline_seconds`. Environment overrides (read
+ *  when the policy holds the defaults) let every existing driver
+ *  gain resilience without code changes: SPT_SWEEP_POLL_MS,
+ *  SPT_SWEEP_DEADLINE, SPT_SWEEP_RETRIES. */
+struct ServiceClientOptions {
+    /** connect() stall bound. */
+    unsigned connect_timeout_ms = 2000;
+    /** Per-frame receive stall bound (a response that stops making
+     *  progress for this long counts as a transport failure). */
+    unsigned frame_timeout_ms = 60000;
+    /** Consecutive transport failures tolerated before giving up
+     *  (reconnect + resubmit-by-token between attempts). */
+    unsigned max_retries = 8;
+    unsigned backoff_base_ms = 25;
+    unsigned backoff_max_ms = 2000;
+    /** Fixed status-poll interval; 0 keeps the adaptive 2→100 ms
+     *  doubling. */
+    unsigned poll_ms = 0;
+    /** Overall wall-clock budget for the whole batch (submit →
+     *  result); 0 = unbounded. Expiry is a FatalError — exit 2
+     *  under toolMain — never a hang. */
+    double deadline_seconds = 0.0;
+};
+
 /** Sweep-level failure handling plus cross-process execution
  *  backends. The default reproduces the historic contract: first
  *  failure (by slot index) aborts the sweep, no cache, in-process
@@ -240,6 +269,20 @@ struct RunnerPolicy {
      *  grid through. Empty resolves SPT_SWEEP_SOCKET; the
      *  kNoSweepService sentinel forces in-process execution. */
     std::string service_socket;
+    /** Timeouts / retry budget / poll cadence for the service
+     *  client; fields left at their defaults pick up the
+     *  SPT_SWEEP_* environment overrides. */
+    ServiceClientOptions client;
+
+    /** Called once per slot as its outcome lands, with the slot
+     *  index and the final outcome (cache hits and post-pool memo
+     *  fills included). Runs on pool worker threads concurrently —
+     *  the callee synchronizes. This is the daemon's journaling
+     *  hook (sim/batch_journal.h): observability-adjacent, but
+     *  unlike the telemetry sinks below it may durably record
+     *  results; it must never mutate them. */
+    std::function<void(std::size_t, const RunOutcome &)>
+        on_slot_complete;
 
     // --- telemetry (DESIGN.md §15) --------------------------------
     // Observability sinks only: nothing on this block can change a
@@ -292,6 +335,12 @@ struct SweepStats {
     /** True when the grid was executed by a sweep daemon rather
      *  than in-process. */
     bool via_service = false;
+    /** Client-side wait: cumulative time slept between status polls
+     *  and the poll count (via_service only — the diagnosable part
+     *  of "why did my sweep take so long"). Host timing; never in
+     *  report artifacts. */
+    double poll_wait_seconds = 0.0;
+    uint64_t polls = 0;
 };
 
 /** In-process memoization key: program identity (object address)

@@ -1,0 +1,807 @@
+#include "sim/service_chaos.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "sim/chaos.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_service.h"
+
+namespace spt {
+
+namespace {
+
+bool
+isExecutable(const std::string &path)
+{
+    return ::access(path.c_str(), X_OK) == 0;
+}
+
+void
+sleepMs(unsigned ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace
+
+std::string
+resolveSweepdBinary(const std::string &explicit_path)
+{
+    if (!explicit_path.empty()) {
+        if (!isExecutable(explicit_path))
+            SPT_FATAL("spt_sweepd binary not executable: "
+                      << explicit_path);
+        return explicit_path;
+    }
+    if (const char *env = std::getenv("SPT_SWEEPD_BIN")) {
+        if (*env != '\0') {
+            if (!isExecutable(env))
+                SPT_FATAL("SPT_SWEEPD_BIN not executable: " << env);
+            return env;
+        }
+    }
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        const std::filesystem::path self(buf);
+        // Same directory (spt_chaos next to spt_sweepd in
+        // build/tools), then the build tree's tools/ as seen from
+        // tests/ (build/tests/spt_tests).
+        for (const std::filesystem::path &cand :
+             {self.parent_path() / "spt_sweepd",
+              self.parent_path().parent_path() / "tools" /
+                  "spt_sweepd"})
+            if (isExecutable(cand.string()))
+                return cand.string();
+    }
+    SPT_FATAL("cannot locate the spt_sweepd binary: pass a path or "
+              "set SPT_SWEEPD_BIN");
+}
+
+// ---------------------------------------------------------------
+// SweepdProcess
+// ---------------------------------------------------------------
+
+SweepdProcess::SweepdProcess(Options opt) : opt_(std::move(opt)) {}
+
+SweepdProcess::~SweepdProcess()
+{
+    if (pid_ > 0 && !reaped_) {
+        ::kill(pid_, SIGTERM);
+        wait();
+    }
+}
+
+void
+SweepdProcess::start()
+{
+    SPT_ASSERT(pid_ < 0 || reaped_,
+               "SweepdProcess already running");
+    std::vector<std::string> args = {opt_.binary, "--socket",
+                                     opt_.socket_path, "--jobs",
+                                     std::to_string(opt_.jobs)};
+    if (!opt_.cache_dir.empty()) {
+        args.push_back("--cache");
+        args.push_back(opt_.cache_dir);
+    }
+    if (!opt_.journal_dir.empty()) {
+        args.push_back("--journal");
+        args.push_back(opt_.journal_dir);
+    }
+    if (opt_.max_queue != 0) {
+        args.push_back("--max-queue");
+        args.push_back(std::to_string(opt_.max_queue));
+    }
+    if (opt_.request_timeout_ms != 0) {
+        args.push_back("--request-timeout-ms");
+        args.push_back(std::to_string(opt_.request_timeout_ms));
+    }
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        SPT_FATAL("fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+        // Child. Keep it exec-or-die: no C++ runtime work between
+        // fork and exec beyond fd plumbing.
+        if (!opt_.log_path.empty()) {
+            const int fd =
+                ::open(opt_.log_path.c_str(),
+                       O_CREAT | O_WRONLY | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                if (fd > STDERR_FILENO)
+                    ::close(fd);
+            }
+        }
+        ::execv(opt_.binary.c_str(), argv.data());
+        std::fprintf(stderr, "execv %s: %s\n", opt_.binary.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    pid_ = pid;
+    reaped_ = false;
+    killed_by_harness_ = false;
+    status_ = 0;
+
+    // Readiness: the socket answering a ping, not the file merely
+    // existing (bind and listen race the first client otherwise).
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        int st = 0;
+        if (::waitpid(pid_, &st, WNOHANG) == pid_) {
+            reaped_ = true;
+            status_ = st;
+            SPT_FATAL("spt_sweepd exited before becoming ready "
+                      "(status " << st << ", log "
+                      << (opt_.log_path.empty() ? "inherited"
+                                                : opt_.log_path)
+                      << ")");
+        }
+        try {
+            const JsonValue resp = parseJson(serviceRequest(
+                opt_.socket_path, "{\"op\": \"ping\"}"));
+            if (resp.getBool("ok", false))
+                return;
+        } catch (const FatalError &) {
+            // Not up yet.
+        }
+        sleepMs(50);
+    }
+    SPT_FATAL("spt_sweepd did not become ready on "
+              << opt_.socket_path);
+}
+
+void
+SweepdProcess::kill9()
+{
+    SPT_ASSERT(pid_ > 0 && !reaped_, "no child to kill");
+    killed_by_harness_ = true;
+    ::kill(pid_, SIGKILL);
+    wait();
+}
+
+void
+SweepdProcess::sigterm()
+{
+    if (pid_ > 0 && !reaped_)
+        ::kill(pid_, SIGTERM);
+}
+
+int
+SweepdProcess::wait()
+{
+    if (pid_ > 0 && !reaped_) {
+        int st = 0;
+        while (::waitpid(pid_, &st, 0) < 0 && errno == EINTR) {
+        }
+        status_ = st;
+        reaped_ = true;
+    }
+    return status_;
+}
+
+bool
+SweepdProcess::abortedAbnormally()
+{
+    if (pid_ <= 0 || !reaped_)
+        return false;
+    if (killed_by_harness_)
+        return false; // our SIGKILL, the crash under test
+    if (WIFSIGNALED(status_))
+        return true;
+    return WIFEXITED(status_) && WEXITSTATUS(status_) != 0;
+}
+
+// ---------------------------------------------------------------
+// FaultProxy
+// ---------------------------------------------------------------
+
+namespace {
+
+int
+connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** One poll-bounded read; returns <0 on error/EOF, 0 on timeout. */
+ssize_t
+readSome(int fd, char *buf, size_t cap, int timeout_ms)
+{
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0)
+        return -1;
+    if (r == 0)
+        return 0;
+    const ssize_t n = ::read(fd, buf, cap);
+    return n <= 0 ? -1 : n;
+}
+
+bool
+writeAll(int fd, const char *buf, size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, buf, n);
+        if (w <= 0)
+            return false;
+        buf += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+FaultProxy::FaultProxy(std::string listen_path,
+                       std::string upstream_path)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path))
+{
+}
+
+FaultProxy::~FaultProxy() { stop(); }
+
+void
+FaultProxy::start()
+{
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        SPT_FATAL("proxy socket: " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (listen_path_.size() >= sizeof addr.sun_path)
+        SPT_FATAL("proxy socket path too long: " << listen_path_);
+    std::memcpy(addr.sun_path, listen_path_.c_str(),
+                listen_path_.size() + 1);
+    ::unlink(listen_path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 16) != 0)
+        SPT_FATAL("proxy bind " << listen_path_ << ": "
+                                << std::strerror(errno));
+    stopping_.store(false);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+FaultProxy::stop()
+{
+    if (listen_fd_ < 0)
+        return;
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    std::vector<std::thread> relays;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        relays.swap(relay_threads_);
+    }
+    for (std::thread &t : relays)
+        t.join();
+    ::unlink(listen_path_.c_str());
+}
+
+void
+FaultProxy::arm(Fault fault, unsigned connections)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_fault_ = fault;
+    armed_left_ = connections;
+}
+
+void
+FaultProxy::acceptLoop()
+{
+    for (;;) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (stopping_.load())
+                return;
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        Fault fault = Fault::kNone;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (armed_left_ > 0) {
+                fault = armed_fault_;
+                --armed_left_;
+            }
+            relay_threads_.emplace_back(
+                [this, client, fault] { relay(client, fault); });
+        }
+        if (fault != Fault::kNone)
+            faults_injected_.fetch_add(1);
+    }
+}
+
+void
+FaultProxy::relay(int client_fd, Fault fault)
+{
+    char buf[4096];
+
+    if (fault == Fault::kResetMidRequest) {
+        // Swallow the start of the request, then vanish: the
+        // upstream never hears about it, the client sees EOF where
+        // a response was due.
+        (void)readSome(client_fd, buf, sizeof buf, 1000);
+        ::close(client_fd);
+        return;
+    }
+
+    const int upstream_fd = connectUnix(upstream_path_);
+    if (upstream_fd < 0) {
+        ::close(client_fd);
+        return;
+    }
+
+    // Transparent bidirectional relay; the response-direction
+    // faults trigger on the first upstream bytes.
+    bool response_seen = false;
+    bool open = true;
+    while (open && !stopping_.load()) {
+        pollfd fds[2] = {{client_fd, POLLIN, 0},
+                         {upstream_fd, POLLIN, 0}};
+        const int r = ::poll(fds, 2, 50);
+        if (r < 0)
+            break;
+        if (r == 0)
+            continue;
+        if (fds[0].revents != 0) {
+            const ssize_t n =
+                ::read(client_fd, buf, sizeof buf);
+            if (n <= 0 || !writeAll(upstream_fd, buf,
+                                    static_cast<size_t>(n)))
+                break;
+        }
+        if (fds[1].revents != 0) {
+            const ssize_t n =
+                ::read(upstream_fd, buf, sizeof buf);
+            if (n <= 0)
+                break;
+            size_t forward = static_cast<size_t>(n);
+            if (!response_seen && fault != Fault::kNone) {
+                response_seen = true;
+                if (fault == Fault::kTruncateResponse) {
+                    // A torn frame: less than the 4-byte length
+                    // prefix promises.
+                    forward = forward < 3 ? forward : 3;
+                    writeAll(client_fd, buf, forward);
+                    break;
+                }
+                if (fault == Fault::kSlowLoris) {
+                    // A dribble, then dead air with the connection
+                    // held open: only the client's stall deadline
+                    // can save it.
+                    writeAll(client_fd, buf,
+                             forward < 2 ? forward : 2);
+                    const auto until =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(hold_ms_);
+                    while (!stopping_.load() &&
+                           std::chrono::steady_clock::now() < until)
+                        sleepMs(20);
+                    break;
+                }
+            }
+            if (!writeAll(client_fd, buf, forward))
+                break;
+        }
+    }
+    ::close(client_fd);
+    ::close(upstream_fd);
+}
+
+// ---------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------
+
+namespace {
+
+struct CounterDelta {
+    Counter &counter;
+    uint64_t start;
+    explicit CounterDelta(const char *name)
+        : counter(MetricsRegistry::global().counter(name)),
+          start(counter.value())
+    {
+    }
+    uint64_t
+    delta() const
+    {
+        return counter.value() - start;
+    }
+};
+
+/** The campaign grid: every quick chaos workload under the three
+ *  chaos engines — enough slots that a mid-batch kill has real
+ *  work to land in. Programs live in the static registry behind
+ *  quickChaosWorkloads(). */
+std::vector<RunJob>
+campaignGrid()
+{
+    static const std::vector<ChaosWorkload> workloads =
+        quickChaosWorkloads();
+    static const std::vector<NamedConfig> engines = chaosEngines();
+    std::vector<RunJob> grid;
+    for (const ChaosWorkload &w : workloads)
+        for (const NamedConfig &e : engines) {
+            RunJob job;
+            job.program = w.program;
+            job.engine = e.engine;
+            job.label = w.name + "/" + e.name;
+            grid.push_back(job);
+        }
+    return grid;
+}
+
+ServiceClientOptions
+chaosClientOptions(double deadline_seconds)
+{
+    ServiceClientOptions c;
+    c.connect_timeout_ms = 1000;
+    c.frame_timeout_ms = 1500;
+    c.max_retries = 20;
+    c.backoff_base_ms = 10;
+    c.backoff_max_ms = 200;
+    c.poll_ms = 5;
+    c.deadline_seconds = deadline_seconds;
+    return c;
+}
+
+/** Runs the grid through @p socket with the resilient client;
+ *  fills @p out (deterministic encodings) and returns "" or the
+ *  failure note. */
+std::string
+runClient(const std::string &socket,
+          const std::vector<RunJob> &grid, double deadline_seconds,
+          std::vector<std::string> *out)
+{
+    RunnerPolicy policy;
+    policy.service_socket = socket;
+    policy.keep_going = true;
+    policy.client = chaosClientOptions(deadline_seconds);
+    try {
+        const std::vector<RunOutcome> res =
+            ExpRunner(1).run(grid, policy);
+        out->clear();
+        for (const RunOutcome &o : res)
+            out->push_back(
+                ResultCache::encodeOutcomeDeterministic(o));
+        return "";
+    } catch (const FatalError &e) {
+        return std::string("client gave up: ") + e.what();
+    }
+}
+
+uint64_t
+countDivergent(const std::vector<std::string> &got,
+               const std::vector<std::string> &want)
+{
+    if (got.size() != want.size())
+        return want.size();
+    uint64_t divergent = 0;
+    for (size_t i = 0; i < want.size(); ++i)
+        if (got[i] != want[i])
+            ++divergent;
+    return divergent;
+}
+
+/** Flips one bit near the end of @p path (on the last byte of the
+ *  final record's trailer region); returns false when the file is
+ *  missing or empty. */
+bool
+flipTailBit(const std::string &path, uint64_t offset_from_end)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size <= 0 ||
+        static_cast<uint64_t>(size) <= offset_from_end) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f,
+               size - 1 - static_cast<long>(offset_from_end),
+               SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f,
+               size - 1 - static_cast<long>(offset_from_end),
+               SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+    return true;
+}
+
+std::string
+onlyFileIn(const std::string &dir)
+{
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.is_regular_file())
+            return entry.path().string();
+    return "";
+}
+
+} // namespace
+
+ServiceChaosResult
+runServiceChaosCampaign(const ServiceChaosConfig &cfg)
+{
+    const std::string binary =
+        resolveSweepdBinary(cfg.sweepd_binary);
+    const std::string work =
+        cfg.work_dir.empty()
+            ? "/tmp/spt_service_chaos_" +
+                  std::to_string(::getpid())
+            : cfg.work_dir;
+    std::filesystem::create_directories(work);
+    const std::string sock_base =
+        "/tmp/spt_chaos_" + std::to_string(::getpid());
+    const std::string shared_cache = work + "/cache";
+    std::filesystem::remove_all(shared_cache);
+
+    const std::vector<RunJob> grid = campaignGrid();
+
+    // Undisturbed baseline, in process — also seeds the shared
+    // cache so the proxy/bit-rot scenarios replay from warm entries
+    // and the campaign's wall clock stays CI-sized.
+    std::vector<std::string> baseline;
+    {
+        RunnerPolicy policy;
+        policy.service_socket = kNoSweepService;
+        policy.keep_going = true;
+        policy.cache_dir = shared_cache;
+        const std::vector<RunOutcome> res =
+            ExpRunner(cfg.daemon_jobs).run(grid, policy);
+        for (const RunOutcome &o : res)
+            baseline.push_back(
+                ResultCache::encodeOutcomeDeterministic(o));
+    }
+
+    ServiceChaosResult result;
+    const auto record = [&](ServiceChaosScenarioResult s) {
+        s.ok = s.note.empty() && s.divergent_slots == 0 &&
+               !s.daemon_abort;
+        result.summary.scenarios += 1;
+        result.summary.divergent_results += s.divergent_slots;
+        result.summary.daemon_aborts += s.daemon_abort ? 1 : 0;
+        if (!s.note.empty())
+            result.summary.failures += 1;
+        report("[service-chaos] " + s.name + ": " +
+               (s.ok ? "clean" : ("DIRTY " + s.note)));
+        result.scenarios.push_back(std::move(s));
+    };
+
+    // --- proxy faults: truncate / reset / slow-loris ------------
+    const struct {
+        const char *name;
+        FaultProxy::Fault fault;
+    } proxy_faults[] = {
+        {"proxy-truncate", FaultProxy::Fault::kTruncateResponse},
+        {"proxy-reset", FaultProxy::Fault::kResetMidRequest},
+        {"proxy-slowloris", FaultProxy::Fault::kSlowLoris},
+    };
+    for (const auto &pf : proxy_faults) {
+        ServiceChaosScenarioResult s;
+        s.name = pf.name;
+        const std::string daemon_sock =
+            sock_base + "_" + pf.name + "_d.sock";
+        const std::string proxy_sock =
+            sock_base + "_" + pf.name + "_p.sock";
+        SweepdProcess::Options dopt;
+        dopt.binary = binary;
+        dopt.socket_path = daemon_sock;
+        dopt.cache_dir = shared_cache;
+        dopt.jobs = cfg.daemon_jobs;
+        dopt.log_path = work + "/" + pf.name + ".log";
+        SweepdProcess daemon(dopt);
+        CounterDelta errors("client.svc.transport_errors");
+        CounterDelta resubmits("client.svc.resubmits");
+        try {
+            daemon.start();
+            FaultProxy proxy(proxy_sock, daemon_sock);
+            proxy.setHoldMs(3000); // > the client's 1500 ms stall
+            proxy.start();
+            proxy.arm(pf.fault, 2);
+            std::vector<std::string> got;
+            s.note = runClient(proxy_sock, grid,
+                               cfg.deadline_seconds, &got);
+            if (s.note.empty())
+                s.divergent_slots = countDivergent(got, baseline);
+            s.faults_injected = proxy.faultsInjected();
+            if (s.note.empty() && s.faults_injected == 0)
+                s.note = "proxy injected no fault (vacuous run)";
+            proxy.stop();
+        } catch (const FatalError &e) {
+            s.note = e.what();
+        }
+        daemon.sigterm();
+        daemon.wait();
+        s.daemon_abort = daemon.abortedAbnormally();
+        s.transport_errors = errors.delta();
+        s.resubmits = resubmits.delta();
+        record(std::move(s));
+    }
+
+    // --- kill -9 mid-batch, journaled restart -------------------
+    // Fresh (cold) cache: the batch must have real work in flight
+    // for the kill to interrupt. Run twice — once clean, once with
+    // a bit flipped in the journal between death and restart.
+    for (const bool bitrot : {false, true}) {
+        ServiceChaosScenarioResult s;
+        s.name = bitrot ? "kill9-journal-bitrot" : "kill9-restart";
+        const std::string daemon_sock =
+            sock_base + (bitrot ? "_k9rot" : "_k9") + "_d.sock";
+        const std::string cold_cache =
+            work + "/" + s.name + "_cache";
+        const std::string journal =
+            work + "/" + s.name + "_journal";
+        std::filesystem::remove_all(cold_cache);
+        std::filesystem::remove_all(journal);
+        SweepdProcess::Options dopt;
+        dopt.binary = binary;
+        dopt.socket_path = daemon_sock;
+        dopt.cache_dir = cold_cache;
+        dopt.journal_dir = journal;
+        dopt.jobs = cfg.daemon_jobs;
+        dopt.log_path = work + "/" + s.name + ".log";
+        SweepdProcess first(dopt);
+        SweepdProcess second(dopt);
+        CounterDelta errors("client.svc.transport_errors");
+        CounterDelta resubmits("client.svc.resubmits");
+        try {
+            first.start();
+            std::vector<std::string> got;
+            std::string note;
+            std::thread client([&] {
+                note = runClient(daemon_sock, grid,
+                                 cfg.deadline_seconds, &got);
+            });
+            // Let the batch get going, then pull the plug.
+            sleepMs(400);
+            first.kill9();
+            if (bitrot) {
+                const std::string seg = onlyFileIn(journal);
+                if (seg.empty() || !flipTailBit(seg, 2))
+                    s.note = "no journal segment to corrupt";
+            }
+            second.start();
+            client.join();
+            if (s.note.empty())
+                s.note = note;
+            if (s.note.empty())
+                s.divergent_slots = countDivergent(got, baseline);
+        } catch (const FatalError &e) {
+            s.note = e.what();
+        }
+        second.sigterm();
+        second.wait();
+        s.daemon_abort =
+            first.abortedAbnormally() ||
+            second.abortedAbnormally();
+        s.transport_errors = errors.delta();
+        s.resubmits = resubmits.delta();
+        record(std::move(s));
+    }
+
+    // --- result-cache bit-rot -----------------------------------
+    // Corrupt warm entries; the daemon must detect (FNV trailer),
+    // degrade to a miss, re-simulate, and still hand back
+    // baseline-identical bytes.
+    {
+        ServiceChaosScenarioResult s;
+        s.name = "cache-bitrot";
+        const std::string daemon_sock =
+            sock_base + "_rot_d.sock";
+        unsigned flipped = 0;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(shared_cache)) {
+            if (!entry.is_regular_file() || flipped >= 4)
+                continue;
+            if (flipTailBit(entry.path().string(), 16))
+                ++flipped;
+        }
+        SweepdProcess::Options dopt;
+        dopt.binary = binary;
+        dopt.socket_path = daemon_sock;
+        dopt.cache_dir = shared_cache;
+        dopt.jobs = cfg.daemon_jobs;
+        dopt.log_path = work + "/" + s.name + ".log";
+        SweepdProcess daemon(dopt);
+        try {
+            if (flipped == 0)
+                SPT_FATAL("no cache entries to corrupt");
+            daemon.start();
+            std::vector<std::string> got;
+            s.note = runClient(daemon_sock, grid,
+                               cfg.deadline_seconds, &got);
+            if (s.note.empty())
+                s.divergent_slots = countDivergent(got, baseline);
+            s.faults_injected = flipped;
+        } catch (const FatalError &e) {
+            s.note = e.what();
+        }
+        daemon.sigterm();
+        daemon.wait();
+        s.daemon_abort = daemon.abortedAbnormally();
+        record(std::move(s));
+    }
+
+    // --- report --------------------------------------------------
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("campaign", "service-chaos");
+    jw.field("grid_slots", static_cast<uint64_t>(grid.size()));
+    jw.key("scenarios").beginArray();
+    for (const ServiceChaosScenarioResult &s : result.scenarios) {
+        jw.beginObject();
+        jw.field("name", s.name);
+        jw.field("ok", s.ok);
+        jw.field("divergent_slots", s.divergent_slots);
+        jw.field("daemon_abort", s.daemon_abort);
+        jw.field("transport_errors", s.transport_errors);
+        jw.field("resubmits", s.resubmits);
+        jw.field("faults_injected", s.faults_injected);
+        jw.field("note", s.note);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.key("summary").beginObject();
+    jw.field("scenarios", result.summary.scenarios);
+    jw.field("divergent_results",
+             result.summary.divergent_results);
+    jw.field("daemon_aborts", result.summary.daemon_aborts);
+    jw.field("failures", result.summary.failures);
+    jw.field("clean", result.summary.clean());
+    jw.endObject();
+    jw.endObject();
+    result.json = jw.str();
+    return result;
+}
+
+} // namespace spt

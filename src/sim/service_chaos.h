@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Service-layer chaos (DESIGN.md §16): where sim/chaos.h stresses
+ * the simulated *machine* with timing faults, this module stresses
+ * the sweep *service* — a real spt_sweepd child process plus the
+ * resilient client of sim/sweep_service.h — with transport faults
+ * (truncated frames, connection resets, slow-loris stalls via an
+ * in-process Unix-socket fault proxy), `kill -9` of the daemon
+ * mid-batch with journal-backed restart, and bit-rot injected into
+ * the batch journal and the on-disk result cache.
+ *
+ * The verdict is the paper's determinism contract under fire: every
+ * scenario's client must come back with outcomes byte-identical
+ * (ResultCache::encodeOutcomeDeterministic) to an undisturbed
+ * in-process run, and the daemon must never exit abnormally — the
+ * only acceptable effects of a fault are retries, re-runs, and
+ * recovery, never a wrong result and never a crash.
+ *
+ * The building blocks (SweepdProcess, FaultProxy) are exposed so
+ * the service tests can orchestrate their own precise failure
+ * timelines (tests/test_sweep_service.cpp); runServiceChaosCampaign
+ * is the canned end-to-end campaign behind `spt_chaos --service`.
+ */
+
+#ifndef SPT_SIM_SERVICE_CHAOS_H
+#define SPT_SIM_SERVICE_CHAOS_H
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spt {
+
+/** The spt_sweepd binary to exec: @p explicit_path when non-empty,
+ *  else $SPT_SWEEPD_BIN, else a sibling of /proc/self/exe (then
+ *  ../tools/spt_sweepd, covering the build tree's tests/ and tools/
+ *  layouts). SPT_FATAL when no candidate is executable. */
+std::string resolveSweepdBinary(const std::string &explicit_path);
+
+/** A real spt_sweepd child process under harness control: fork +
+ *  exec, readiness-probed via ping, killable with SIGKILL (the
+ *  crash being tested) or SIGTERM (drain). Distinguishes
+ *  harness-inflicted kills from genuine daemon aborts — the latter
+ *  is what the chaos verdict counts. */
+class SweepdProcess
+{
+  public:
+    struct Options {
+        std::string binary; ///< resolveSweepdBinary() result
+        std::string socket_path;
+        std::string cache_dir;   ///< empty = uncached
+        std::string journal_dir; ///< empty = no journal
+        unsigned jobs = 2;
+        uint64_t max_queue = 0; ///< 0 = daemon default
+        /** Daemon-side per-request stall bound; 0 = daemon
+         *  default. */
+        unsigned request_timeout_ms = 0;
+        /** Child stdout+stderr destination; empty inherits. */
+        std::string log_path;
+    };
+
+    explicit SweepdProcess(Options opt);
+    /** SIGTERMs and reaps a still-running child. */
+    ~SweepdProcess();
+
+    SweepdProcess(const SweepdProcess &) = delete;
+    SweepdProcess &operator=(const SweepdProcess &) = delete;
+
+    /** Forks and execs; blocks until the daemon answers a ping
+     *  (SPT_FATAL after ~10 s of refusal, or if the child died
+     *  before becoming ready). */
+    void start();
+
+    /** The crash under test: SIGKILL + reap. Recorded as
+     *  harness-inflicted, never an abort. */
+    void kill9();
+
+    /** Drain request; does not wait — pair with wait(). */
+    void sigterm();
+
+    /** Reaps the child (blocking); idempotent. Returns the raw
+     *  waitpid status of the first reap. */
+    int wait();
+
+    /** Child reaped with an exit the harness did not inflict:
+     *  killed by a signal other than our SIGKILL, or a non-zero
+     *  exit status. This is the "daemon abort" the campaign
+     *  verdict counts. */
+    bool abortedAbnormally();
+
+    pid_t pid() const { return pid_; }
+    const Options &options() const { return opt_; }
+
+  private:
+    Options opt_;
+    pid_t pid_ = -1;
+    bool reaped_ = false;
+    int status_ = 0;
+    bool killed_by_harness_ = false;
+};
+
+/** Unix-socket man-in-the-middle for transport chaos: listens on
+ *  one path, forwards byte streams to the real daemon's socket, and
+ *  injects a fault into the next N accepted connections — the
+ *  client under test points RunnerPolicy::service_socket at the
+ *  proxy and must ride every fault out via its retry loop. */
+class FaultProxy
+{
+  public:
+    enum class Fault {
+        kNone,            ///< transparent relay
+        kResetMidRequest, ///< swallow the request, close both sides
+        /** Forward the request, deliver only the first bytes of the
+         *  response, close — the client sees a torn frame. */
+        kTruncateResponse,
+        /** Forward the request, deliver a dribble of the response,
+         *  then go silent while holding the connection open — the
+         *  client's frame stall deadline must fire. */
+        kSlowLoris,
+    };
+
+    FaultProxy(std::string listen_path, std::string upstream_path);
+    ~FaultProxy();
+
+    FaultProxy(const FaultProxy &) = delete;
+    FaultProxy &operator=(const FaultProxy &) = delete;
+
+    /** Binds the proxy socket and spawns the accept loop. */
+    void start();
+    /** Closes the listener and joins every relay thread. */
+    void stop();
+
+    /** Arms @p fault for the next @p connections accepted
+     *  connections; later connections relay transparently. */
+    void arm(Fault fault, unsigned connections);
+
+    /** How long a slow-loris connection stays silently open before
+     *  the proxy closes it (must exceed the client's frame stall
+     *  for the fault to register). */
+    void setHoldMs(unsigned ms) { hold_ms_ = ms; }
+
+    uint64_t faultsInjected() const { return faults_injected_; }
+    const std::string &listenPath() const { return listen_path_; }
+
+  private:
+    void acceptLoop();
+    void relay(int client_fd, Fault fault);
+
+    std::string listen_path_;
+    std::string upstream_path_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> faults_injected_{0};
+    unsigned hold_ms_ = 3000;
+    std::mutex mutex_; ///< guards armed_* and threads_
+    Fault armed_fault_ = Fault::kNone;
+    unsigned armed_left_ = 0;
+    std::thread accept_thread_;
+    std::vector<std::thread> relay_threads_;
+};
+
+struct ServiceChaosConfig {
+    /** spt_sweepd to exec; empty resolves via
+     *  resolveSweepdBinary(). */
+    std::string sweepd_binary;
+    /** Scratch root for cache/journal/log files (created; not
+     *  cleaned up on failure so CI can upload it). Sockets live
+     *  under /tmp directly — sun_path is ~108 bytes. */
+    std::string work_dir;
+    unsigned daemon_jobs = 2;
+    /** Per-scenario client wall-clock budget. */
+    double deadline_seconds = 120.0;
+};
+
+/** One scenario's outcome. */
+struct ServiceChaosScenarioResult {
+    std::string name;
+    bool ok = false;
+    /** Slots whose deterministic encoding differed from the
+     *  undisturbed baseline — the failure that must never happen. */
+    uint64_t divergent_slots = 0;
+    bool daemon_abort = false;
+    /** Client transport failures ridden out (client.svc.* metric
+     *  deltas): evidence the fault actually bit. */
+    uint64_t transport_errors = 0;
+    uint64_t resubmits = 0;
+    /** Proxy-injected faults (proxy scenarios only). */
+    uint64_t faults_injected = 0;
+    std::string note; ///< failure detail; empty when ok
+};
+
+struct ServiceChaosSummary {
+    uint64_t scenarios = 0;
+    uint64_t divergent_results = 0;
+    uint64_t daemon_aborts = 0;
+    /** Scenarios that failed outright (client gave up, daemon never
+     *  became ready, …). */
+    uint64_t failures = 0;
+
+    bool
+    clean() const
+    {
+        return divergent_results == 0 && daemon_aborts == 0 &&
+               failures == 0;
+    }
+};
+
+struct ServiceChaosResult {
+    ServiceChaosSummary summary;
+    std::vector<ServiceChaosScenarioResult> scenarios;
+    /** Campaign report JSON. Unlike the fault campaign's artifact
+     *  this is *not* byte-deterministic — retry counts are timing
+     *  dependent — so CI uploads it instead of cmp-pinning it. */
+    std::string json;
+};
+
+/** Runs every scenario: an undisturbed in-process baseline, three
+ *  proxy faults, kill-9 + journaled restart (clean and with journal
+ *  bit-rot), and result-cache bit-rot. */
+ServiceChaosResult
+runServiceChaosCampaign(const ServiceChaosConfig &cfg);
+
+} // namespace spt
+
+#endif // SPT_SIM_SERVICE_CHAOS_H

@@ -1,14 +1,20 @@
 #include "sim/sweep_service.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <map>
 #include <memory>
@@ -22,8 +28,10 @@
 #include "common/json_parse.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "core/knowledge_map.h"
 #include "isa/program.h"
+#include "sim/batch_journal.h"
 #include "sim/progress.h"
 
 namespace spt {
@@ -78,7 +86,9 @@ hexDecode(const std::string &hex)
 constexpr uint32_t kMaxFrame = 1u << 30;
 
 /** send/recv with MSG_NOSIGNAL so a peer that vanished produces an
- *  error return, not a process-killing SIGPIPE. */
+ *  error return, not a process-killing SIGPIPE. A send stall is
+ *  bounded by SO_SNDTIMEO where the caller set one (EAGAIN surfaces
+ *  here as failure). */
 bool
 sendAll(int fd, const char *p, std::size_t n)
 {
@@ -95,10 +105,40 @@ sendAll(int fd, const char *p, std::size_t n)
     return true;
 }
 
+/** Waits for readability; @p timeout_ms < 0 waits forever. False on
+ *  timeout or poll error. */
 bool
-recvAll(int fd, char *p, std::size_t n)
+pollIn(int fd, int timeout_ms)
 {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    for (;;) {
+        const int r = ::poll(&p, 1, timeout_ms);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        return r > 0;
+    }
+}
+
+/** recv() exactly @p n bytes, bounding each *stall* (silent gap, not
+ *  total transfer time) by @p stall_ms; 0 disables the bound. With
+ *  @p first_forever the wait for the first byte is unbounded — the
+ *  daemon's idle-connection posture. */
+bool
+recvAllTimed(int fd, char *p, std::size_t n, unsigned stall_ms,
+             bool first_forever)
+{
+    bool first = first_forever;
     while (n > 0) {
+        const int timeout =
+            (first || stall_ms == 0) ? -1
+                                     : static_cast<int>(stall_ms);
+        if (!pollIn(fd, timeout))
+            return false; // stall or poll failure
         const ssize_t r = ::recv(fd, p, n, 0);
         if (r < 0) {
             if (errno == EINTR)
@@ -107,6 +147,7 @@ recvAll(int fd, char *p, std::size_t n)
         }
         if (r == 0)
             return false; // EOF
+        first = false;
         p += r;
         n -= static_cast<std::size_t>(r);
     }
@@ -126,11 +167,16 @@ writeFrame(int fd, const std::string &payload)
            sendAll(fd, payload.data(), payload.size());
 }
 
+/** Reads one frame with per-stall bounds (see recvAllTimed). Once
+ *  the first byte of a frame has arrived, the rest must keep
+ *  flowing within @p stall_ms — a peer that goes silent mid-frame
+ *  is a transport failure, not a hang. */
 bool
-readFrame(int fd, std::string *payload)
+readFrameTimed(int fd, std::string *payload, unsigned stall_ms,
+               bool first_forever)
 {
     char len[4];
-    if (!recvAll(fd, len, 4))
+    if (!recvAllTimed(fd, len, 4, stall_ms, first_forever))
         return false;
     uint32_t n = 0;
     for (int i = 0; i < 4; ++i)
@@ -138,7 +184,21 @@ readFrame(int fd, std::string *payload)
     if (n > kMaxFrame)
         return false;
     payload->resize(n);
-    return n == 0 || recvAll(fd, payload->data(), n);
+    return n == 0 ||
+           recvAllTimed(fd, payload->data(), n, stall_ms, false);
+}
+
+/** Bounds how long a send may stall before failing (EAGAIN); 0
+ *  leaves the socket unbounded. */
+void
+setSendStall(int fd, unsigned ms)
+{
+    if (ms == 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 std::string
@@ -152,12 +212,29 @@ errorResponse(const std::string &message)
     return jw.str();
 }
 
-void
-requireOk(const JsonValue &resp, const char *what)
+/** Structured failure with a machine-matchable "code" the client
+ *  can act on ("unknown-batch" / "overloaded" / "draining"). */
+std::string
+errorResponseCode(const char *code, const std::string &message)
 {
-    if (!resp.getBool("ok", false))
-        SPT_FATAL("sweep service " << what << " failed: "
-                  << resp.getString("error", "(no error text)"));
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("ok", false);
+    jw.field("code", code);
+    jw.field("error", message);
+    jw.endObject();
+    return jw.str();
+}
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 // --------------------------------------------------------------------
@@ -237,13 +314,21 @@ struct SweepService::Impl {
     struct Batch {
         enum class State : uint8_t { kQueued, kRunning, kDone };
 
+        uint64_t id = 0;
+        /** Client idempotency token ("" when the client sent
+         *  none). */
+        std::string token;
         bool capture_evidence = false;
         std::vector<std::unique_ptr<Program>> programs;
         std::vector<std::unique_ptr<KnowledgeMap>> maps;
         std::vector<RunJob> grid;
         State state = State::kQueued;
+        /** Per-slot results, pre-sized to the grid; have_outcome
+         *  marks which slots hold one (journal recovery pre-fills
+         *  completed slots, the executor runs only the rest). */
         std::vector<std::string> outcome_hex;
         std::vector<char> memoized;
+        std::vector<char> have_outcome;
         SweepStats stats;
         std::string error; ///< batch-level execution failure
         /** Daemon-side batch span (returned to the client at
@@ -263,21 +348,25 @@ struct SweepService::Impl {
 
     SweepServiceOptions opt;
     ExpRunner runner;
+    std::unique_ptr<BatchJournal> journal;
 
     int listen_fd = -1;
     std::thread accept_thread;
     std::thread exec_thread;
+    std::chrono::steady_clock::time_point started_at;
 
     std::mutex mu;
     std::condition_variable cv;
     bool stopping = false;
+    bool draining = false;
     bool started = false;
     std::vector<std::thread> conn_threads;
     std::set<int> conn_fds;
     uint64_t next_batch = 1;
     std::map<uint64_t, std::unique_ptr<Batch>> batches;
     std::deque<Batch *> queue; ///< submission order
-    std::map<Batch *, uint64_t> batch_ids;
+    /** Idempotency: token -> live batch id (erased at release). */
+    std::map<std::string, uint64_t> token_to_batch;
     ServiceStats totals;
     /** Batch id the executor holds right now; 0 when idle. */
     uint64_t inflight_batch = 0;
@@ -285,6 +374,12 @@ struct SweepService::Impl {
     void
     start()
     {
+        started_at = std::chrono::steady_clock::now();
+        if (!opt.journal_dir.empty()) {
+            journal = std::make_unique<BatchJournal>(
+                opt.journal_dir);
+            recoverBatches();
+        }
         listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
         if (listen_fd < 0)
             SPT_FATAL("sweep daemon: socket(): "
@@ -311,6 +406,79 @@ struct SweepService::Impl {
         exec_thread = std::thread([this] { execLoop(); });
     }
 
+    /** Rebuilds live batches from the journal replay: done batches
+     *  become fetchable immediately, incomplete ones re-enter the
+     *  queue with their completed slots pre-filled so the executor
+     *  re-runs only what was lost. Runs before any thread spawns. */
+    void
+    recoverBatches()
+    {
+        const BatchJournal::Recovery &rec = journal->recovery();
+        next_batch = std::max(next_batch, rec.next_batch);
+        for (const BatchJournal::BatchRecord &r : rec.batches) {
+            std::unique_ptr<Batch> b;
+            try {
+                b = buildBatch(parseJson(r.request_json));
+            } catch (const std::exception &e) {
+                // A journaled request that no longer decodes
+                // (version skew) is dropped, not fatal: the client
+                // gets unknown-batch and resubmits.
+                warn("[spt_sweepd] journaled batch " +
+                     std::to_string(r.id) +
+                     " not replayable: " + e.what());
+                continue;
+            }
+            b->id = r.id;
+            b->token = r.token;
+            b->span = EventLog::newSpanId();
+            const std::size_t n = b->grid.size();
+            for (const auto &kv : r.slot_payloads) {
+                if (kv.first >= n)
+                    continue; // stale record for a different grid
+                b->outcome_hex[kv.first] = hexEncode(kv.second);
+                const auto mit = r.slot_memoized.find(kv.first);
+                b->memoized[kv.first] =
+                    (mit != r.slot_memoized.end() && mit->second)
+                        ? 1
+                        : 0;
+                b->have_outcome[kv.first] = 1;
+            }
+            if (!r.token.empty())
+                token_to_batch[r.token] = r.id;
+            if (r.done) {
+                b->state = Batch::State::kDone;
+                b->stats = r.stats;
+                b->error = r.error;
+            } else {
+                b->state = Batch::State::kQueued;
+                queue.push_back(b.get());
+            }
+            next_batch = std::max(next_batch, r.id + 1);
+            batches[r.id] = std::move(b);
+            ++totals.recovered_batches;
+        }
+        if (totals.recovered_batches > 0 ||
+            rec.dropped_bytes > 0) {
+            MetricsRegistry::global()
+                .counter("svc.batches.recovered")
+                .inc(totals.recovered_batches);
+            EventLog::global().emit(
+                EventLevel::kInfo, "svc", "recovered",
+                EventFields()
+                    .num("batches", totals.recovered_batches)
+                    .num("requeued",
+                         static_cast<uint64_t>(queue.size()))
+                    .num("dropped_bytes", rec.dropped_bytes));
+            report("[spt_sweepd] journal recovery: " +
+                   std::to_string(totals.recovered_batches) +
+                   " batch(es), " +
+                   std::to_string(queue.size()) +
+                   " re-enqueued, " +
+                   std::to_string(rec.dropped_bytes) +
+                   " corrupt bytes dropped");
+        }
+    }
+
     void
     initiateStop()
     {
@@ -325,6 +493,24 @@ struct SweepService::Impl {
         // accept thread's feet.
         if (listen_fd >= 0)
             ::shutdown(listen_fd, SHUT_RDWR);
+    }
+
+    /** SIGTERM drain: flip the flag and let the executor journal
+     *  the cut point and stop once the in-flight batch lands. */
+    void
+    initiateDrain()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (draining || stopping)
+                return;
+            draining = true;
+        }
+        cv.notify_all();
+        EventLog::global().emit(EventLevel::kInfo, "svc",
+                                "drain-begin", EventFields());
+        report("[spt_sweepd] draining: finishing in-flight batch, "
+               "refusing new submits");
     }
 
     void
@@ -362,6 +548,9 @@ struct SweepService::Impl {
                     continue;
                 return; // shut down (or fatal); stop accepting
             }
+            // A peer that stops draining its receive buffer must
+            // not wedge this connection's thread in send().
+            setSendStall(fd, opt.request_timeout_ms);
             std::lock_guard<std::mutex> lock(mu);
             if (stopping) {
                 ::close(fd);
@@ -377,7 +566,11 @@ struct SweepService::Impl {
     connLoop(int fd)
     {
         std::string request;
-        while (readFrame(fd, &request)) {
+        // Waiting for the *start* of a request is unbounded (idle
+        // pollers are legitimate); once bytes flow, a mid-frame
+        // stall longer than request_timeout_ms drops the peer.
+        while (readFrameTimed(fd, &request, opt.request_timeout_ms,
+                              /*first_forever=*/true)) {
             const HandleResult r = handle(request);
             const bool sent = writeFrame(fd, r.json);
             if (r.shutdown)
@@ -405,23 +598,53 @@ struct SweepService::Impl {
             {
                 std::unique_lock<std::mutex> lock(mu);
                 cv.wait(lock, [this] {
-                    return stopping || !queue.empty();
+                    return stopping || draining || !queue.empty();
                 });
+                if (draining) {
+                    // The in-flight batch (if any) already landed —
+                    // this thread ran it. Journal the cut so the
+                    // next start re-enqueues what we leave behind,
+                    // and do NOT run the remaining queue.
+                    std::vector<uint64_t> queued;
+                    for (const Batch *b : queue)
+                        queued.push_back(b->id);
+                    queue.clear();
+                    g_queue.set(0);
+                    lock.unlock();
+                    if (journal)
+                        journal->cut(0, queued);
+                    elog.emit(EventLevel::kInfo, "svc",
+                              "drain-cut",
+                              EventFields().num(
+                                  "queued_left",
+                                  static_cast<uint64_t>(
+                                      queued.size())));
+                    initiateStop();
+                    return;
+                }
                 if (queue.empty())
                     return; // stopping and drained
                 batch = queue.front();
                 queue.pop_front();
                 batch->state = Batch::State::kRunning;
-                batch_id = batch_ids.at(batch);
+                batch_id = batch->id;
                 inflight_batch = batch_id;
                 g_queue.set(static_cast<int64_t>(queue.size()));
                 g_inflight.set(static_cast<int64_t>(batch_id));
             }
+            // Recovery may have pre-filled slots: run only the
+            // missing subgrid; a fresh batch misses everything.
+            std::vector<std::size_t> missing;
+            for (std::size_t i = 0; i < batch->grid.size(); ++i)
+                if (!batch->have_outcome[i])
+                    missing.push_back(i);
             elog.emit(EventLevel::kInfo, "svc", "batch-start",
                       EventFields()
                           .num("batch", batch_id)
                           .num("jobs", static_cast<uint64_t>(
-                                           batch->grid.size())),
+                                           batch->grid.size()))
+                          .num("missing", static_cast<uint64_t>(
+                                              missing.size())),
                       batch->span);
             RunnerPolicy pol;
             // Always keep_going: a crashing job is classified into
@@ -435,21 +658,53 @@ struct SweepService::Impl {
             // so one batch's records chain client -> daemon ->
             // runner -> job slot.
             pol.parent_span = batch->span;
+            if (journal) {
+                // Durability hook: each slot's outcome hits the
+                // journal the moment it lands, from whichever pool
+                // worker produced it. Subgrid index u maps back to
+                // the batch slot through `missing`.
+                BatchJournal *j = journal.get();
+                const std::vector<std::size_t> *slot_map = &missing;
+                pol.on_slot_complete =
+                    [j, batch_id, slot_map](std::size_t u,
+                                            const RunOutcome &out) {
+                        j->slotDone(
+                            batch_id, (*slot_map)[u],
+                            ResultCache::encodeOutcome(out),
+                            out.memoized);
+                    };
+            }
+            std::vector<RunJob> sub;
+            sub.reserve(missing.size());
+            for (const std::size_t i : missing)
+                sub.push_back(batch->grid[i]);
             std::vector<RunOutcome> outs;
             std::string error;
-            try {
-                outs = runner.run(batch->grid, pol);
-            } catch (const std::exception &e) {
-                error = e.what();
+            SweepStats sweep;
+            if (missing.empty()) {
+                // Every slot was journaled before the crash; only
+                // the BATCHDONE record was lost. Nothing to run.
+                sweep.workers = runner.workers();
+                sweep.cache_mode = opt.cache_dir.empty()
+                                       ? "off"
+                                       : cacheModeName(
+                                             opt.cache_mode);
+                sweep.cache_dir = opt.cache_dir;
+            } else {
+                try {
+                    outs = runner.run(sub, pol);
+                    sweep = runner.lastSweep();
+                } catch (const std::exception &e) {
+                    error = e.what();
+                }
             }
             if (error.empty()) {
                 elog.emit(EventLevel::kInfo, "svc", "batch-done",
                           EventFields()
                               .num("batch", batch_id)
                               .num("failed_jobs",
-                                   runner.lastSweep().failed_jobs)
-                              .real("wall_s",
-                                    runner.lastSweep().wall_seconds),
+                                   sweep.failed_jobs)
+                              .real("wall_s", sweep.wall_seconds),
                           batch->span);
             } else {
                 // Batch-level execution failure (not a per-job
@@ -474,35 +729,39 @@ struct SweepService::Impl {
             inflight_batch = 0;
             g_inflight.set(0);
             if (error.empty()) {
-                batch->stats = runner.lastSweep();
-                batch->outcome_hex.reserve(outs.size());
-                batch->memoized.reserve(outs.size());
-                for (const RunOutcome &out : outs) {
-                    batch->outcome_hex.push_back(
-                        hexEncode(ResultCache::encodeOutcome(out)));
-                    batch->memoized.push_back(out.memoized ? 1 : 0);
+                for (std::size_t u = 0; u < missing.size(); ++u) {
+                    const std::size_t slot = missing[u];
+                    batch->outcome_hex[slot] = hexEncode(
+                        ResultCache::encodeOutcome(outs[u]));
+                    batch->memoized[slot] =
+                        outs[u].memoized ? 1 : 0;
+                    batch->have_outcome[slot] = 1;
                 }
+                batch->stats = sweep;
                 ++totals.batches_executed;
                 totals.jobs_executed += outs.size();
-                totals.failed_jobs += batch->stats.failed_jobs;
-                totals.cache.hits += batch->stats.cache.hits;
-                totals.cache.misses += batch->stats.cache.misses;
+                totals.failed_jobs += sweep.failed_jobs;
+                totals.cache.hits += sweep.cache.hits;
+                totals.cache.misses += sweep.cache.misses;
                 totals.cache.verify_mismatches +=
-                    batch->stats.cache.verify_mismatches;
+                    sweep.cache.verify_mismatches;
                 totals.cache.bytes_written +=
-                    batch->stats.cache.bytes_written;
+                    sweep.cache.bytes_written;
                 totals.cache.host_seconds_saved +=
-                    batch->stats.cache.host_seconds_saved;
+                    sweep.cache.host_seconds_saved;
                 reg.counter("svc.batches.executed").inc();
                 reg.counter("svc.jobs.executed")
                     .inc(static_cast<uint64_t>(outs.size()));
                 reg.counter("svc.jobs.failed")
-                    .inc(batch->stats.failed_jobs);
+                    .inc(sweep.failed_jobs);
             } else {
                 batch->error = error;
                 reg.counter("svc.batches.errored").inc();
             }
             batch->state = Batch::State::kDone;
+            if (journal)
+                journal->batchDone(batch_id, batch->stats,
+                                   batch->error);
         }
     }
 
@@ -524,11 +783,13 @@ struct SweepService::Impl {
             } else if (op == "metrics") {
                 r.json = handleMetrics(req);
             } else if (op == "submit") {
-                r.json = handleSubmit(req);
+                r.json = handleSubmit(req, request_text);
             } else if (op == "status") {
                 r.json = handleStatus(req);
             } else if (op == "result") {
                 r.json = handleResultOp(req);
+            } else if (op == "health") {
+                r.json = handleHealth();
             } else if (op == "shutdown") {
                 JsonWriter jw;
                 jw.beginObject();
@@ -566,6 +827,10 @@ struct SweepService::Impl {
         jw.field("queue_depth",
                  static_cast<uint64_t>(queue.size()));
         jw.field("inflight_batch", inflight_batch);
+        jw.field("recovered_batches", totals.recovered_batches);
+        jw.field("overloaded_rejects", totals.overloaded_rejects);
+        jw.field("dedup_hits", totals.dedup_hits);
+        jw.field("draining", draining);
         jw.field("cache_dir", opt.cache_dir);
         jw.field("cache_mode",
                  opt.cache_dir.empty()
@@ -587,6 +852,71 @@ struct SweepService::Impl {
         jw.field("bytes_written", c.bytes_written);
         jw.field("host_seconds_saved", c.host_seconds_saved, 6);
         jw.endObject();
+    }
+
+    /** The "health" op (DESIGN.md §16): everything an operator —
+     *  or the CI recovery gate, or spt_top --health — needs to
+     *  judge "is this daemon alive, current, and durable": drain
+     *  state, queue/executor occupancy, recovery provenance and
+     *  journal integrity, including write failures (a daemon that
+     *  lost durability keeps serving but must say so). */
+    std::string
+    handleHealth()
+    {
+        const double uptime =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started_at)
+                .count();
+        std::lock_guard<std::mutex> lock(mu);
+        JsonWriter jw;
+        jw.beginObject();
+        jw.field("ok", true);
+        jw.field("draining", draining);
+        jw.field("stopping", stopping);
+        jw.field("uptime_seconds", uptime, 3);
+        jw.field("workers",
+                 static_cast<uint64_t>(runner.workers()));
+        jw.field("queue_depth",
+                 static_cast<uint64_t>(queue.size()));
+        jw.field("max_queue", opt.max_queue);
+        jw.field("inflight_batch", inflight_batch);
+        jw.field("live_batches",
+                 static_cast<uint64_t>(batches.size()));
+        jw.field("batches_executed", totals.batches_executed);
+        jw.field("recovered_batches", totals.recovered_batches);
+        jw.field("overloaded_rejects", totals.overloaded_rejects);
+        jw.field("dedup_hits", totals.dedup_hits);
+        jw.field("request_timeout_ms",
+                 static_cast<uint64_t>(opt.request_timeout_ms));
+        jw.field("cache_dir", opt.cache_dir);
+        jw.field("cache_mode",
+                 opt.cache_dir.empty()
+                     ? "off"
+                     : cacheModeName(opt.cache_mode));
+        jw.key("journal");
+        jw.beginObject();
+        jw.field("enabled", journal != nullptr);
+        if (journal) {
+            jw.field("dir", journal->dir());
+            jw.field("bytes", journal->bytes());
+            jw.field("live_batches", journal->liveBatches());
+            jw.field("incomplete_batches",
+                     journal->incompleteBatches());
+            jw.field("write_failures", journal->writeFailures());
+            const BatchJournal::Recovery &rec =
+                journal->recovery();
+            jw.key("recovered");
+            jw.beginObject();
+            jw.field("at", rec.recovered_at);
+            jw.field("batches",
+                     static_cast<uint64_t>(rec.batches.size()));
+            jw.field("records", rec.records);
+            jw.field("dropped_bytes", rec.dropped_bytes);
+            jw.endObject();
+        }
+        jw.endObject();
+        jw.endObject();
+        return jw.str();
     }
 
     static const char *
@@ -668,8 +998,57 @@ struct SweepService::Impl {
         return jw.str();
     }
 
+    /** Answers a submit without enqueuing when admission says so:
+     *  draining/stopping, a duplicate token (idempotent
+     *  resubmission -> the existing batch id), or a full queue
+     *  (structured "overloaded" instead of unbounded memory
+     *  growth). "" means admit. Caller holds mu. */
     std::string
-    handleSubmit(const JsonValue &req)
+    preAnswerSubmit(const std::string &token)
+    {
+        if (draining || stopping)
+            return errorResponseCode(
+                "draining",
+                "daemon is draining; retry after restart");
+        if (!token.empty()) {
+            const auto it = token_to_batch.find(token);
+            if (it != token_to_batch.end()) {
+                ++totals.dedup_hits;
+                MetricsRegistry::global()
+                    .counter("svc.submits.deduped")
+                    .inc();
+                const auto bit = batches.find(it->second);
+                JsonWriter jw;
+                jw.beginObject();
+                jw.field("ok", true);
+                jw.field("batch", it->second);
+                jw.field("span", bit != batches.end()
+                                     ? bit->second->span
+                                     : "");
+                jw.field("dup", true);
+                jw.endObject();
+                return jw.str();
+            }
+        }
+        if (queue.size() >= opt.max_queue) {
+            ++totals.overloaded_rejects;
+            MetricsRegistry::global()
+                .counter("svc.submits.overloaded")
+                .inc();
+            return errorResponseCode(
+                "overloaded",
+                "queue full (" + std::to_string(queue.size()) +
+                    " batches queued, max " +
+                    std::to_string(opt.max_queue) +
+                    "); retry later");
+        }
+        return "";
+    }
+
+    /** Decodes a submit request into a Batch with result storage
+     *  pre-sized (shared by live submits and journal replay). */
+    std::unique_ptr<Batch>
+    buildBatch(const JsonValue &req)
     {
         auto batch = std::make_unique<Batch>();
         batch->capture_evidence =
@@ -689,6 +1068,27 @@ struct SweepService::Impl {
             }
         for (const JsonValue &jv : req.at("jobs").asArray())
             batch->grid.push_back(decodeJob(jv, *batch));
+        batch->outcome_hex.resize(batch->grid.size());
+        batch->memoized.assign(batch->grid.size(), 0);
+        batch->have_outcome.assign(batch->grid.size(), 0);
+        return batch;
+    }
+
+    std::string
+    handleSubmit(const JsonValue &req,
+                 const std::string &request_text)
+    {
+        const std::string token = req.getString("token", "");
+        // Cheap admission answers (dup / draining / overloaded)
+        // before the expensive program/map decode.
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            const std::string pre = preAnswerSubmit(token);
+            if (!pre.empty())
+                return pre;
+        }
+        auto batch = buildBatch(req);
+        batch->token = token;
 
         // Open the batch span under the client's span (if it sent
         // one); the submit response carries it back so both sides
@@ -702,13 +1102,23 @@ struct SweepService::Impl {
         uint64_t depth = 0;
         {
             std::lock_guard<std::mutex> lock(mu);
-            if (stopping)
-                SPT_FATAL("daemon is shutting down");
+            // Re-check under the lock: another connection may have
+            // submitted the same token — or drain may have begun —
+            // while this one was decoding.
+            const std::string pre = preAnswerSubmit(token);
+            if (!pre.empty())
+                return pre;
             id = next_batch++;
+            batch->id = id;
+            if (!token.empty())
+                token_to_batch[token] = id;
             queue.push_back(batch.get());
-            batch_ids[batch.get()] = id;
             batches[id] = std::move(batch);
             depth = queue.size();
+            // SUBMIT is journaled under the service lock so the
+            // journal's record order matches id order.
+            if (journal)
+                journal->submit(id, token, request_text);
             cv.notify_all();
         }
         MetricsRegistry::global().counter("svc.batches.submitted")
@@ -726,6 +1136,7 @@ struct SweepService::Impl {
         jw.field("ok", true);
         jw.field("batch", id);
         jw.field("span", batch_span);
+        jw.field("dup", false);
         jw.endObject();
         return jw.str();
     }
@@ -787,21 +1198,16 @@ struct SweepService::Impl {
 
     /** {"ok":false,"code":"unknown-batch",...}: a machine-matchable
      *  shape, distinct from a queued batch (state "queued") and
-     *  from transport errors — before this, a client polling a
-     *  fetched/mistyped id got the same unstructured error as any
-     *  malformed request. */
+     *  from transport errors — the resilient client reacts to it by
+     *  resubmitting under its idempotency token (the daemon it is
+     *  talking to may be a restart that never saw the submit). */
     static std::string
     unknownBatch(uint64_t id)
     {
-        JsonWriter jw;
-        jw.beginObject();
-        jw.field("ok", false);
-        jw.field("code", "unknown-batch");
-        jw.field("error",
-                 "unknown batch " + std::to_string(id) +
-                     " (never submitted, or already fetched)");
-        jw.endObject();
-        return jw.str();
+        return errorResponseCode(
+            "unknown-batch",
+            "unknown batch " + std::to_string(id) +
+                " (never submitted, or already fetched)");
     }
 
     std::string
@@ -840,6 +1246,20 @@ struct SweepService::Impl {
         return jw.str();
     }
 
+    /** Drops a finished batch: forget its token mapping and tell
+     *  the journal its records are dead weight. Caller holds mu. */
+    void
+    releaseBatch(std::map<uint64_t,
+                          std::unique_ptr<Batch>>::iterator it)
+    {
+        const uint64_t id = it->first;
+        if (!it->second->token.empty())
+            token_to_batch.erase(it->second->token);
+        batches.erase(it);
+        if (journal)
+            journal->released(id);
+    }
+
     std::string
     handleResultOp(const JsonValue &req)
     {
@@ -853,8 +1273,7 @@ struct SweepService::Impl {
             SPT_FATAL("batch " << id << " not finished");
         if (!b.error.empty()) {
             const std::string error = b.error;
-            batch_ids.erase(&b);
-            batches.erase(it);
+            releaseBatch(it);
             SPT_FATAL("batch " << id
                       << " failed to execute: " << error);
         }
@@ -886,8 +1305,7 @@ struct SweepService::Impl {
         jw.endObject();
         jw.endObject();
         // Fetching a result releases the batch (and its programs).
-        batch_ids.erase(&b);
-        batches.erase(it);
+        releaseBatch(it);
         return jw.str();
     }
 };
@@ -924,6 +1342,12 @@ SweepService::stop()
     impl_->initiateStop();
 }
 
+void
+SweepService::drain()
+{
+    impl_->initiateDrain();
+}
+
 const std::string &
 SweepService::socketPath() const
 {
@@ -937,6 +1361,7 @@ SweepService::stats() const
     ServiceStats s = impl_->totals;
     s.queue_depth = impl_->queue.size();
     s.inflight_batch = impl_->inflight_batch;
+    s.draining = impl_->draining;
     return s;
 }
 
@@ -946,13 +1371,93 @@ SweepService::stats() const
 
 namespace {
 
+/** Environment overrides, applied only to fields the policy left at
+ *  their defaults — an explicit programmatic choice always wins. */
+ServiceClientOptions
+resolveClientOptions(const ServiceClientOptions &in)
+{
+    ServiceClientOptions out = in;
+    const ServiceClientOptions defaults;
+    const char *env = nullptr;
+    if (out.poll_ms == defaults.poll_ms &&
+        (env = std::getenv("SPT_SWEEP_POLL_MS")) != nullptr &&
+        *env != '\0') {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0')
+            out.poll_ms = static_cast<unsigned>(v);
+        else
+            warn("SPT_SWEEP_POLL_MS ignored (not a number): " +
+                 std::string(env));
+    }
+    if (out.deadline_seconds == defaults.deadline_seconds &&
+        (env = std::getenv("SPT_SWEEP_DEADLINE")) != nullptr &&
+        *env != '\0') {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != nullptr && *end == '\0' && v >= 0.0)
+            out.deadline_seconds = v;
+        else
+            warn("SPT_SWEEP_DEADLINE ignored (not a number of "
+                 "seconds): " + std::string(env));
+    }
+    if (out.max_retries == defaults.max_retries &&
+        (env = std::getenv("SPT_SWEEP_RETRIES")) != nullptr &&
+        *env != '\0') {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0')
+            out.max_retries = static_cast<unsigned>(v);
+        else
+            warn("SPT_SWEEP_RETRIES ignored (not a number): " +
+                 std::string(env));
+    }
+    return out;
+}
+
+/** Overall wall-clock budget for one client operation. */
+struct Deadline {
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    double seconds = 0.0;
+
+    bool enabled() const { return seconds > 0.0; }
+
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    bool expired() const { return enabled() && elapsed() >= seconds; }
+
+    /** Never sleep past the deadline. */
+    uint32_t
+    clampMs(uint32_t ms) const
+    {
+        if (!enabled())
+            return ms;
+        double rem_ms = (seconds - elapsed()) * 1000.0;
+        if (rem_ms < 1.0)
+            rem_ms = 1.0;
+        return std::min(ms, static_cast<uint32_t>(rem_ms));
+    }
+};
+
+/** connect() with a stall bound: non-blocking connect + poll, then
+ *  back to blocking. Returns -1 with *err set (transient — the
+ *  caller retries); only unusable configuration is fatal. */
 int
-connectTo(const std::string &path)
+connectTimed(const std::string &path, unsigned timeout_ms,
+             std::string *err)
 {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        SPT_FATAL("sweep service: socket(): "
-                  << std::strerror(errno));
+    if (fd < 0) {
+        *err = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof addr.sun_path) {
@@ -960,35 +1465,132 @@ connectTo(const std::string &path)
         SPT_FATAL("sweep service: socket path too long: " << path);
     }
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                   sizeof addr) != 0) {
-        const int err = errno;
-        ::close(fd);
-        SPT_FATAL("cannot connect to sweep daemon at " << path
-                  << ": " << std::strerror(err));
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            *err = std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLOUT;
+        int pr;
+        do {
+            pr = ::poll(&p, 1,
+                        timeout_ms == 0
+                            ? -1
+                            : static_cast<int>(timeout_ms));
+        } while (pr < 0 && errno == EINTR);
+        if (pr <= 0) {
+            *err = pr == 0 ? "connect timed out"
+                           : std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        int soerr = 0;
+        socklen_t slen = sizeof soerr;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+        if (soerr != 0) {
+            *err = std::strerror(soerr);
+            ::close(fd);
+            return -1;
+        }
     }
+    ::fcntl(fd, F_SETFL, flags); // back to blocking
     return fd;
 }
 
-/** RAII socket so SPT_FATAL paths cannot leak the fd. */
-struct Conn {
-    explicit Conn(const std::string &path) : fd(connectTo(path)) {}
-    ~Conn() { ::close(fd); }
-    Conn(const Conn &) = delete;
-    Conn &operator=(const Conn &) = delete;
-    int fd;
+/** A reconnecting connection to the daemon: one request/response
+ *  exchange at a time, stall-bounded both ways. Any failure drops
+ *  the socket so the next exchange reconnects fresh. */
+struct Transport {
+    std::string path;
+    ServiceClientOptions opts;
+    int fd = -1;
+
+    Transport(std::string p, const ServiceClientOptions &o)
+        : path(std::move(p)), opts(o)
+    {
+    }
+
+    ~Transport() { drop(); }
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    void
+    drop()
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    /** One exchange; "" on success, else the transport error (the
+     *  socket is dropped so the caller's retry reconnects). */
+    std::string
+    once(const std::string &request, std::string *response)
+    {
+        if (fd < 0) {
+            std::string err;
+            fd = connectTimed(path, opts.connect_timeout_ms, &err);
+            if (fd < 0)
+                return "connect to " + path + ": " + err;
+            setSendStall(fd, opts.frame_timeout_ms);
+        }
+        if (!writeFrame(fd, request)) {
+            drop();
+            return "connection lost while sending";
+        }
+        if (!readFrameTimed(fd, response, opts.frame_timeout_ms,
+                            /*first_forever=*/false)) {
+            drop();
+            return "connection stalled or closed before response";
+        }
+        return "";
+    }
 };
 
+/** One request with the full resilience loop: stall-bounded
+ *  exchange, reconnect + jittered backoff on transport failure,
+ *  FatalError when the deadline or the retry budget runs out. */
 std::string
-roundTrip(int fd, const std::string &request)
+transactRaw(Transport &t, const Deadline &dl, RetryBackoff &bo,
+            const std::string &request, const char *what)
 {
-    if (!writeFrame(fd, request))
-        SPT_FATAL("sweep service: connection lost while sending");
-    std::string response;
-    if (!readFrame(fd, &response))
-        SPT_FATAL("sweep service: connection closed before "
-                  "response");
-    return response;
+    for (;;) {
+        if (dl.expired())
+            SPT_FATAL("sweep service deadline ("
+                      << dl.seconds << "s) expired during "
+                      << what);
+        std::string response;
+        const std::string err = t.once(request, &response);
+        if (err.empty()) {
+            bo.reset();
+            return response;
+        }
+        MetricsRegistry::global()
+            .counter("client.svc.transport_errors")
+            .inc();
+        if (!bo.canRetry())
+            SPT_FATAL("sweep service " << what << " failed after "
+                      << bo.attempt()
+                      << " attempt(s): " << err);
+        const uint32_t delay = dl.clampMs(bo.nextDelayMs());
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
+}
+
+JsonValue
+transact(Transport &t, const Deadline &dl, RetryBackoff &bo,
+         const std::string &request, const char *what)
+{
+    return parseJson(transactRaw(t, dl, bo, request, what));
 }
 
 } // namespace
@@ -997,8 +1599,43 @@ std::string
 serviceRequest(const std::string &socket_path,
                const std::string &request_json)
 {
-    Conn conn(socket_path);
-    return roundTrip(conn.fd, request_json);
+    const ServiceClientOptions defaults;
+    std::string err;
+    const int fd = connectTimed(socket_path,
+                                defaults.connect_timeout_ms, &err);
+    if (fd < 0)
+        SPT_FATAL("cannot connect to sweep daemon at "
+                  << socket_path << ": " << err);
+    struct Closer {
+        int fd;
+        ~Closer() { ::close(fd); }
+    } closer{fd};
+    setSendStall(fd, defaults.frame_timeout_ms);
+    if (!writeFrame(fd, request_json))
+        SPT_FATAL("sweep service: connection lost while sending");
+    std::string response;
+    if (!readFrameTimed(fd, &response, defaults.frame_timeout_ms,
+                        /*first_forever=*/false))
+        SPT_FATAL("sweep service: connection stalled or closed "
+                  "before response");
+    return response;
+}
+
+std::string
+serviceRequest(const std::string &socket_path,
+               const std::string &request_json,
+               const ServiceClientOptions &opts_in)
+{
+    const ServiceClientOptions opts =
+        resolveClientOptions(opts_in);
+    Transport t(socket_path, opts);
+    Deadline dl;
+    dl.seconds = opts.deadline_seconds;
+    RetryBackoff bo(
+        RetryPolicy{opts.max_retries, opts.backoff_base_ms,
+                    opts.backoff_max_ms},
+        fnv1a64(request_json));
+    return transactRaw(t, dl, bo, request_json, "request");
 }
 
 std::vector<RunOutcome>
@@ -1006,6 +1643,9 @@ runGridViaService(const std::string &socket_path,
                   const std::vector<RunJob> &grid,
                   const RunnerPolicy &policy, SweepStats *stats)
 {
+    const ServiceClientOptions opts =
+        resolveClientOptions(policy.client);
+
     // Ship each distinct program / knowledge map once; jobs
     // reference them by index.
     std::vector<const Program *> programs;
@@ -1027,11 +1667,23 @@ runGridViaService(const std::string &socket_path,
         policy.event_log ? *policy.event_log : EventLog::global();
     const std::string client_span = EventLog::newSpanId();
 
+    // Idempotency token: what makes "retry by resubmitting" safe.
+    // The same token resubmitted to the same (or a journal-restored)
+    // daemon answers with the existing batch instead of running the
+    // grid twice. Unique per submission, not deterministic — it
+    // never reaches any result byte.
+    static std::atomic<uint64_t> token_seq{0};
+    std::ostringstream token_os;
+    token_os << "c" << ::getpid() << "-" << ::time(nullptr) << "-"
+             << token_seq.fetch_add(1);
+    const std::string token = token_os.str();
+
     JsonWriter jw;
     jw.beginObject();
     jw.field("op", "submit");
     jw.field("capture_evidence", policy.capture_evidence);
     jw.field("span", client_span);
+    jw.field("token", token);
     jw.key("programs");
     jw.beginArray();
     for (const Program *p : programs) {
@@ -1059,13 +1711,68 @@ runGridViaService(const std::string &socket_path,
     }
     jw.endArray();
     jw.endObject();
+    const std::string submit_json = jw.str();
 
-    Conn conn(socket_path);
-    const JsonValue submitted =
-        parseJson(roundTrip(conn.fd, jw.str()));
-    requireOk(submitted, "submit");
-    const uint64_t batch = submitted.at("batch").asU64();
-    const std::string batch_span = submitted.getString("span", "");
+    Transport t(socket_path, opts);
+    Deadline dl;
+    dl.seconds = opts.deadline_seconds;
+    // Jitter decorrelates concurrent clients but stays
+    // reproducible: it derives from the token, not wall-clock
+    // entropy (common/retry.h).
+    RetryBackoff bo(
+        RetryPolicy{opts.max_retries, opts.backoff_base_ms,
+                    opts.backoff_max_ms},
+        fnv1a64(token));
+
+    uint64_t batch = 0;
+    std::string batch_span;
+
+    // Submit (and resubmit after a daemon restart): transport
+    // failures are transact's problem; "overloaded"/"draining" are
+    // admission answers — wait and re-ask without burning the
+    // transport retry budget.
+    const auto submitBatch = [&] {
+        unsigned adm_delay = 25;
+        for (;;) {
+            const JsonValue resp =
+                transact(t, dl, bo, submit_json, "submit");
+            if (resp.getBool("ok", false)) {
+                batch = resp.at("batch").asU64();
+                batch_span = resp.getString("span", "");
+                return;
+            }
+            const std::string code = resp.getString("code", "");
+            if (code == "overloaded" || code == "draining") {
+                if (dl.expired())
+                    SPT_FATAL("sweep service deadline ("
+                              << dl.seconds
+                              << "s) expired while the daemon was "
+                              << code);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        dl.clampMs(adm_delay)));
+                adm_delay = std::min(adm_delay * 2, 250u);
+                continue;
+            }
+            SPT_FATAL("sweep service submit failed: "
+                      << resp.getString("error",
+                                        "(no error text)"));
+        }
+    };
+    const auto resubmit = [&] {
+        MetricsRegistry::global()
+            .counter("client.svc.resubmits")
+            .inc();
+        elog.emit(EventLevel::kWarn, "client",
+                  "batch-resubmitted",
+                  EventFields()
+                      .num("old_batch", batch)
+                      .str("token", token),
+                  client_span, policy.parent_span);
+        submitBatch();
+    };
+
+    submitBatch();
     elog.emit(EventLevel::kInfo, "client", "batch-submitted",
               EventFields()
                   .num("batch", batch)
@@ -1074,32 +1781,75 @@ runGridViaService(const std::string &socket_path,
                   .str("socket", socket_path),
               client_span, policy.parent_span);
 
-    // Poll with a small backoff; the daemon answers status from
-    // memory so this stays cheap even mid-batch.
-    unsigned delay_ms = 2;
-    for (;;) {
-        JsonWriter sq;
-        sq.beginObject();
-        sq.field("op", "status");
-        sq.field("batch", batch);
-        sq.endObject();
-        const JsonValue st =
-            parseJson(roundTrip(conn.fd, sq.str()));
-        requireOk(st, "status");
-        if (st.at("state").asString() == "done")
-            break;
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(delay_ms));
-        delay_ms = std::min(delay_ms * 2, 100u);
-    }
+    // Poll until done, then fetch; a daemon restart surfaces as
+    // "unknown-batch" on either op and is healed by resubmitting
+    // under the same token (a journaled daemon answers with the
+    // recovered batch, dup=true; an unjournaled one re-runs — same
+    // bytes either way, per the determinism contract).
+    double poll_wait_seconds = 0.0;
+    uint64_t polls = 0;
+    const JsonValue rv = [&]() -> JsonValue {
+        for (;;) {
+            // Poll with a small backoff (or the fixed --poll-ms
+            // cadence); the daemon answers status from memory so
+            // this stays cheap even mid-batch.
+            unsigned delay_ms = 2;
+            for (;;) {
+                JsonWriter sq;
+                sq.beginObject();
+                sq.field("op", "status");
+                sq.field("batch", batch);
+                sq.endObject();
+                const JsonValue st =
+                    transact(t, dl, bo, sq.str(), "status");
+                if (!st.getBool("ok", false)) {
+                    if (st.getString("code", "") ==
+                        "unknown-batch") {
+                        resubmit();
+                        delay_ms = 2;
+                        continue;
+                    }
+                    SPT_FATAL("sweep service status failed: "
+                              << st.getString(
+                                     "error",
+                                     "(no error text)"));
+                }
+                if (st.at("state").asString() == "done")
+                    break;
+                if (dl.expired())
+                    SPT_FATAL("sweep service deadline ("
+                              << dl.seconds
+                              << "s) expired waiting for batch "
+                              << batch);
+                const unsigned want =
+                    opts.poll_ms != 0 ? opts.poll_ms : delay_ms;
+                const uint32_t d = dl.clampMs(want);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(d));
+                poll_wait_seconds += d / 1000.0;
+                ++polls;
+                if (opts.poll_ms == 0)
+                    delay_ms = std::min(delay_ms * 2, 100u);
+            }
 
-    JsonWriter rq;
-    rq.beginObject();
-    rq.field("op", "result");
-    rq.field("batch", batch);
-    rq.endObject();
-    const JsonValue rv = parseJson(roundTrip(conn.fd, rq.str()));
-    requireOk(rv, "result");
+            JsonWriter rq;
+            rq.beginObject();
+            rq.field("op", "result");
+            rq.field("batch", batch);
+            rq.endObject();
+            const JsonValue r =
+                transact(t, dl, bo, rq.str(), "result");
+            if (r.getBool("ok", false))
+                return r;
+            if (r.getString("code", "") == "unknown-batch") {
+                // Daemon restarted between "done" and the fetch.
+                resubmit();
+                continue;
+            }
+            SPT_FATAL("sweep service result failed: "
+                      << r.getString("error", "(no error text)"));
+        }
+    }();
 
     const auto &arr = rv.at("outcomes").asArray();
     if (arr.size() != grid.size())
@@ -1134,6 +1884,8 @@ runGridViaService(const std::string &socket_path,
         stats->cache.host_seconds_saved =
             c.at("host_seconds_saved").asDouble();
         stats->via_service = true;
+        stats->poll_wait_seconds = poll_wait_seconds;
+        stats->polls = polls;
     }
 
     elog.emit(EventLevel::kInfo, "client", "batch-fetched",

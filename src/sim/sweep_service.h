@@ -19,21 +19,35 @@
  *                                      per-slot progress (add
  *                                      "format":"prometheus" for
  *                                      text exposition)
- *   {"op":"submit", "capture_evidence":b, "span":s, "jobs":[JOB...]}
- *                                      enqueue a batch ->
+ *   {"op":"submit", "capture_evidence":b, "span":s, "token":t,
+ *    "jobs":[JOB...]}                  enqueue a batch ->
  *                                      {"batch":id,"span":batch_span}
  *   {"op":"status", "batch":id}        queued | running | done, with
  *                                      live slot progress while
  *                                      running
  *   {"op":"result", "batch":id}        outcomes of a done batch
  *                                      (fetching releases the batch)
+ *   {"op":"health"}                    liveness + journal/queue/
+ *                                      cache state (DESIGN.md §16)
  *   {"op":"shutdown"}                  drain and exit
  *
  * Every response carries "ok"; failures are structured
  * ({"ok":false,"error":...}, plus a machine-matchable "code" where
  * the caller can act on it — "unknown-batch" for a status/result of
- * an id the daemon does not hold) — a malformed or unknown request
- * gets an error frame back and the connection (and daemon) live on.
+ * an id the daemon does not hold, "overloaded" when admission
+ * control rejects a submit, "draining" during SIGTERM drain) — a
+ * malformed or unknown request gets an error frame back and the
+ * connection (and daemon) live on.
+ *
+ * Fault tolerance (DESIGN.md §16): "token" is a client-generated
+ * idempotency key — a resubmission carrying a token the daemon
+ * already holds (live or replayed from the batch journal,
+ * sim/batch_journal.h) answers with the existing batch id instead
+ * of enqueuing a duplicate, which is what makes client retry loops
+ * safe across daemon restarts. With SweepServiceOptions::
+ * journal_dir set, every submit/slot/completion is journaled and a
+ * restarted daemon re-enqueues incomplete batches, re-running only
+ * the slots whose outcomes were not recorded.
  *
  * Telemetry (DESIGN.md §15): the daemon threads trace spans through
  * the whole pipeline — the client sends its span with submit, the
@@ -84,6 +98,20 @@ struct SweepServiceOptions {
     /** Warm cache directory; empty runs uncached. */
     std::string cache_dir;
     CacheMode cache_mode = CacheMode::kReadWrite;
+    /** Crash-safe batch journal directory (sim/batch_journal.h);
+     *  empty disables journaling and recovery. */
+    std::string journal_dir;
+    /** Admission control: submits beyond this many queued batches
+     *  get a structured "overloaded" error frame instead of
+     *  unbounded memory growth. */
+    uint64_t max_queue = 64;
+    /** Per-request read/write stall bound on connections: once a
+     *  frame has started arriving, a peer silent for this long is
+     *  dropped so a stalled client cannot wedge a connection
+     *  thread. 0 disables (tests only). Waiting for the *start* of
+     *  a request is always unbounded — idle polling connections are
+     *  legitimate. */
+    unsigned request_timeout_ms = 10000;
 };
 
 /** Totals since daemon start (the "stats" op). */
@@ -99,6 +127,15 @@ struct ServiceStats {
      *  distinguish "wedged on batch 17" from "idle" — the staleness
      *  the totals above can't express. */
     uint64_t inflight_batch = 0;
+    /** Batches replayed from the journal at startup. */
+    uint64_t recovered_batches = 0;
+    /** Submits rejected by admission control. */
+    uint64_t overloaded_rejects = 0;
+    /** Resubmissions answered from the token map instead of
+     *  enqueued. */
+    uint64_t dedup_hits = 0;
+    /** SIGTERM drain in progress (submits get "draining"). */
+    bool draining = false;
 };
 
 class SweepService
@@ -123,6 +160,14 @@ class SweepService
      *  equivalent to receiving {"op":"shutdown"}). */
     void stop();
 
+    /** SIGTERM drain (idempotent): stop admitting submits, finish
+     *  the in-flight batch, journal the cut point (in-flight id +
+     *  queued ids), and stop *without* executing the remaining
+     *  queue — journaled queued batches run on the next start.
+     *  Async-signal-unsafe; call from a watcher thread, not the
+     *  handler itself (tools/spt_sweepd.cpp). */
+    void drain();
+
     const std::string &socketPath() const;
     ServiceStats stats() const;
 
@@ -137,8 +182,14 @@ class SweepService
  *  them (per-slot job_desc/memoized included). Fills @p stats with
  *  the daemon-reported numbers for this batch (via_service=true).
  *  Honors policy.keep_going client-side: without it, the first
- *  failed slot's error is rethrown as FatalError. SPT_FATAL if the
- *  daemon cannot be reached or violates the protocol. */
+ *  failed slot's error is rethrown as FatalError.
+ *
+ *  Resilient per policy.client (DESIGN.md §16): connect and frame
+ *  stalls time out, transport failures reconnect with jittered
+ *  exponential backoff (common/retry.h) and resubmit idempotently
+ *  by batch token, and an expired deadline — or an exhausted retry
+ *  budget — is a FatalError (exit 2 under toolMain), never a
+ *  hang. SPT_FATAL also if the daemon violates the protocol. */
 std::vector<RunOutcome>
 runGridViaService(const std::string &socket_path,
                   const std::vector<RunJob> &grid,
@@ -146,10 +197,20 @@ runGridViaService(const std::string &socket_path,
 
 /** One-shot client request: sends @p request_json to the daemon and
  *  returns the raw JSON response (the spt_sweep CLI's transport;
- *  also used by tests to probe protocol errors). SPT_FATAL on
- *  connect/frame failure. */
+ *  also used by tests to probe protocol errors). Single attempt
+ *  with default stall timeouts; SPT_FATAL on connect/frame
+ *  failure. */
 std::string serviceRequest(const std::string &socket_path,
                            const std::string &request_json);
+
+/** serviceRequest with explicit resilience options: retries
+ *  transport failures per @p opts (backoff + jitter) and bounds the
+ *  whole exchange by opts.deadline_seconds. SPT_FATAL — exit 2
+ *  under toolMain — when the budget is exhausted (spt_sweep
+ *  --deadline). */
+std::string serviceRequest(const std::string &socket_path,
+                           const std::string &request_json,
+                           const ServiceClientOptions &opts);
 
 } // namespace spt
 

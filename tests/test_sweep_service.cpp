@@ -4,11 +4,23 @@
  * a temp Unix socket, byte-equality of service-executed outcomes
  * with in-process runs, concurrent-client determinism, structured
  * protocol errors that never kill the daemon, and clean shutdown.
+ *
+ * Fault tolerance (DESIGN.md §16): duplicate-token dedup, admission
+ * control ("overloaded"), request stall deadlines, journal-backed
+ * recovery after truncation, and kill -9 of a real spt_sweepd child
+ * mid-batch with byte-identical resumed results at any worker
+ * count.
  */
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <bit>
+#include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -18,8 +30,10 @@
 #include "common/json.h"
 #include "common/json_parse.h"
 #include "core/knowledge_map.h"
+#include "isa/program.h"
 #include "sim/exp_runner.h"
 #include "sim/result_cache.h"
+#include "sim/service_chaos.h"
 #include "sim/sweep_service.h"
 #include "workloads/workloads.h"
 
@@ -251,6 +265,397 @@ TEST(SweepService, MalformedRequestsGetStructuredErrors)
         serviceRequest(daemon.socket_path, "{\"op\": \"stats\"}"));
     EXPECT_TRUE(resp.getBool("ok", false));
     EXPECT_EQ(resp.at("batches_executed").asU64(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Fault tolerance (DESIGN.md §16)
+// ------------------------------------------------------------------
+
+std::string
+toHex(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    for (const char c : bytes) {
+        const uint8_t b = static_cast<uint8_t>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+/** Hand-built submit request mirroring the client codec (one
+ *  program, jobs referencing it): lets a test speak raw protocol —
+ *  submit without fetching, duplicate tokens, queue flooding —
+ *  which runGridViaService's well-behaved loop never does. */
+std::string
+submitJson(const Program &prog, const std::vector<RunJob> &grid,
+           const std::string &token)
+{
+    std::ostringstream os;
+    programSave(prog, os);
+    JsonWriter jw;
+    jw.beginObject();
+    jw.field("op", "submit");
+    jw.field("capture_evidence", false);
+    jw.field("token", token);
+    jw.key("programs").beginArray();
+    jw.value(toHex(os.str()));
+    jw.endArray();
+    jw.key("maps").beginArray().endArray();
+    jw.key("jobs");
+    jw.beginArray();
+    for (const RunJob &job : grid) {
+        jw.beginObject();
+        jw.field("prog", static_cast<uint64_t>(0));
+        jw.field("scheme",
+                 static_cast<uint64_t>(job.engine.scheme));
+        jw.field("method",
+                 static_cast<uint64_t>(job.engine.spt.method));
+        jw.field("shadow",
+                 static_cast<uint64_t>(job.engine.spt.shadow));
+        jw.field("bw", static_cast<uint64_t>(
+                           job.engine.spt.broadcast_width));
+        jw.field("storage",
+                 static_cast<uint64_t>(job.engine.spt.storage));
+        jw.field("mutation",
+                 static_cast<uint64_t>(job.engine.spt.mutation));
+        jw.field("attack",
+                 static_cast<uint64_t>(job.attack_model));
+        jw.field("seed", job.seed);
+        jw.field("max_cycles", job.max_cycles);
+        jw.field("trace", job.trace);
+        jw.field("profile", job.profile);
+        jw.field("interval_stats", job.interval_stats);
+        jw.field("fault_seed", job.faults.seed);
+        jw.key("fault_ppm").beginArray();
+        for (const uint32_t ppm : job.faults.rate_ppm)
+            jw.value(static_cast<uint64_t>(ppm));
+        jw.endArray();
+        jw.field("invariants", job.invariants);
+        jw.field("watchdog", job.watchdog_cycles);
+        jw.field("wall_timeout_bits",
+                 std::bit_cast<uint64_t>(
+                     job.wall_timeout_seconds));
+        jw.field("fast_forward", job.fast_forward);
+        jw.field("checkpoint_at", job.checkpoint_at);
+        jw.field("checkpoint", job.checkpoint);
+        jw.field("label", job.label);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    return jw.str();
+}
+
+/** Polls the status op until @p batch reports done. */
+void
+awaitBatch(const std::string &socket_path, uint64_t batch)
+{
+    for (int i = 0; i < 2000; ++i) {
+        const JsonValue st = parseJson(serviceRequest(
+            socket_path,
+            "{\"op\": \"status\", \"batch\": " +
+                std::to_string(batch) + "}"));
+        ASSERT_TRUE(st.getBool("ok", false));
+        if (st.getString("state", "") == "done")
+            return;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    FAIL() << "batch " << batch << " never completed";
+}
+
+TEST(SweepServiceFault, DuplicateTokensAnswerTheSameBatch)
+{
+    DaemonFixture daemon("svc_dedup");
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = smallGrid(prog);
+    const std::string submit =
+        submitJson(prog, grid, "tok-dedup");
+
+    const JsonValue first =
+        parseJson(serviceRequest(daemon.socket_path, submit));
+    ASSERT_TRUE(first.getBool("ok", false));
+    EXPECT_FALSE(first.getBool("dup", true));
+    const uint64_t id = first.at("batch").asU64();
+
+    // Identical resubmission (a client retrying a lost response):
+    // same batch, no second execution.
+    const JsonValue dup =
+        parseJson(serviceRequest(daemon.socket_path, submit));
+    ASSERT_TRUE(dup.getBool("ok", false));
+    EXPECT_TRUE(dup.getBool("dup", false));
+    EXPECT_EQ(dup.at("batch").asU64(), id);
+    EXPECT_EQ(daemon.service->stats().dedup_hits, 1u);
+
+    awaitBatch(daemon.socket_path, id);
+    const JsonValue result = parseJson(serviceRequest(
+        daemon.socket_path,
+        "{\"op\": \"result\", \"batch\": " + std::to_string(id) +
+            "}"));
+    ASSERT_TRUE(result.getBool("ok", false));
+    EXPECT_EQ(result.at("outcomes").asArray().size(),
+              grid.size());
+
+    // Fetching released the batch and retired its token: the same
+    // token now names a fresh submission.
+    const JsonValue again =
+        parseJson(serviceRequest(daemon.socket_path, submit));
+    ASSERT_TRUE(again.getBool("ok", false));
+    EXPECT_FALSE(again.getBool("dup", true));
+    EXPECT_NE(again.at("batch").asU64(), id);
+    awaitBatch(daemon.socket_path, again.at("batch").asU64());
+}
+
+TEST(SweepServiceFault, OverloadedSubmitsGetStructuredErrors)
+{
+    const std::string socket_path =
+        "/tmp/spt_svc_overload_" + std::to_string(::getpid()) +
+        ".sock";
+    SweepServiceOptions opt;
+    opt.socket_path = socket_path;
+    opt.jobs = 1;
+    opt.max_queue = 1;
+    SweepService service(opt);
+    service.start();
+
+    // A batch heavy enough to pin the executor: unique seeds so
+    // in-process memoization cannot collapse the work.
+    const Program heavy = makePointerChase(8192, 4);
+    std::vector<RunJob> grid;
+    for (uint64_t s = 0; s < 6; ++s) {
+        RunJob job;
+        job.program = &heavy;
+        job.seed = s;
+        grid.push_back(job);
+    }
+    const JsonValue busy = parseJson(serviceRequest(
+        socket_path, submitJson(heavy, grid, "tok-busy")));
+    ASSERT_TRUE(busy.getBool("ok", false));
+    const uint64_t busy_id = busy.at("batch").asU64();
+    for (int i = 0; i < 500 && service.stats().inflight_batch == 0;
+         ++i)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(5));
+    ASSERT_NE(service.stats().inflight_batch, 0u);
+
+    // One more fits the queue; the next is bounced with the
+    // machine-actionable code, not a hang and not a dead daemon.
+    const Program tiny = makePointerChase(64, 1);
+    const std::vector<RunJob> tiny_grid(
+        1, [&] {
+            RunJob j;
+            j.program = &tiny;
+            return j;
+        }());
+    const JsonValue queued = parseJson(serviceRequest(
+        socket_path, submitJson(tiny, tiny_grid, "tok-q1")));
+    ASSERT_TRUE(queued.getBool("ok", false));
+    const JsonValue bounced = parseJson(serviceRequest(
+        socket_path, submitJson(tiny, tiny_grid, "tok-q2")));
+    EXPECT_FALSE(bounced.getBool("ok", true));
+    EXPECT_EQ(bounced.getString("code", ""), "overloaded");
+    EXPECT_EQ(service.stats().overloaded_rejects, 1u);
+
+    // The rejection was load shedding, not failure: the daemon
+    // finishes everything it admitted.
+    awaitBatch(socket_path, busy_id);
+    awaitBatch(socket_path, queued.at("batch").asU64());
+    service.stop();
+    service.wait();
+}
+
+TEST(SweepServiceFault, WedgedRequestIsDroppedNotServed)
+{
+    const std::string socket_path =
+        "/tmp/spt_svc_stall_" + std::to_string(::getpid()) +
+        ".sock";
+    SweepServiceOptions opt;
+    opt.socket_path = socket_path;
+    opt.jobs = 1;
+    opt.request_timeout_ms = 200;
+    SweepService service(opt);
+    service.start();
+
+    // Start a frame, promise 100 bytes, send 10, go silent: the
+    // daemon must cut the connection once the stall deadline
+    // passes instead of wedging the connection thread forever.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const uint32_t promised = 100;
+    ASSERT_EQ(::send(fd, &promised, 4, 0), 4);
+    ASSERT_EQ(::send(fd, "0123456789", 10, 0), 10);
+
+    pollfd pfd{fd, POLLIN, 0};
+    ASSERT_EQ(::poll(&pfd, 1, 5000), 1) << "daemon kept the "
+                                           "wedged connection";
+    char byte;
+    EXPECT_EQ(::read(fd, &byte, 1), 0); // EOF: dropped, no reply
+    ::close(fd);
+
+    // Slow-client protection is per-connection: service continues.
+    const JsonValue pong = parseJson(
+        serviceRequest(socket_path, "{\"op\": \"ping\"}"));
+    EXPECT_TRUE(pong.getBool("ok", false));
+    service.stop();
+    service.wait();
+}
+
+TEST(SweepServiceFault, JournalRecoveryReRunsOnlyLostSlots)
+{
+    const std::string socket_path =
+        "/tmp/spt_svc_jrec_" + std::to_string(::getpid()) +
+        ".sock";
+    const std::string journal_dir =
+        testing::TempDir() + "svc_jrec_journal";
+    std::filesystem::remove_all(journal_dir);
+    const Program prog = makePointerChase(256, 1);
+    const std::vector<RunJob> grid = smallGrid(prog);
+    const std::string submit =
+        submitJson(prog, grid, "tok-recover");
+
+    uint64_t id = 0;
+    {
+        SweepServiceOptions opt;
+        opt.socket_path = socket_path;
+        opt.jobs = 2;
+        opt.journal_dir = journal_dir;
+        SweepService daemon_a(opt);
+        daemon_a.start();
+        const JsonValue resp = parseJson(
+            serviceRequest(socket_path, submit));
+        ASSERT_TRUE(resp.getBool("ok", false));
+        id = resp.at("batch").asU64();
+        awaitBatch(socket_path, id);
+        // Crash before the client fetches: stop without draining
+        // the result out.
+        daemon_a.stop();
+        daemon_a.wait();
+    }
+
+    // Tear the journal tail (the BATCHDONE record and the slots
+    // recorded after the torn point are lost).
+    const std::string seg = journal_dir + "/journal.seg";
+    const auto size = std::filesystem::file_size(seg);
+    std::filesystem::resize_file(seg, size - 40);
+
+    SweepServiceOptions opt;
+    opt.socket_path = socket_path;
+    opt.jobs = 2;
+    opt.journal_dir = journal_dir;
+    SweepService daemon_b(opt);
+    daemon_b.start();
+    EXPECT_EQ(daemon_b.stats().recovered_batches, 1u);
+
+    // Same batch id, completed by re-running only what was lost,
+    // and byte-identical to an in-process run.
+    awaitBatch(socket_path, id);
+    const JsonValue result = parseJson(serviceRequest(
+        socket_path,
+        "{\"op\": \"result\", \"batch\": " + std::to_string(id) +
+            "}"));
+    ASSERT_TRUE(result.getBool("ok", false));
+
+    RunnerPolicy local;
+    local.service_socket = kNoSweepService;
+    const std::vector<RunOutcome> ref =
+        ExpRunner(1).run(grid, local);
+    const auto &outcomes = result.at("outcomes").asArray();
+    ASSERT_EQ(outcomes.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        std::string bytes;
+        const std::string hex = outcomes[i].getString("o", "");
+        for (size_t p = 0; p < hex.size(); p += 2)
+            bytes.push_back(static_cast<char>(
+                std::stoi(hex.substr(p, 2), nullptr, 16)));
+        EXPECT_EQ(ResultCache::encodeOutcomeDeterministic(
+                      ResultCache::decodeOutcome(bytes)),
+                  ResultCache::encodeOutcomeDeterministic(ref[i]))
+            << "slot " << i;
+    }
+    daemon_b.stop();
+    daemon_b.wait();
+}
+
+TEST(SweepServiceFault, Kill9MidBatchResumesByteIdentical)
+{
+    // The full crash-recovery contract, against the real binary:
+    // SIGKILL mid-batch, restart on the same journal, and the
+    // client's retry loop must come back with outcomes
+    // byte-identical to an undisturbed in-process run — at one
+    // daemon worker and at four (slot completion order must not
+    // leak into results).
+    const Program heavy = makePointerChase(8192, 4);
+    std::vector<RunJob> grid;
+    for (uint64_t s = 0; s < 6; ++s) {
+        RunJob job;
+        job.program = &heavy;
+        job.seed = s;
+        grid.push_back(job);
+    }
+    RunnerPolicy local;
+    local.service_socket = kNoSweepService;
+    const std::vector<RunOutcome> ref =
+        ExpRunner(4).run(grid, local);
+
+    for (const unsigned jobs : {1u, 4u}) {
+        const std::string tag =
+            "k9_" + std::to_string(jobs) + "_" +
+            std::to_string(::getpid());
+        const std::string journal_dir =
+            testing::TempDir() + "svc_" + tag + "_journal";
+        std::filesystem::remove_all(journal_dir);
+        SweepdProcess::Options dopt;
+        dopt.binary = resolveSweepdBinary("");
+        dopt.socket_path = "/tmp/spt_" + tag + ".sock";
+        dopt.journal_dir = journal_dir;
+        dopt.jobs = jobs;
+        dopt.log_path = testing::TempDir() + "svc_" + tag + ".log";
+        SweepdProcess first(dopt);
+        first.start();
+
+        std::vector<RunOutcome> via;
+        std::string client_error;
+        std::thread client([&] {
+            RunnerPolicy policy;
+            policy.service_socket = dopt.socket_path;
+            policy.client.max_retries = 20;
+            policy.client.backoff_base_ms = 10;
+            policy.client.backoff_max_ms = 200;
+            policy.client.poll_ms = 5;
+            policy.client.deadline_seconds = 120.0;
+            try {
+                via = ExpRunner(1).run(grid, policy);
+            } catch (const FatalError &e) {
+                client_error = e.what();
+            }
+        });
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(300));
+        first.kill9();
+        SweepdProcess second(dopt);
+        second.start();
+        client.join();
+        ASSERT_TRUE(client_error.empty()) << client_error;
+        EXPECT_FALSE(second.abortedAbnormally());
+
+        ASSERT_EQ(via.size(), ref.size()) << "jobs=" << jobs;
+        for (size_t i = 0; i < ref.size(); ++i)
+            EXPECT_EQ(
+                ResultCache::encodeOutcomeDeterministic(via[i]),
+                ResultCache::encodeOutcomeDeterministic(ref[i]))
+                << "jobs=" << jobs << " slot " << i;
+        second.sigterm();
+        second.wait();
+    }
 }
 
 TEST(SweepService, CleanShutdownViaProtocol)

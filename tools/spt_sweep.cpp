@@ -8,11 +8,19 @@
  *   spt_sweep --socket /tmp/spt.sock stats     totals + cache traffic
  *   spt_sweep --socket /tmp/spt.sock metrics   full registry + live
  *                                              progress (JSON)
+ *   spt_sweep --socket /tmp/spt.sock health    drain/journal/queue
+ *                                              state (DESIGN.md §16)
  *   spt_sweep --socket /tmp/spt.sock shutdown  drain and stop
+ *
+ * --deadline SECONDS bounds the whole exchange (connect + retries +
+ * response) and retries transport failures with jittered backoff in
+ * the meantime — the building block for "wait for the daemon to
+ * come back" scripts; an expired deadline exits 2, never hangs.
+ * --retries N overrides the transport retry budget.
  *
  * Exit codes follow the tool convention (common/cli.h): 0 when the
  * daemon answered ok, 1 when it answered with a structured error,
- * 2 for usage/connection problems.
+ * 2 for usage/connection/deadline problems.
  */
 
 #include <cstdio>
@@ -30,33 +38,56 @@ main(int argc, char **argv)
 {
     return toolMain("spt_sweep", [&]() -> int {
         std::string socket_path, op;
+        ServiceClientOptions opts;
+        bool resilient = false;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
-            if (arg == "--socket") {
+            const auto value_of = [&](const char *flag) {
                 if (i + 1 >= argc)
-                    SPT_FATAL("--socket requires a path");
-                socket_path = argv[++i];
+                    SPT_FATAL(flag << " requires a value");
+                return std::string(argv[++i]);
+            };
+            if (arg == "--socket") {
+                socket_path = value_of("--socket");
+            } else if (arg == "--deadline") {
+                opts.deadline_seconds = parseDouble(
+                    value_of("--deadline"), "--deadline");
+                if (opts.deadline_seconds <= 0.0)
+                    SPT_FATAL("--deadline must be positive");
+                resilient = true;
+            } else if (arg == "--retries") {
+                opts.max_retries =
+                    static_cast<unsigned>(parseUnsigned(
+                        value_of("--retries"), "--retries", 1000));
+                resilient = true;
             } else if (arg == "ping" || arg == "stats" ||
-                       arg == "metrics" || arg == "shutdown") {
+                       arg == "metrics" || arg == "health" ||
+                       arg == "shutdown") {
                 if (!op.empty())
                     SPT_FATAL("multiple commands given");
                 op = arg;
             } else {
                 SPT_FATAL("unknown argument " << arg
-                          << " (expected --socket PATH "
-                             "ping|stats|metrics|shutdown)");
+                          << " (expected --socket PATH"
+                             " [--deadline SECONDS] [--retries N] "
+                             "ping|stats|metrics|health|shutdown)");
             }
         }
         if (socket_path.empty() || op.empty())
             SPT_FATAL("usage: spt_sweep --socket PATH "
-                      "ping|stats|metrics|shutdown");
+                      "[--deadline SECONDS] [--retries N] "
+                      "ping|stats|metrics|health|shutdown");
 
         JsonWriter jw;
         jw.beginObject();
         jw.field("op", op);
         jw.endObject();
+        // Single attempt by default (a control probe should fail
+        // fast); --deadline/--retries switch to the resilient
+        // transport that rides out a daemon restart.
         const std::string response =
-            serviceRequest(socket_path, jw.str());
+            resilient ? serviceRequest(socket_path, jw.str(), opts)
+                      : serviceRequest(socket_path, jw.str());
         std::printf("%s\n", response.c_str());
         return parseJson(response).getBool("ok", false) ? 0 : 1;
     });

@@ -1,23 +1,44 @@
 /**
  * @file
  * spt_sweepd: the persistent sweep daemon (sweep-as-a-service,
- * DESIGN.md §14). Binds a Unix-domain socket, keeps a worker pool
- * and a warm on-disk result cache, and executes job batches
- * submitted by ExpRunner clients (any bench/driver run with
- * --service SOCK or SPT_SWEEP_SOCKET=SOCK) until it receives a
- * shutdown request — e.g. `spt_sweep --socket SOCK shutdown`.
+ * DESIGN.md §14; fault tolerance §16). Binds a Unix-domain socket,
+ * keeps a worker pool and a warm on-disk result cache, and executes
+ * job batches submitted by ExpRunner clients (any bench/driver run
+ * with --service SOCK or SPT_SWEEP_SOCKET=SOCK) until it receives a
+ * shutdown request — e.g. `spt_sweep --socket SOCK shutdown` — or a
+ * SIGTERM.
  *
  *   spt_sweepd --socket /tmp/spt.sock --cache /tmp/spt-cache \
+ *              [--journal DIR] [--max-queue N] \
+ *              [--request-timeout-ms MS] \
  *              [--jobs N] [--cache-mode read_write|read_only|verify] \
  *              [--event-log FILE] [--event-log-level debug|info|warn] \
  *              [--log-level debug|info|warn]
+ *
+ * --journal DIR arms the crash-safe batch journal
+ * (sim/batch_journal.h): every submit, completed slot and batch
+ * completion is durably recorded, and a restarted daemon replays the
+ * journal, re-enqueues incomplete batches and re-runs only the slots
+ * whose outcomes were lost — byte-identical results to a run that
+ * never crashed.
+ *
+ * Signals: SIGTERM drains — stop admitting submits, finish the
+ * in-flight batch, journal the cut point, exit; queued batches run
+ * on the next start (with --journal) or are resubmitted by their
+ * clients' retry loops (without). SIGINT stops after the current
+ * queue drains (same as the shutdown op).
  *
  * --event-log appends one JSONL record per fleet event
  * (submit/batch/sweep/job, DESIGN.md §15) to FILE; the `metrics` op
  * and tools/spt_top expose the live registry either way.
  */
 
+#include <csignal>
 #include <cstdio>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
 
 #include "common/cli.h"
 #include "common/event_log.h"
@@ -48,6 +69,19 @@ main(int argc, char **argv)
             } else if (arg == "--cache-mode") {
                 opt.cache_mode =
                     parseCacheMode(value_of("--cache-mode"));
+            } else if (arg == "--journal") {
+                opt.journal_dir = value_of("--journal");
+            } else if (arg == "--max-queue") {
+                opt.max_queue = parseUnsigned(
+                    value_of("--max-queue"), "--max-queue",
+                    1u << 20);
+                if (opt.max_queue == 0)
+                    SPT_FATAL("--max-queue must be at least 1");
+            } else if (arg == "--request-timeout-ms") {
+                opt.request_timeout_ms =
+                    static_cast<unsigned>(parseUnsigned(
+                        value_of("--request-timeout-ms"),
+                        "--request-timeout-ms", 3600u * 1000u));
             } else if (arg == "--event-log") {
                 EventLog::global().openFile(
                     value_of("--event-log"));
@@ -61,6 +95,8 @@ main(int argc, char **argv)
                 SPT_FATAL("unknown argument " << arg
                           << " (expected --socket PATH / --jobs N /"
                              " --cache DIR / --cache-mode MODE /"
+                             " --journal DIR / --max-queue N /"
+                             " --request-timeout-ms MS /"
                              " --event-log FILE /"
                              " --event-log-level LVL /"
                              " --log-level LVL)");
@@ -69,24 +105,63 @@ main(int argc, char **argv)
         if (opt.socket_path.empty())
             SPT_FATAL("--socket PATH is required");
 
+        // Route SIGTERM/SIGINT through a watcher thread: signal
+        // handlers cannot safely drain a service (locks, malloc),
+        // sigwait() can. Block them before any service thread
+        // spawns so every thread inherits the mask.
+        sigset_t sigs;
+        sigemptyset(&sigs);
+        sigaddset(&sigs, SIGTERM);
+        sigaddset(&sigs, SIGINT);
+        pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
         SweepService service(opt);
         service.start();
         report(std::string("[spt_sweepd] listening on ") +
                opt.socket_path + " (cache " +
                (opt.cache_dir.empty() ? "off" : opt.cache_dir) +
+               ", journal " +
+               (opt.journal_dir.empty() ? "off" : opt.journal_dir) +
                ")");
+
+        std::atomic<bool> exiting{false};
+        std::thread watcher([&] {
+            for (;;) {
+                int sig = 0;
+                if (sigwait(&sigs, &sig) != 0)
+                    return;
+                if (exiting.load())
+                    return;
+                if (sig == SIGTERM) {
+                    report("[spt_sweepd] SIGTERM: draining");
+                    service.drain();
+                } else {
+                    report("[spt_sweepd] SIGINT: shutting down");
+                    service.stop();
+                }
+            }
+        });
+
         service.wait();
+        // Wake the watcher (a blocked signal stays pending until
+        // sigwait consumes it) so it can be joined.
+        exiting.store(true);
+        ::kill(::getpid(), SIGTERM);
+        watcher.join();
+
         const ServiceStats totals = service.stats();
-        char line[160];
+        char line[200];
         std::snprintf(
             line, sizeof line,
             "[spt_sweepd] shut down: %llu batch(es), %llu job(s), "
-            "%llu cache hit(s), %llu miss(es)",
+            "%llu cache hit(s), %llu miss(es), %llu recovered",
             static_cast<unsigned long long>(
                 totals.batches_executed),
             static_cast<unsigned long long>(totals.jobs_executed),
             static_cast<unsigned long long>(totals.cache.hits),
-            static_cast<unsigned long long>(totals.cache.misses));
+            static_cast<unsigned long long>(totals.cache.misses),
+            static_cast<unsigned long long>(
+                totals.recovered_batches));
         report(line);
         return 0;
     });

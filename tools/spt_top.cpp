@@ -10,6 +10,9 @@
  *   spt_top --socket /tmp/spt.sock --once      one sample, for scripts
  *   spt_top --socket /tmp/spt.sock --once --prometheus
  *                                              raw text exposition
+ *   spt_top --socket /tmp/spt.sock --health    one-shot health check
+ *                                              (drain/journal/queue
+ *                                              state, DESIGN.md §16)
  *
  * Exit codes follow the tool convention (common/cli.h): 0 on a
  * clean sample/quit, 2 when the daemon is unreachable.
@@ -104,6 +107,76 @@ renderSample(const JsonValue &stats, const JsonValue &mx)
     std::fflush(stdout);
 }
 
+/** One-shot rendering of the daemon's health op: the operator (or
+ *  CI) question is "alive, current, durable?" — drain state, queue
+ *  occupancy, and journal integrity including lost appends. */
+void
+renderHealth(const std::string &socket_path, const JsonValue &h)
+{
+    std::printf("spt_sweepd @ %s\n", socket_path.c_str());
+    const char *state = h.getBool("draining", false) ? "draining"
+                        : h.getBool("stopping", false)
+                            ? "stopping"
+                            : "serving";
+    std::printf("state:   %s | up %.1fs | workers %llu\n", state,
+                h.at("uptime_seconds").asDouble(),
+                static_cast<unsigned long long>(
+                    h.getU64("workers", 0)));
+    const uint64_t inflight = h.getU64("inflight_batch", 0);
+    char inflight_str[32] = "none";
+    if (inflight != 0)
+        std::snprintf(inflight_str, sizeof inflight_str, "#%llu",
+                      static_cast<unsigned long long>(inflight));
+    std::printf("queue:   %llu queued (max %llu) | in-flight %s | "
+                "%llu live batch(es)\n",
+                static_cast<unsigned long long>(
+                    h.getU64("queue_depth", 0)),
+                static_cast<unsigned long long>(
+                    h.getU64("max_queue", 0)),
+                inflight_str,
+                static_cast<unsigned long long>(
+                    h.getU64("live_batches", 0)));
+    std::printf("counts:  %llu executed | %llu recovered | "
+                "%llu overloaded reject(s) | %llu dedup hit(s)\n",
+                static_cast<unsigned long long>(
+                    h.getU64("batches_executed", 0)),
+                static_cast<unsigned long long>(
+                    h.getU64("recovered_batches", 0)),
+                static_cast<unsigned long long>(
+                    h.getU64("overloaded_rejects", 0)),
+                static_cast<unsigned long long>(
+                    h.getU64("dedup_hits", 0)));
+    std::printf("cache:   %s %s\n",
+                h.getString("cache_mode", "off").c_str(),
+                h.getString("cache_dir", "").c_str());
+    const JsonValue &j = h.at("journal");
+    if (!j.getBool("enabled", false)) {
+        std::printf("journal: off\n");
+    } else {
+        std::printf("journal: %s | %llu bytes | %llu live | "
+                    "%llu incomplete | %llu write failure(s)\n",
+                    j.getString("dir", "?").c_str(),
+                    static_cast<unsigned long long>(
+                        j.getU64("bytes", 0)),
+                    static_cast<unsigned long long>(
+                        j.getU64("live_batches", 0)),
+                    static_cast<unsigned long long>(
+                        j.getU64("incomplete_batches", 0)),
+                    static_cast<unsigned long long>(
+                        j.getU64("write_failures", 0)));
+        const JsonValue &r = j.at("recovered");
+        std::printf("recovery: %llu batch(es) replayed | "
+                    "%llu record(s) | %llu byte(s) dropped\n",
+                    static_cast<unsigned long long>(
+                        r.getU64("batches", 0)),
+                    static_cast<unsigned long long>(
+                        r.getU64("records", 0)),
+                    static_cast<unsigned long long>(
+                        r.getU64("dropped_bytes", 0)));
+    }
+    std::fflush(stdout);
+}
+
 } // namespace
 
 int
@@ -113,6 +186,7 @@ main(int argc, char **argv)
         std::string socket_path;
         bool once = false;
         bool prometheus = false;
+        bool health = false;
         unsigned interval_s = 2;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -124,6 +198,8 @@ main(int argc, char **argv)
                 once = true;
             } else if (arg == "--prometheus") {
                 prometheus = true;
+            } else if (arg == "--health") {
+                health = true;
             } else if (arg == "--interval") {
                 if (i + 1 >= argc)
                     SPT_FATAL("--interval requires seconds");
@@ -132,12 +208,24 @@ main(int argc, char **argv)
             } else {
                 SPT_FATAL("unknown argument " << arg
                           << " (expected --socket PATH [--once] "
-                             "[--prometheus] [--interval SEC])");
+                             "[--prometheus] [--health] "
+                             "[--interval SEC])");
             }
         }
         if (socket_path.empty())
             SPT_FATAL("usage: spt_top --socket PATH [--once] "
-                      "[--prometheus] [--interval SEC]");
+                      "[--prometheus] [--health] [--interval SEC]");
+
+        if (health) {
+            // One-shot by design: health is a probe, not a watch.
+            const JsonValue hv = parseJson(serviceRequest(
+                socket_path, "{\"op\": \"health\"}"));
+            if (!hv.getBool("ok", false))
+                SPT_FATAL("health op failed: "
+                          << hv.getString("error", "?"));
+            renderHealth(socket_path, hv);
+            return 0;
+        }
 
         for (;;) {
             if (prometheus) {
